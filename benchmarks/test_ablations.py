@@ -1,0 +1,28 @@
+"""Benchmarks: the design-choice ablations DESIGN.md calls out."""
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation_buckets import run as run_buckets
+from repro.experiments.ablation_sketch import run as run_sketch
+from repro.experiments.isp_management import run as run_management
+
+
+def test_ablation_buckets(benchmark):
+    result = benchmark.pedantic(run_buckets, rounds=1, iterations=1)
+    emit(result)
+    modeled = [r["modeled_seconds"] for r in result.rows]
+    assert modeled == sorted(modeled, reverse=True)
+
+
+def test_ablation_sketch(benchmark):
+    result = benchmark.pedantic(run_sketch, rounds=1, iterations=1)
+    emit(result)
+    sizes = [r["kss_bytes"] for r in result.rows]
+    assert sizes == sorted(sizes)
+
+
+def test_isp_management(benchmark):
+    result = benchmark.pedantic(run_management, rounds=1, iterations=1)
+    emit(result)
+    rows = {r["quantity"]: r["value"] for r in result.rows}
+    assert rows["baseline_write_amplification"] > 1.0
+    assert rows["megis_isp_flash_writes"] == 0.0

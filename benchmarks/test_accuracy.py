@@ -1,0 +1,18 @@
+"""Benchmark: the functional accuracy comparison (F1 / L1, §5-§6.1).
+
+This is the one benchmark that exercises the *functional* pipelines
+(Kraken2, Metalign, MegIS) end to end rather than the analytic model, so
+it runs a single round.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.accuracy import run
+
+
+def test_accuracy(benchmark):
+    result = benchmark.pedantic(lambda: run(n_reads=300), rounds=1, iterations=1)
+    emit(result)
+    rows = {(r["sample"], r["tool"]): r for r in result.rows}
+    for sample in ("CAMI-L", "CAMI-M", "CAMI-H"):
+        assert rows[(sample, "MegIS")]["matches_aopt"] is True
+        assert rows[(sample, "A-Opt")]["f1"] > rows[(sample, "P-Opt")]["f1"]

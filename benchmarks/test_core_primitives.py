@@ -1,0 +1,82 @@
+"""Microbenchmarks of the core in-storage primitives.
+
+These time the functional building blocks themselves (not the analytic
+model): the per-channel Intersect merge, KSS streaming retrieval vs
+pointer-chasing tree lookups, Step-1 bucket partitioning, and the
+channel-level NAND timing simulation.
+"""
+
+import pytest
+
+from repro.databases.sketch import TernarySearchTree
+from repro.megis.host import KmerBucketPartitioner
+from repro.megis.isp import IntersectUnit, TaxIdRetriever
+from repro.sequences.kmers import extract_kmers
+from repro.ssd.channel import AccessPattern, ChannelSimulator
+from repro.ssd.config import ssd_c
+from benchmarks.conftest import BENCH_K
+
+
+def test_intersect_unit_merge(benchmark, bench_sorted_db):
+    db = bench_sorted_db.kmers
+    query = db[::3]
+
+    def merge():
+        return IntersectUnit(channel=0).intersect(db, query)
+
+    result = benchmark(merge)
+    assert result == query
+
+
+def test_kss_streaming_retrieval(benchmark, bench_kss, bench_sketch):
+    queries = sorted(bench_sketch.tables[BENCH_K])[::2]
+
+    def retrieve():
+        return TaxIdRetriever(bench_kss).retrieve(queries)
+
+    result = benchmark(retrieve)
+    assert len(result) == len(queries)
+
+
+def test_ternary_tree_lookups(benchmark, bench_sketch):
+    tree = TernarySearchTree(bench_sketch)
+    queries = sorted(bench_sketch.tables[BENCH_K])[::2]
+
+    def lookup_all():
+        return [tree.lookup(q) for q in queries]
+
+    results = benchmark(lookup_all)
+    assert len(results) == len(queries)
+
+
+def test_bucket_partitioning(benchmark, bench_sample):
+    partitioner = KmerBucketPartitioner(k=BENCH_K, n_buckets=16)
+
+    def partition():
+        return partitioner.partition(bench_sample.reads)
+
+    bucket_set = benchmark(partition)
+    assert bucket_set.total_kmers() > 0
+
+
+def test_kmer_extraction(benchmark, bench_sample):
+    genome = bench_sample.references.sequence(
+        bench_sample.references.species_taxids[0]
+    )
+
+    def extract():
+        return extract_kmers(genome, BENCH_K)
+
+    kmers = benchmark(extract)
+    assert kmers.size == len(genome) - BENCH_K + 1
+
+
+def test_channel_simulation_sequential(benchmark):
+    config = ssd_c()
+    sim = ChannelSimulator(config.geometry, config.t_read_us, config.channel_bw)
+
+    def simulate():
+        return sim.measure_bandwidth(AccessPattern.SEQUENTIAL, n_requests=1024)
+
+    bandwidth = benchmark(simulate)
+    assert bandwidth > 0.8 * config.internal_read_bw

@@ -1,0 +1,20 @@
+"""Benchmarks: SSD-internals studies (overprovisioning, QoS latency)."""
+
+from benchmarks.conftest import emit
+from repro.experiments.overprovisioning import run as run_overprovisioning
+from repro.experiments.qos_latency import run as run_qos
+
+
+def test_overprovisioning(benchmark):
+    result = benchmark.pedantic(run_overprovisioning, rounds=1, iterations=1)
+    emit(result)
+    achieved = [r["achieved_gbps"] for r in result.rows]
+    assert achieved == sorted(achieved, reverse=True)
+
+
+def test_qos_latency(benchmark):
+    result = benchmark.pedantic(run_qos, rounds=1, iterations=1)
+    emit(result)
+    for ssd in ("SSD-C", "SSD-P"):
+        p99 = [r["p99_us"] for r in result.rows if r["ssd"] == ssd]
+        assert p99 == sorted(p99)

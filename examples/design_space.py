@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Design-space exploration with the SSD simulator and timing model.
+
+Walks the hardware knobs the paper sweeps — channel count (Fig 17), number
+of SSDs (Fig 15), host DRAM (Fig 16) — and also demonstrates the
+channel-level simulation behind the motivation: sequential striped reads
+saturate the internal buses while random probing collapses throughput
+(§2.3, §3.3).
+"""
+
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.channel import AccessPattern, ChannelSimulator
+from repro.ssd.config import GB, ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+
+def main() -> None:
+    print("internal bandwidth: sequential striping vs random probing")
+    for config in (ssd_c(), ssd_p()):
+        sim = ChannelSimulator(config.geometry, config.t_read_us, config.channel_bw)
+        seq = sim.measure_bandwidth(AccessPattern.SEQUENTIAL)
+        rnd = sim.measure_bandwidth(AccessPattern.RANDOM)
+        print(f"  {config.name}: sequential {seq / 1e9:5.1f} GB/s, "
+              f"random {rnd / 1e9:5.1f} GB/s "
+              f"({seq / rnd:.1f}x gap; external is {config.seq_read_bw / 1e9:.1f} GB/s)")
+
+    dataset = cami_spec("CAMI-M")
+
+    print("\nchannel sweep (MegIS time, CAMI-M):")
+    for base in (ssd_c(), ssd_p()):
+        sweep = (4, 8, 16) if base.name == "SSD-C" else (8, 16, 32)
+        for channels in sweep:
+            model = TimingModel(baseline_system(base).with_channels(channels), dataset)
+            ms = model.megis("ms").total_seconds
+            print(f"  {base.name} {channels:2d}ch: {ms:7.1f} s")
+
+    print("\nSSD-count sweep (speedup over P-Opt, SSD-C):")
+    for n in (1, 2, 4, 8):
+        model = TimingModel(baseline_system(ssd_c(), n_ssds=n), dataset)
+        speedup = model.popt().total_seconds / model.megis("ms").total_seconds
+        print(f"  {n} SSDs: {speedup:5.2f}x")
+
+    print("\nhost-DRAM sweep (speedup over P-Opt, SSD-C):")
+    for dram_gb in (1000, 128, 64, 32):
+        model = TimingModel(
+            baseline_system(ssd_c()).with_dram(dram_gb * GB), dataset
+        )
+        speedup = model.popt().total_seconds / model.megis("ms").total_seconds
+        print(f"  {dram_gb:4d} GB: {speedup:5.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Full workflow: FASTQ in, quality filtering, database bundle, report out.
+
+Exercises the complete downstream-user path:
+
+1. simulate a sample and serialize it to FASTA/FASTQ (what a sequencer +
+   basecaller would hand you);
+2. quality-filter the reads (Phred trimming, as real preprocessing does);
+3. build the offline database bundle (sorted db + sketches + KSS + Kraken)
+   and place its serialized flash image through MegIS FTL;
+4. run MegIS with both Step-3 flavors (mapping and lightweight statistics);
+5. render Kraken-style text and JSON reports.
+"""
+
+from repro.databases.builder import DatabaseBuilder, place_bundle
+from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.reporting import json_report, text_report
+from repro.sequences.io import format_fastq, parse_fastq
+from repro.sequences.quality import QualityFilter
+from repro.ssd.config import ssd_c
+from repro.taxonomy.metrics import f1_score
+from repro.workloads.cami import CamiDiversity, make_cami_sample
+
+
+def main() -> None:
+    print("1. sequencing a CAMI-L-like sample to FASTQ...")
+    sample = make_cami_sample(CamiDiversity.LOW, n_reads=500, seed=31)
+    fastq_text = format_fastq(sample.reads)
+    print(f"   {sample.n_reads} reads, {len(fastq_text)} bytes of FASTQ")
+
+    print("2. quality filtering...")
+    records = parse_fastq(fastq_text)
+    reads = QualityFilter(min_length=30).apply(records)
+    print(f"   {len(reads)}/{len(records)} reads survive")
+
+    print("3. building the database bundle offline...")
+    bundle = DatabaseBuilder(k=20, smaller_ks=(12, 8)).build(sample.references)
+    sizes = bundle.sizes()
+    print(f"   sorted db {sizes['sorted_db'] / 1e3:.0f} kB | "
+          f"flash image {sizes['flash_image'] / 1e3:.0f} kB | "
+          f"KSS {sizes['kss'] / 1e3:.0f} kB "
+          f"(flat sketch would be {sizes['flat_sketch'] / 1e3:.0f} kB)")
+    layout = place_bundle(bundle, ssd_c().geometry)
+    print(f"   placed on flash: {layout.n_pages} pages across "
+          f"{len(layout.block_sequences)} channels")
+
+    print("4. running MegIS (mapping + statistical Step 3)...")
+    mapping = MegisPipeline(
+        bundle.sorted_db, bundle.sketch, bundle.references,
+        config=MegisConfig(abundance_method="mapping"),
+    ).analyze(reads)
+    statistical = MegisPipeline(
+        bundle.sorted_db, bundle.sketch, bundle.references,
+        config=MegisConfig(abundance_method="statistical"),
+    ).analyze(reads)
+    truth = sample.present_species()
+    print(f"   mapping:     F1 {f1_score(mapping.present(), truth):.3f}, "
+          f"{len(mapping.profile)} species")
+    print(f"   statistical: F1 {f1_score(statistical.present(0.02), truth):.3f}, "
+          f"{len(statistical.profile)} species")
+
+    print("5. reports:")
+    print(text_report(mapping.profile, bundle.taxonomy, min_fraction=0.01))
+    print("\nJSON (truncated):")
+    print("\n".join(json_report(mapping.profile, bundle.taxonomy).splitlines()[:12]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,157 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Three commands cover the library's main entry points:
+
+- ``simulate`` — generate a synthetic CAMI-like dataset and write the
+  references (FASTA), the reads (FASTQ), and the ground-truth profile;
+- ``analyze`` — run a pipeline (megis / metalign / kraken2) over a
+  FASTA+FASTQ pair and print the abundance report;
+- ``model`` — query the paper-scale performance model (per-configuration
+  seconds and speedups for a chosen SSD and sample).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.databases.kraken import KrakenDatabase
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.sequences.io import (
+    format_fastq,
+    reads_from_fastq,
+    references_from_fasta,
+    references_to_fasta,
+)
+from repro.ssd.config import ssd_c, ssd_p
+from repro.taxonomy.tree import Taxonomy
+from repro.tools.bracken import BrackenEstimator
+from repro.tools.kraken2 import Kraken2Classifier
+from repro.tools.metalign import MetalignPipeline
+from repro.workloads.cami import CamiDiversity, make_cami_sample
+from repro.workloads.datasets import cami_spec
+
+_DIVERSITIES = {d.value: d for d in CamiDiversity}
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    sample = make_cami_sample(
+        _DIVERSITIES[args.diversity], n_reads=args.reads, seed=args.seed
+    )
+    out = Path(args.output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "references.fasta").write_text(references_to_fasta(sample.references))
+    (out / "reads.fastq").write_text(format_fastq(sample.reads))
+    (out / "truth.json").write_text(
+        json.dumps({str(t): v for t, v in sample.truth.items()}, indent=2)
+    )
+    print(f"wrote references.fasta, reads.fastq, truth.json to {out}")
+    print(f"  {len(sample.references.genomes)} species, {sample.n_reads} reads, "
+          f"{len(sample.present_species())} present")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    references = references_from_fasta(Path(args.references).read_text())
+    reads = reads_from_fastq(Path(args.reads).read_text())
+    if args.tool in {"megis", "metalign"}:
+        database = SortedKmerDatabase.build(references, k=args.k)
+        sketch = SketchDatabase.build(
+            references, k_max=args.k, smaller_ks=(args.k - 8, args.k - 12)
+        )
+        if args.tool == "megis":
+            config = MegisConfig(abundance_method=args.abundance)
+            result = MegisPipeline(database, sketch, references, config=config).analyze(reads)
+        else:
+            result = MetalignPipeline(database, sketch, references).analyze(reads)
+        profile = result.profile
+    else:  # kraken2
+        taxonomy = Taxonomy.from_reference_collection(references)
+        kraken_db = KrakenDatabase.build(references, taxonomy, k=args.k + 1)
+        classifier = Kraken2Classifier(kraken_db)
+        kraken_out = classifier.analyze(reads)
+        profile = BrackenEstimator(kraken_db).estimate(kraken_out)
+    print(f"tool: {args.tool}   reads: {len(reads)}   species called: {len(profile)}")
+    for taxid, fraction in sorted(
+        profile.items(), key=lambda item: -item[1]
+    ):
+        print(f"  taxid {taxid:>6}  {fraction:8.4f}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.perf.validation import format_validation_report, validate
+
+    rows = validate()
+    print(format_validation_report(rows))
+    return 0 if all(row.in_band for row in rows) else 1
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    ssd = ssd_p() if args.ssd.upper() == "SSD-P" else ssd_c()
+    model = TimingModel(baseline_system(ssd), cami_spec(args.sample))
+    rows = {
+        "P-Opt": model.popt(),
+        "A-Opt": model.aopt(),
+        "A-Opt+KSS": model.aopt(use_kss=True),
+        "Sieve": model.sieve(),
+        "Ext-MS": model.megis("ext-ms"),
+        "MS-NOL": model.megis("ms-nol"),
+        "MS-CC": model.megis("ms-cc"),
+        "MS": model.megis("ms"),
+    }
+    ms = rows["MS"].total_seconds
+    print(f"{args.sample} on {ssd.name} (paper-scale, analytic model):")
+    for name, breakdown in rows.items():
+        total = breakdown.total_seconds
+        print(f"  {name:10s} {total:9.1f} s   MS speedup {total / ms:6.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="generate a synthetic dataset")
+    simulate.add_argument("output_dir")
+    simulate.add_argument("--diversity", choices=sorted(_DIVERSITIES), default="CAMI-M")
+    simulate.add_argument("--reads", type=int, default=500)
+    simulate.add_argument("--seed", type=int, default=7)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    analyze = sub.add_parser("analyze", help="analyze a FASTA+FASTQ pair")
+    analyze.add_argument("references", help="reference FASTA (from `simulate`)")
+    analyze.add_argument("reads", help="read set FASTQ")
+    analyze.add_argument("--tool", choices=("megis", "metalign", "kraken2"),
+                         default="megis")
+    analyze.add_argument("--k", type=int, default=20)
+    analyze.add_argument("--abundance", choices=("mapping", "statistical"),
+                         default="mapping")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    model = sub.add_parser("model", help="paper-scale performance model")
+    model.add_argument("--ssd", choices=("SSD-C", "SSD-P"), default="SSD-C")
+    model.add_argument("--sample", choices=("CAMI-L", "CAMI-M", "CAMI-H"),
+                       default="CAMI-M")
+    model.set_defaults(func=_cmd_model)
+
+    validate = sub.add_parser(
+        "validate", help="check every paper headline target against the model"
+    )
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

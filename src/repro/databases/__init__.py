@@ -1,0 +1,26 @@
+"""Metagenomic databases.
+
+Four database families, mirroring the paper's taxonomy of approaches:
+
+- :mod:`repro.databases.kraken` — hash table from k-mer to LCA taxID,
+  queried with random accesses (R-Qry, Kraken2);
+- :mod:`repro.databases.sorted_db` — lexicographically sorted k-mer set,
+  queried by streaming intersection (S-Qry, Metalign and MegIS);
+- :mod:`repro.databases.sketch` — CMash-style containment-min-hash sketches
+  in a ternary search tree with variable-sized k-mers (pointer chasing);
+- :mod:`repro.databases.kss` — MegIS's K-mer Sketch Streaming tables
+  (§4.3.2): the same information laid out for a single sequential pass.
+"""
+
+from repro.databases.kraken import KrakenDatabase
+from repro.databases.kss import KssTables
+from repro.databases.sketch import SketchDatabase, TernarySearchTree
+from repro.databases.sorted_db import SortedKmerDatabase
+
+__all__ = [
+    "KrakenDatabase",
+    "KssTables",
+    "SketchDatabase",
+    "SortedKmerDatabase",
+    "TernarySearchTree",
+]

@@ -1,0 +1,114 @@
+"""Offline database construction pipeline.
+
+The paper assumes sorted k-mer databases and sketch databases are pre-built
+before analysis (§4.2) from reference genomes.  This module packages that
+offline step: from a reference collection (or FASTA text) it produces the
+full database bundle every pipeline needs — sorted k-mer database, sketch
+database, KSS tables, Kraken hash table, and taxonomy — with consistent
+parameters, plus the serialized flash image and its MegIS FTL placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.databases.kraken import KrakenDatabase
+from repro.databases.kss import KssTables
+from repro.databases.serialization import serialize_database
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.ftl import DatabaseLayout, MegisFtl
+from repro.sequences.generator import ReferenceCollection
+from repro.ssd.config import NandGeometry
+from repro.taxonomy.tree import Taxonomy
+
+
+@dataclass
+class DatabaseBundle:
+    """Everything built offline for one reference collection."""
+
+    references: ReferenceCollection
+    taxonomy: Taxonomy
+    sorted_db: SortedKmerDatabase
+    sketch: SketchDatabase
+    kss: KssTables
+    kraken: KrakenDatabase
+    flash_image: bytes
+
+    def sizes(self) -> dict:
+        """Byte sizes of every structure (the small-scale Table-1 analog)."""
+        return {
+            "sorted_db": self.sorted_db.size_bytes(),
+            "flash_image": len(self.flash_image),
+            "flat_sketch": self.sketch.flat_tables_bytes(),
+            "kss": self.kss.size_bytes(),
+            "kraken": self.kraken.size_bytes(),
+        }
+
+
+class DatabaseBuilder:
+    """Builds a consistent database bundle from references."""
+
+    def __init__(
+        self,
+        k: int = 20,
+        smaller_ks: Sequence[int] = (12, 8),
+        sketch_fraction: float = 0.3,
+        kraken_k: int = 21,
+        kraken_genome_fraction: float = 1.0,
+        seed: int = 0,
+    ):
+        if any(s >= k for s in smaller_ks):
+            raise ValueError("smaller_ks must all be below k")
+        self.k = k
+        self.smaller_ks = tuple(smaller_ks)
+        self.sketch_fraction = sketch_fraction
+        self.kraken_k = kraken_k
+        self.kraken_genome_fraction = kraken_genome_fraction
+        self.seed = seed
+
+    def build(self, references: ReferenceCollection) -> DatabaseBundle:
+        taxonomy = Taxonomy.from_reference_collection(references)
+        sorted_db = SortedKmerDatabase.build(references, k=self.k)
+        sketch = SketchDatabase.build(
+            references,
+            k_max=self.k,
+            smaller_ks=self.smaller_ks,
+            sketch_fraction=self.sketch_fraction,
+            seed=self.seed,
+        )
+        kss = KssTables(sketch)
+        kraken = KrakenDatabase.build(
+            references,
+            taxonomy,
+            k=self.kraken_k,
+            genome_fraction=self.kraken_genome_fraction,
+            seed=self.seed,
+        )
+        flash_image = serialize_database(sorted_db, with_owners=False)
+        return DatabaseBundle(
+            references=references,
+            taxonomy=taxonomy,
+            sorted_db=sorted_db,
+            sketch=sketch,
+            kss=kss,
+            kraken=kraken,
+            flash_image=flash_image,
+        )
+
+    def build_from_fasta(self, fasta_text: str) -> DatabaseBundle:
+        from repro.sequences.io import references_from_fasta
+
+        return self.build(references_from_fasta(fasta_text))
+
+
+def place_bundle(bundle: DatabaseBundle, geometry: NandGeometry,
+                 ftl: Optional[MegisFtl] = None) -> DatabaseLayout:
+    """Place the serialized k-mer database on flash via MegIS FTL.
+
+    Uses the *actual* flash-image size, so the layout's page count and the
+    FTL metadata accounting reflect the real encoding.
+    """
+    ftl = ftl or MegisFtl(geometry)
+    return ftl.place_database("kmer_db", max(1, len(bundle.flash_image)))

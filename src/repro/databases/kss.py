@@ -1,0 +1,139 @@
+"""K-mer Sketch Streaming (KSS) tables — MegIS's taxID retrieval structure.
+
+KSS (paper §4.3.2, Fig 7c) trades space for streamability: for
+``k = k_max`` it keeps the sorted (k-mer, taxIDs) table; for each smaller
+``k`` it stores — aligned to the prefix boundaries of the sorted k_max
+table — only the taxIDs *not* attributed to the covered larger k-mers, and
+no k-mer text at all (prefixes of the k_max stream identify the rows).
+TaxID retrieval then needs a single sequential pass over the intersecting
+k-mers and the tables, with no pointer chasing.  The paper measures KSS at
+7.5x smaller than flat tables and 2.1x larger than the ternary tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.databases.sketch import SketchDatabase
+from repro.sequences.encoding import kmer_prefix
+
+
+@dataclass(frozen=True)
+class KssSubEntry:
+    """One row of a smaller-k table: taxIDs beyond those of covered k_max-mers.
+
+    ``prefix`` is kept for validation and debugging; the on-flash layout
+    would omit it (the Index Generator recovers it from the k_max stream),
+    and :meth:`KssTables.size_bytes` accordingly does not charge for it.
+    """
+
+    prefix: int
+    stored: FrozenSet[int]
+
+
+class KssTables:
+    """Sorted k_max table plus prefix-aligned reduced tables per smaller k."""
+
+    def __init__(self, sketch: SketchDatabase):
+        self.k_max = sketch.k_max
+        self.smaller_ks: Tuple[int, ...] = sketch.smaller_ks
+        self.entries: List[Tuple[int, FrozenSet[int]]] = sketch.sorted_kmax_entries()
+        self.sub_tables: Dict[int, List[KssSubEntry]] = {}
+        self._full_level_sets: Dict[int, Dict[int, FrozenSet[int]]] = {
+            k: dict(sketch.tables[k]) for k in self.smaller_ks
+        }
+        for k in self.smaller_ks:
+            self.sub_tables[k] = self._build_sub_table(k, sketch)
+
+    def _build_sub_table(self, k: int, sketch: SketchDatabase) -> List[KssSubEntry]:
+        """Walk the sorted k_max table; emit one row per distinct k-prefix."""
+        rows: List[KssSubEntry] = []
+        current_prefix = None
+        covered: set = set()
+        for kmer, owners in self.entries:
+            prefix = kmer_prefix(kmer, self.k_max, k)
+            if prefix != current_prefix:
+                if current_prefix is not None:
+                    rows.append(self._finish_row(k, current_prefix, covered, sketch))
+                current_prefix = prefix
+                covered = set()
+            covered.update(owners)
+        if current_prefix is not None:
+            rows.append(self._finish_row(k, current_prefix, covered, sketch))
+        return rows
+
+    @staticmethod
+    def _finish_row(k: int, prefix: int, covered: set,
+                    sketch: SketchDatabase) -> KssSubEntry:
+        full = sketch.tables[k][prefix]
+        return KssSubEntry(prefix=prefix, stored=frozenset(full - covered))
+
+    # -- retrieval -------------------------------------------------------------
+
+    def retrieve(
+        self, sorted_intersecting: Sequence[int]
+    ) -> Dict[int, Dict[int, FrozenSet[int]]]:
+        """Reference single-pass retrieval: query k-mer -> level -> taxIDs.
+
+        Streams the sorted query k-mers against the sorted k_max table and
+        the prefix-aligned sub-tables simultaneously, reconstructing the
+        full level sets as ``stored UNION covered-owners`` while the covered
+        owners accumulate naturally during the pass.  The hardware-flavoured
+        implementation lives in :mod:`repro.megis.isp`; tests require both
+        to match :meth:`SketchDatabase.lookup` exactly.
+        """
+        queries = [int(q) for q in sorted_intersecting]
+        if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
+            raise ValueError("intersecting k-mers must be sorted")
+        results: Dict[int, Dict[int, FrozenSet[int]]] = {q: {} for q in queries}
+
+        # Level k_max: plain sorted merge.
+        i = j = 0
+        while i < len(self.entries) and j < len(queries):
+            kmer, owners = self.entries[i]
+            if kmer == queries[j]:
+                results[queries[j]][self.k_max] = owners
+                j += 1
+            elif kmer < queries[j]:
+                i += 1
+            else:
+                j += 1
+
+        # Smaller levels: one pass per level over (query prefixes, sub rows).
+        for k in self.smaller_ks:
+            rows = self.sub_tables[k]
+            covered = self._covered_by_prefix(k)
+            row_index = 0
+            for q in queries:
+                prefix = kmer_prefix(q, self.k_max, k)
+                while row_index < len(rows) and rows[row_index].prefix < prefix:
+                    row_index += 1
+                if row_index < len(rows) and rows[row_index].prefix == prefix:
+                    full = rows[row_index].stored | covered[prefix]
+                    if full:
+                        results[q][k] = frozenset(full)
+        return results
+
+    def _covered_by_prefix(self, k: int) -> Dict[int, FrozenSet[int]]:
+        covered: Dict[int, set] = {}
+        for kmer, owners in self.entries:
+            prefix = kmer_prefix(kmer, self.k_max, k)
+            covered.setdefault(prefix, set()).update(owners)
+        return {p: frozenset(s) for p, s in covered.items()}
+
+    # -- size accounting ---------------------------------------------------------
+
+    def _kmer_bytes(self) -> int:
+        return (2 * self.k_max + 7) // 8
+
+    def size_bytes(self) -> int:
+        """On-flash size: k_max rows carry the k-mer; sub rows carry IDs only."""
+        total = sum(self._kmer_bytes() + 4 * len(owners) for _, owners in self.entries)
+        for rows in self.sub_tables.values():
+            # 1 byte per row marks the boundary/row length; IDs are 4 B each.
+            total += sum(1 + 4 * len(row.stored) for row in rows)
+        return total
+
+    def __len__(self) -> int:
+        return len(self.entries)

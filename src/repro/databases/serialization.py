@@ -1,0 +1,111 @@
+"""Binary serialization of the sorted k-mer database (2-bit packed).
+
+The paper's databases are encoded with two bits per character during their
+offline generation (§4.2) and stored on flash in sorted order so the ISP
+units can stream them.  This module defines that on-flash byte format and
+round-trips it, so the MegIS FTL placement and the ISP stream operate on a
+size that is *derived* from an actual encoding, not an estimate.
+
+Format (little-endian):
+
+- 16-byte header: magic ``b"MEGISKDB"``, ``u16 k``, ``u16 flags``,
+  ``u32 count``;
+- ``count`` k-mer records of ``ceil(2k / 8)`` bytes each, big-endian packed
+  (so byte-wise lexicographic order equals k-mer order, the property the
+  streaming comparators rely on);
+- optionally (flag bit 0), per-record owner lists: ``u8 n`` followed by
+  ``n`` u32 taxIDs.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Tuple
+
+from repro.databases.sorted_db import SortedKmerDatabase
+
+MAGIC = b"MEGISKDB"
+_HEADER = struct.Struct("<8sHHI")
+FLAG_OWNERS = 1
+
+
+class SerializationError(ValueError):
+    """Raised when a payload does not parse as a k-mer database."""
+
+
+def kmer_record_bytes(k: int) -> int:
+    return (2 * k + 7) // 8
+
+
+def _pack_kmer(value: int, k: int) -> bytes:
+    width = kmer_record_bytes(k)
+    # Left-align the 2k bits in the record so byte order matches k-mer order.
+    shift = width * 8 - 2 * k
+    return (value << shift).to_bytes(width, "big")
+
+
+def _unpack_kmer(raw: bytes, k: int) -> int:
+    width = kmer_record_bytes(k)
+    shift = width * 8 - 2 * k
+    return int.from_bytes(raw, "big") >> shift
+
+
+def serialize_database(db: SortedKmerDatabase, with_owners: bool = True) -> bytes:
+    """Serialize to the on-flash byte format."""
+    flags = FLAG_OWNERS if with_owners else 0
+    out = [_HEADER.pack(MAGIC, db.k, flags, len(db))]
+    for kmer in db.kmers:
+        out.append(_pack_kmer(kmer, db.k))
+        if with_owners:
+            owners = sorted(db.owners_of(kmer))
+            if len(owners) > 255:
+                raise SerializationError("more than 255 owners for one k-mer")
+            out.append(struct.pack("<B", len(owners)))
+            out.append(struct.pack(f"<{len(owners)}I", *owners))
+    return b"".join(out)
+
+
+def deserialize_database(payload: bytes) -> SortedKmerDatabase:
+    """Parse the on-flash byte format back into a database."""
+    if len(payload) < _HEADER.size:
+        raise SerializationError("payload shorter than header")
+    magic, k, flags, count = _HEADER.unpack_from(payload, 0)
+    if magic != MAGIC:
+        raise SerializationError(f"bad magic {magic!r}")
+    offset = _HEADER.size
+    width = kmer_record_bytes(k)
+    kmers: List[int] = []
+    owners: List[frozenset] = []
+    for _ in range(count):
+        if offset + width > len(payload):
+            raise SerializationError("truncated k-mer record")
+        kmers.append(_unpack_kmer(payload[offset : offset + width], k))
+        offset += width
+        if flags & FLAG_OWNERS:
+            if offset + 1 > len(payload):
+                raise SerializationError("truncated owner count")
+            (n,) = struct.unpack_from("<B", payload, offset)
+            offset += 1
+            if offset + 4 * n > len(payload):
+                raise SerializationError("truncated owner list")
+            taxids = struct.unpack_from(f"<{n}I", payload, offset)
+            offset += 4 * n
+            owners.append(frozenset(taxids))
+        else:
+            owners.append(frozenset())
+    if offset != len(payload):
+        raise SerializationError(f"{len(payload) - offset} trailing bytes")
+    return SortedKmerDatabase(k, kmers, owners)
+
+
+def byte_order_matches_kmer_order(db: SortedKmerDatabase) -> bool:
+    """The streaming property: packed records sort like their k-mers."""
+    packed = [_pack_kmer(x, db.k) for x in db.kmers]
+    return packed == sorted(packed)
+
+
+def payload_pages(payload: bytes, page_bytes: int) -> Tuple[int, int]:
+    """(full pages, tail bytes) a payload occupies on flash."""
+    if page_bytes <= 0:
+        raise ValueError("page_bytes must be positive")
+    return len(payload) // page_bytes, len(payload) % page_bytes

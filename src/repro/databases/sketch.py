@@ -1,0 +1,247 @@
+"""CMash-style sketch database with variable-sized k-mers (paper §4.3.2).
+
+Each sketch is a small representative subset of a species' k-mers, selected
+by containment min-hash (k-mers whose hash falls below a threshold).  To
+support variable-sized k-mers, CMash arranges the sketches in a ternary
+search tree: looking up a ``k_max``-mer also retrieves taxIDs for its
+shorter prefixes during the same traversal — at the cost of up to ``k_max``
+pointer-chasing operations per lookup, which is what makes the structure
+hostile to in-storage processing.
+
+Semantics reproduced here (Fig 7): the structure only represents shorter
+k-mers that are prefixes of stored ``k_max``-mers; a level-``k`` lookup of
+prefix ``p`` returns the species whose independent level-``k`` sketch
+contains ``p``, together with the owners of every stored ``k_max``-mer
+under ``p`` (matching a long k-mer implies matching its prefixes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.databases.kraken import _kmer_hash
+from repro.sequences.encoding import decode_kmer, kmer_prefix
+from repro.sequences.generator import ReferenceCollection
+from repro.sequences.kmers import extract_kmers
+
+_HASH_SPACE = 1 << 64
+
+
+def _passes(kmer: int, fraction: float, salt: int) -> bool:
+    """Containment-min-hash selection: keep k-mers in the bottom fraction."""
+    return _kmer_hash(int(kmer) ^ (salt * 0x5851F42D4C957F2D)) < int(
+        fraction * _HASH_SPACE
+    )
+
+
+class SketchDatabase:
+    """Per-level tables: packed k-mer -> frozenset of taxIDs.
+
+    ``tables[k_max]`` holds the sketch k-mers themselves; ``tables[k]`` for
+    smaller ``k`` holds the reachable prefixes with their *full* taxID sets
+    (sketch membership at level ``k`` plus owners of covered k_max-mers).
+    """
+
+    def __init__(self, k_max: int, smaller_ks: Sequence[int],
+                 tables: Dict[int, Dict[int, FrozenSet[int]]],
+                 sketch_sizes: Dict[int, int]):
+        ks = sorted(set(smaller_ks), reverse=True)
+        if any(k >= k_max or k <= 0 for k in ks):
+            raise ValueError("smaller_ks must lie strictly between 0 and k_max")
+        self.k_max = k_max
+        self.smaller_ks: Tuple[int, ...] = tuple(ks)
+        self.tables = tables
+        self.sketch_sizes = sketch_sizes  # per-species k_max sketch size
+
+    @classmethod
+    def build(
+        cls,
+        references: ReferenceCollection,
+        k_max: int = 20,
+        smaller_ks: Sequence[int] = (12, 8),
+        sketch_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> "SketchDatabase":
+        """Sketch every reference genome at every level."""
+        if not 0 < sketch_fraction <= 1:
+            raise ValueError(f"sketch_fraction must be in (0, 1], got {sketch_fraction}")
+        levels = sorted(set(smaller_ks), reverse=True)
+
+        kmax_table: Dict[int, set] = {}
+        level_sketches: Dict[int, Dict[int, set]] = {k: {} for k in levels}
+        sketch_sizes: Dict[int, int] = {}
+        for taxid in references.species_taxids:
+            genome_kmers = set(
+                extract_kmers(references.sequence(taxid), k_max, canonical=False).tolist()
+            )
+            sketch = {x for x in genome_kmers if _passes(x, sketch_fraction, seed)}
+            sketch_sizes[taxid] = len(sketch)
+            for kmer in sketch:
+                kmax_table.setdefault(int(kmer), set()).add(taxid)
+            # Independent selection per level over the k-prefixes: a species
+            # may sketch a short prefix even when none of its long k-mers
+            # carrying that prefix were selected (Fig 7's species 3).
+            for k in levels:
+                for kmer in genome_kmers:
+                    prefix = kmer_prefix(int(kmer), k_max, k)
+                    if _passes(prefix, sketch_fraction, seed + k):
+                        level_sketches[k].setdefault(prefix, set()).add(taxid)
+
+        # Restrict levels to reachable prefixes and add covered-owner sets.
+        tables: Dict[int, Dict[int, FrozenSet[int]]] = {
+            k_max: {x: frozenset(s) for x, s in kmax_table.items()}
+        }
+        for k in levels:
+            level: Dict[int, FrozenSet[int]] = {}
+            for kmer, owners in kmax_table.items():
+                prefix = kmer_prefix(kmer, k_max, k)
+                combined = set(level.get(prefix, frozenset()))
+                combined.update(owners)
+                combined.update(level_sketches[k].get(prefix, set()))
+                level[prefix] = frozenset(combined)
+            tables[k] = level
+        return cls(k_max, levels, tables, sketch_sizes)
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, kmer: int) -> Dict[int, FrozenSet[int]]:
+        """TaxIDs per level for a ``k_max``-mer query and its prefixes."""
+        result: Dict[int, FrozenSet[int]] = {}
+        exact = self.tables[self.k_max].get(int(kmer))
+        if exact:
+            result[self.k_max] = exact
+        for k in self.smaller_ks:
+            prefix = kmer_prefix(int(kmer), self.k_max, k)
+            hit = self.tables[k].get(prefix)
+            if hit:
+                result[k] = hit
+        return result
+
+    def covered_owners(self, k: int, prefix: int) -> FrozenSet[int]:
+        """Union of owners of stored k_max-mers under ``prefix`` at level k."""
+        owners: set = set()
+        for kmer, taxids in self.tables[self.k_max].items():
+            if kmer_prefix(kmer, self.k_max, k) == prefix:
+                owners.update(taxids)
+        return frozenset(owners)
+
+    def sorted_kmax_entries(self) -> List[Tuple[int, FrozenSet[int]]]:
+        return sorted(self.tables[self.k_max].items())
+
+    # -- size accounting -------------------------------------------------------
+
+    def _kmer_bytes(self, k: int) -> int:
+        return (2 * k + 7) // 8
+
+    def flat_tables_bytes(self) -> int:
+        """Size of the naive per-level tables (Fig 7a): k-mer + taxIDs each."""
+        total = 0
+        for k, table in self.tables.items():
+            for _, owners in table.items():
+                total += self._kmer_bytes(k) + 4 * len(owners)
+        return total
+
+
+@dataclass
+class _TstNode:
+    char: str
+    lo: Optional["_TstNode"] = None
+    eq: Optional["_TstNode"] = None
+    hi: Optional["_TstNode"] = None
+    taxids: Dict[int, FrozenSet[int]] = field(default_factory=dict)  # level -> set
+
+
+class TernarySearchTree:
+    """CMash's lookup structure (Fig 7b): pointer-chasing per character."""
+
+    def __init__(self, sketch: SketchDatabase):
+        self.sketch = sketch
+        self._root: Optional[_TstNode] = None
+        self.node_count = 0
+        self.pointer_chases = 0  # incremented on every node visit during lookup
+        for kmer in sorted(sketch.tables[sketch.k_max]):
+            self._insert(decode_kmer(kmer, sketch.k_max))
+        self._attach_taxids()
+
+    def _insert(self, word: str) -> None:
+        self._root = self._insert_at(self._root, word, 0)
+
+    def _insert_at(self, node: Optional[_TstNode], word: str, i: int) -> _TstNode:
+        char = word[i]
+        if node is None:
+            node = _TstNode(char)
+            self.node_count += 1
+        if char < node.char:
+            node.lo = self._insert_at(node.lo, word, i)
+        elif char > node.char:
+            node.hi = self._insert_at(node.hi, word, i)
+        elif i + 1 < len(word):
+            node.eq = self._insert_at(node.eq, word, i + 1)
+        return node
+
+    def _node_for_prefix(self, word: str) -> Optional[_TstNode]:
+        node = self._root
+        i = 0
+        while node is not None:
+            self.pointer_chases += 1
+            char = word[i]
+            if char < node.char:
+                node = node.lo
+            elif char > node.char:
+                node = node.hi
+            else:
+                i += 1
+                if i == len(word):
+                    return node
+                node = node.eq
+        return None
+
+    def _attach_taxids(self) -> None:
+        levels = [(self.sketch.k_max, self.sketch.tables[self.sketch.k_max])]
+        levels += [(k, self.sketch.tables[k]) for k in self.sketch.smaller_ks]
+        for k, table in levels:
+            for kmer, owners in table.items():
+                node = self._node_for_prefix(decode_kmer(kmer, k))
+                if node is None:  # cannot happen: prefixes of inserted words
+                    raise RuntimeError("sketch prefix missing from tree")
+                node.taxids[k] = owners
+        self.pointer_chases = 0  # construction traversals don't count
+
+    def lookup(self, kmer: int) -> Dict[int, FrozenSet[int]]:
+        """Retrieve taxIDs for the k_max-mer and all its tracked prefixes.
+
+        One root-to-leaf traversal serves every level (§4.3.2), but each
+        character step is a pointer chase — the cost MegIS's KSS avoids.
+        """
+        word = decode_kmer(int(kmer), self.sketch.k_max)
+        result: Dict[int, FrozenSet[int]] = {}
+        node = self._root
+        i = 0
+        while node is not None:
+            self.pointer_chases += 1
+            char = word[i]
+            if char < node.char:
+                node = node.lo
+            elif char > node.char:
+                node = node.hi
+            else:
+                i += 1
+                depth = i
+                if depth in node.taxids and depth in (
+                    self.sketch.k_max, *self.sketch.smaller_ks
+                ):
+                    result[depth] = node.taxids[depth]
+                if i == len(word):
+                    break
+                node = node.eq
+        return result
+
+    def size_bytes(self) -> int:
+        """~33 B per node (char + 3 pointers + level-map slot) + taxID payload."""
+        payload = sum(
+            4 * len(owners)
+            for table in self.sketch.tables.values()
+            for owners in table.values()
+        )
+        return 33 * self.node_count + payload

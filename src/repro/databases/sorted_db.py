@@ -1,0 +1,115 @@
+"""Lexicographically sorted k-mer database (S-Qry: Metalign and MegIS).
+
+The database is the union of all reference genomes' k-mers, kept sorted so
+that queries reduce to a streaming merge (§2.1.1, §4.3.1).  Large k-mers
+(the tools use k = 60) keep the false-positive rate low.  The database also
+records, per k-mer, which species contain it — needed for building sketches
+and for tests, though the intersection step itself only uses the k-mers.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.sequences.generator import ReferenceCollection
+from repro.sequences.kmers import extract_kmers
+
+
+class SortedKmerDatabase:
+    """Sorted distinct k-mers with per-k-mer species sets."""
+
+    def __init__(self, k: int, kmers: Sequence[int], owners: Sequence[frozenset]):
+        if len(kmers) != len(owners):
+            raise ValueError("kmers and owners must have equal length")
+        if any(kmers[i] >= kmers[i + 1] for i in range(len(kmers) - 1)):
+            raise ValueError("kmers must be strictly increasing")
+        self.k = k
+        self._kmers: List[int] = [int(x) for x in kmers]
+        self._owners: List[frozenset] = list(owners)
+
+    @classmethod
+    def build(
+        cls, references: ReferenceCollection, k: int = 60, canonical: bool = False
+    ) -> "SortedKmerDatabase":
+        """Index all reference genomes.
+
+        Non-canonical (forward-strand) k-mers are the default because the
+        sketch machinery relies on prefix structure, which canonicalization
+        would destroy; Metalign/CMash handle strands by sketching both.
+        """
+        membership: Dict[int, Set[int]] = {}
+        for taxid in references.species_taxids:
+            seq = references.sequence(taxid)
+            for kmer in set(extract_kmers(seq, k, canonical=canonical).tolist()):
+                membership.setdefault(int(kmer), set()).add(taxid)
+        kmers = sorted(membership)
+        owners = [frozenset(membership[x]) for x in kmers]
+        return cls(k, kmers, owners)
+
+    # -- streaming access ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._kmers)
+
+    def __contains__(self, kmer: int) -> bool:
+        i = bisect.bisect_left(self._kmers, int(kmer))
+        return i < len(self._kmers) and self._kmers[i] == int(kmer)
+
+    @property
+    def kmers(self) -> List[int]:
+        return list(self._kmers)
+
+    def owners_of(self, kmer: int) -> frozenset:
+        i = bisect.bisect_left(self._kmers, int(kmer))
+        if i == len(self._kmers) or self._kmers[i] != int(kmer):
+            raise KeyError(f"k-mer {kmer} not in database")
+        return self._owners[i]
+
+    def stream(self) -> Iterator[int]:
+        """Stream the database in sorted order (what the flash chips serve)."""
+        return iter(self._kmers)
+
+    def stream_range(self, lo: int, hi: int) -> Iterator[int]:
+        """Stream k-mers in ``[lo, hi)`` — a lexicographic bucket's slice.
+
+        MegIS's bucketing (§4.2.1) works because the database is sorted too:
+        a query bucket only ever intersects the matching database range.
+        """
+        start = bisect.bisect_left(self._kmers, int(lo))
+        stop = bisect.bisect_left(self._kmers, int(hi))
+        return iter(self._kmers[start:stop])
+
+    def intersect(self, sorted_query: Sequence[int]) -> List[int]:
+        """Reference streaming intersection (two-pointer merge).
+
+        The in-storage implementation (:mod:`repro.megis.isp`) must produce
+        exactly this result; tests assert the equivalence.
+        """
+        result: List[int] = []
+        i = j = 0
+        db = self._kmers
+        while i < len(db) and j < len(sorted_query):
+            d, q = db[i], int(sorted_query[j])
+            if d == q:
+                result.append(d)
+                i += 1
+                j += 1
+            elif d < q:
+                i += 1
+            else:
+                j += 1
+        return result
+
+    def size_bytes(self) -> int:
+        """On-flash size: 2 bits per base, padded to whole bytes per k-mer."""
+        kmer_bytes = (2 * self.k + 7) // 8
+        return kmer_bytes * len(self._kmers)
+
+    def species_containment(self, intersecting: Sequence[int]) -> Dict[int, int]:
+        """Per-species count of intersecting k-mers (ground-truth helper)."""
+        counts: Dict[int, int] = {}
+        for kmer in intersecting:
+            for taxid in self.owners_of(kmer):
+                counts[taxid] = counts.get(taxid, 0) + 1
+        return counts

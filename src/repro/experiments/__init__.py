@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes ``run() -> ExperimentResult`` whose rows mirror the
+series the paper plots.  ``python -m repro.experiments <name>`` prints one
+experiment; ``python -m repro.experiments all`` prints everything.  The
+mapping from paper figure to module is recorded in DESIGN.md §4 and the
+achieved-vs-paper numbers in EXPERIMENTS.md.
+"""
+
+from repro.experiments.runner import ExperimentResult, REGISTRY, get_experiment, run_all
+
+__all__ = ["ExperimentResult", "REGISTRY", "get_experiment", "run_all"]

@@ -1,0 +1,27 @@
+"""CLI entry point: ``python -m repro.experiments <name>|all``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.runner import REGISTRY, get_experiment, run_all
+
+
+def main(argv) -> int:
+    if not argv or argv[0] in {"-h", "--help"}:
+        print("usage: python -m repro.experiments <name>|all")
+        print("experiments:", ", ".join(sorted(REGISTRY)))
+        return 0
+    if argv[0] == "all":
+        for result in run_all():
+            print(result.format_table())
+            print()
+        return 0
+    for name in argv:
+        print(get_experiment(name)().format_table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,46 @@
+"""Ablation: sketch fraction — accuracy vs sketch-database size (§4.3.2).
+
+Sketches are representative subsets; denser sketches raise sensitivity and
+KSS table size together.  This sweep runs the full functional MegIS
+pipeline at several containment-min-hash fractions and reports F1, L1, and
+the KSS footprint, exposing the design point the paper's defaults sit at.
+"""
+
+from __future__ import annotations
+
+from repro.databases.kss import KssTables
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.experiments.runner import ExperimentResult
+from repro.megis.pipeline import MegisPipeline
+from repro.taxonomy.metrics import f1_score, l1_norm_error
+from repro.workloads.cami import CamiDiversity, make_cami_sample
+
+FRACTIONS = (0.05, 0.15, 0.3, 0.6)
+
+
+def run() -> ExperimentResult:
+    sample = make_cami_sample(CamiDiversity.MEDIUM, n_reads=400, seed=23)
+    database = SortedKmerDatabase.build(sample.references, k=20)
+    truth_set = sample.present_species()
+
+    result = ExperimentResult(
+        experiment="ablation_sketch",
+        title="Sketch-fraction sweep: accuracy vs KSS size",
+        columns=["fraction", "kss_bytes", "f1", "l1_error"],
+        paper_reference="§4.3.2 (sketch density drives size/sensitivity)",
+    )
+    for fraction in FRACTIONS:
+        sketch = SketchDatabase.build(
+            sample.references, k_max=20, smaller_ks=(12, 8),
+            sketch_fraction=fraction,
+        )
+        kss = KssTables(sketch)
+        out = MegisPipeline(database, sketch, sample.references).analyze(sample.reads)
+        result.add_row(
+            fraction=fraction,
+            kss_bytes=float(kss.size_bytes()),
+            f1=f1_score(out.present(), truth_set),
+            l1_error=l1_norm_error(out.profile.fractions, sample.truth.fractions),
+        )
+    return result

@@ -1,0 +1,52 @@
+"""§6.5: energy consumption and I/O data-movement reduction.
+
+Paper headlines: MegIS reduces energy by 5.4x (9.8x max) vs P-Opt, 15.2x
+(25.7x) vs A-Opt, and 1.9x (3.5x) vs the PIM-accelerated P-Opt; and it
+reduces external I/O data movement by 71.7x vs A-Opt and 30.1x vs P-Opt
+and the PIM baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.energy import EnergyModel, external_data_movement_bytes
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt", "A-Opt", "Sieve", "MS")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="energy",
+        title="Energy (kJ) and external data movement (GB) per analysis",
+        columns=["ssd", "sample", *(f"{c}_kJ" for c in CONFIGS),
+                 "reduction_vs_P", "reduction_vs_A", "io_red_vs_P", "io_red_vs_A"],
+        paper_reference="§6.5",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        system = baseline_system(ssd)
+        energy_model = EnergyModel(system)
+        for sample in ("CAMI-L", "CAMI-M", "CAMI-H"):
+            dataset = cami_spec(sample)
+            model = TimingModel(system, dataset)
+            joules = {
+                "P-Opt": energy_model.evaluate(model.popt()).joules,
+                "A-Opt": energy_model.evaluate(model.aopt()).joules,
+                "Sieve": energy_model.evaluate(model.sieve()).joules,
+                "MS": energy_model.evaluate(model.megis("ms")).joules,
+            }
+            io = {c: external_data_movement_bytes(c, dataset) for c in
+                  ("P-Opt", "A-Opt", "MS")}
+            result.add_row(
+                ssd=ssd.name,
+                sample=sample,
+                **{f"{c}_kJ": joules[c] / 1e3 for c in CONFIGS},
+                reduction_vs_P=joules["P-Opt"] / joules["MS"],
+                reduction_vs_A=joules["A-Opt"] / joules["MS"],
+                io_red_vs_P=io["P-Opt"] / io["MS"],
+                io_red_vs_A=io["A-Opt"] / io["MS"],
+            )
+    return result

@@ -1,0 +1,58 @@
+"""Fig 12: presence/absence speedup of seven configurations over P-Opt.
+
+Configurations (§6.1): P-Opt (Kraken2), A-Opt (Metalign), A-Opt+KSS,
+Ext-MS, MS-NOL, MS-CC, and MS, on CAMI-L/M/H with SSD-C and SSD-P and 1 TB
+of host DRAM.  Paper headlines: MS is 5.3-6.4x (SSD-C) / 2.7-6.5x (SSD-P)
+over P-Opt and 12.4-18.2x / 6.9-20.4x over A-Opt; MS-NOL costs 23.5%/34.9%;
+MS-CC costs 9%/43%; Ext-MS is 10.2x/2.2x slower than MS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt", "A-Opt", "A-Opt+KSS", "Ext-MS", "MS-NOL", "MS-CC", "MS")
+
+
+def configuration_times(model: TimingModel) -> Dict[str, float]:
+    """Total seconds for all seven Fig 12 configurations."""
+    return {
+        "P-Opt": model.popt().total_seconds,
+        "A-Opt": model.aopt().total_seconds,
+        "A-Opt+KSS": model.aopt(use_kss=True).total_seconds,
+        "Ext-MS": model.megis("ext-ms").total_seconds,
+        "MS-NOL": model.megis("ms-nol").total_seconds,
+        "MS-CC": model.megis("ms-cc").total_seconds,
+        "MS": model.megis("ms").total_seconds,
+    }
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig12",
+        title="Speedup over P-Opt, presence/absence identification",
+        columns=["ssd", "sample", *CONFIGS],
+        paper_reference="Fig 12",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        speedups = {c: [] for c in CONFIGS}
+        for sample in ("CAMI-L", "CAMI-M", "CAMI-H"):
+            model = TimingModel(baseline_system(ssd), cami_spec(sample))
+            times = configuration_times(model)
+            row = {c: times["P-Opt"] / times[c] for c in CONFIGS}
+            for c in CONFIGS:
+                speedups[c].append(row[c])
+            result.add_row(ssd=ssd.name, sample=sample, **row)
+        gmean = {
+            c: math.exp(sum(math.log(v) for v in vs) / len(vs))
+            for c, vs in speedups.items()
+        }
+        result.add_row(ssd=ssd.name, sample="GMean", **gmean)
+    return result

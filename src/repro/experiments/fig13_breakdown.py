@@ -1,0 +1,72 @@
+"""Fig 13: execution-time breakdown for CAMI-L on both SSDs.
+
+Shows where time goes for P-Opt, A-Opt, A-Opt+KSS, MS-NOL, and MS, grouped
+into the paper's four buckets: k-mer extraction, sorting + exclusion (+
+transfer), intersection finding, and taxID retrieval.  The paper's
+narrative: KSS shrinks taxID retrieval; ISP shrinks intersection; overlap
+hides sorting under the ISP stream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimeBreakdown, TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+#: Phase-name to paper-bucket mapping.
+BUCKETS = {
+    "kmer_extraction": "extract",
+    "kmc_extract": "extract",
+    "load_reads": "extract",
+    "kmc_external_sort_io": "sort",
+    "sort_exclude": "sort",
+    "transfer_queries": "sort",
+    "bucket_spill_io": "sort",
+    "pipelined_sort_with_isp": "intersect",
+    "isp_drain": "intersect",
+    "intersection": "intersect",
+    "isp_intersect_taxid": "intersect",
+    "load_database": "intersect",
+    "kmer_match_classify": "intersect",
+    "load_sketch_tree": "taxid",
+    "taxid_retrieval_cmash": "taxid",
+    "taxid_retrieval_kss": "taxid",
+}
+
+
+def bucketize(breakdown: TimeBreakdown) -> Dict[str, float]:
+    out = {"extract": 0.0, "sort": 0.0, "intersect": 0.0, "taxid": 0.0}
+    for phase in breakdown.phases:
+        out[BUCKETS.get(phase.name, "intersect")] += phase.seconds
+    return out
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig13",
+        title="Time breakdown (seconds), CAMI-L",
+        columns=["ssd", "config", "extract", "sort", "intersect", "taxid", "total"],
+        paper_reference="Fig 13",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        model = TimingModel(baseline_system(ssd), cami_spec("CAMI-L"))
+        configs = {
+            "P-Opt": model.popt(),
+            "A-Opt": model.aopt(),
+            "A-Opt+KSS": model.aopt(use_kss=True),
+            "MS-NOL": model.megis("ms-nol"),
+            "MS": model.megis("ms"),
+        }
+        for name, breakdown in configs.items():
+            buckets = bucketize(breakdown)
+            result.add_row(
+                ssd=ssd.name,
+                config=name,
+                total=breakdown.total_seconds,
+                **buckets,
+            )
+    return result

@@ -1,0 +1,41 @@
+"""Fig 14: effect of database size (1x/2x/3x), CAMI-M.
+
+The 3x point equals the default database sizes (§5); the paper reports
+MegIS's speedup *growing* with database size, up to 5.6x/3.7x over P-Opt on
+SSD-C/SSD-P at 3x.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec, database_scale_points
+
+CONFIGS = ("P-Opt", "A-Opt", "A-Opt+KSS", "MS-NOL", "MS")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig14",
+        title="Speedup over P-Opt vs database size (CAMI-M)",
+        columns=["ssd", "db_scale", *CONFIGS],
+        paper_reference="Fig 14; MS up to 5.6x/3.7x over P-Opt at 3x",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        for label, dataset in database_scale_points(cami_spec("CAMI-M")).items():
+            model = TimingModel(baseline_system(ssd), dataset)
+            times = {
+                "P-Opt": model.popt().total_seconds,
+                "A-Opt": model.aopt().total_seconds,
+                "A-Opt+KSS": model.aopt(use_kss=True).total_seconds,
+                "MS-NOL": model.megis("ms-nol").total_seconds,
+                "MS": model.megis("ms").total_seconds,
+            }
+            result.add_row(
+                ssd=ssd.name,
+                db_scale=label,
+                **{c: times["P-Opt"] / times[c] for c in CONFIGS},
+            )
+    return result

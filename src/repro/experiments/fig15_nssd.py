@@ -1,0 +1,43 @@
+"""Fig 15: effect of the number of SSDs (1/2/4/8), CAMI-M.
+
+The database is disjointly split across SSDs (possible because it is
+sorted), so baselines gain external bandwidth while MegIS gains internal
+bandwidth.  Paper shape: speedup over P-Opt rises to a peak (2 SSDs) then
+dips slightly as host sorting becomes the bottleneck, remaining high
+(6.9x/5.2x at 8 SSDs).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt", "A-Opt", "A-Opt+KSS", "MS-NOL", "MS")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig15",
+        title="Speedup over P-Opt vs number of SSDs (CAMI-M)",
+        columns=["ssd", "n_ssds", *CONFIGS],
+        paper_reference="Fig 15; rise-then-dip shape, 6.9x/5.2x at 8 SSDs",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        for n in (1, 2, 4, 8):
+            model = TimingModel(baseline_system(ssd, n_ssds=n), cami_spec("CAMI-M"))
+            times = {
+                "P-Opt": model.popt().total_seconds,
+                "A-Opt": model.aopt().total_seconds,
+                "A-Opt+KSS": model.aopt(use_kss=True).total_seconds,
+                "MS-NOL": model.megis("ms-nol").total_seconds,
+                "MS": model.megis("ms").total_seconds,
+            }
+            result.add_row(
+                ssd=ssd.name,
+                n_ssds=n,
+                **{c: times["P-Opt"] / times[c] for c in CONFIGS},
+            )
+    return result

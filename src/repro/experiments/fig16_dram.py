@@ -1,0 +1,46 @@
+"""Fig 16: effect of host DRAM capacity (1TB/128/64/32 GB), CAMI-M.
+
+When the Kraken2 database exceeds host DRAM, P-Opt processes it in chunks
+(loading each chunk and re-scanning the queries); A-Opt's streaming access
+is insensitive to DRAM until the extracted k-mers themselves no longer fit
+(32 GB); MegIS's bucketing avoids page-swap thrashing by pinning what fits
+and spilling whole buckets sequentially.  Paper headline: MS's speedup over
+P-Opt grows to 38.5x at 32 GB.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import GB, ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt", "A-Opt", "A-Opt+KSS", "MS-NOL", "MS")
+DRAM_POINTS = ((1000, "1TB"), (128, "128GB"), (64, "64GB"), (32, "32GB"))
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig16",
+        title="Speedup over P-Opt vs host DRAM capacity (CAMI-M)",
+        columns=["ssd", "dram", *CONFIGS],
+        paper_reference="Fig 16; MS up to 38.5x over P-Opt at 32 GB",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        for dram_gb, label in DRAM_POINTS:
+            system = baseline_system(ssd).with_dram(dram_gb * GB)
+            model = TimingModel(system, cami_spec("CAMI-M"))
+            times = {
+                "P-Opt": model.popt().total_seconds,
+                "A-Opt": model.aopt().total_seconds,
+                "A-Opt+KSS": model.aopt(use_kss=True).total_seconds,
+                "MS-NOL": model.megis("ms-nol").total_seconds,
+                "MS": model.megis("ms").total_seconds,
+            }
+            result.add_row(
+                ssd=ssd.name,
+                dram=label,
+                **{c: times["P-Opt"] / times[c] for c in CONFIGS},
+            )
+    return result

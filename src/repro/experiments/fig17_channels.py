@@ -1,0 +1,45 @@
+"""Fig 17: effect of SSD internal bandwidth via channel count, CAMI-M.
+
+SSD-C is swept over 4/8/16 channels and SSD-P over 8/16/32; baselines are
+insensitive (their bottleneck is external), while MegIS's Step-2 stream
+scales with the channel count.  Paper: MegIS reaches 12.3-41.8x (SSD-C) /
+8.6-21.6x (SSD-P) over A-Opt across the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt", "A-Opt", "A-Opt+KSS", "MS-NOL", "MS")
+SWEEP = {"SSD-C": (4, 8, 16), "SSD-P": (8, 16, 32)}
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig17",
+        title="Speedup over P-Opt vs channel count (CAMI-M)",
+        columns=["ssd", "channels", "MS_vs_A-Opt", *CONFIGS],
+        paper_reference="Fig 17; MS 12.3-41.8x (SSD-C) / 8.6-21.6x (SSD-P) over A-Opt",
+    )
+    for base in (ssd_c(), ssd_p()):
+        for channels in SWEEP[base.name]:
+            system = baseline_system(base).with_channels(channels)
+            model = TimingModel(system, cami_spec("CAMI-M"))
+            times = {
+                "P-Opt": model.popt().total_seconds,
+                "A-Opt": model.aopt().total_seconds,
+                "A-Opt+KSS": model.aopt(use_kss=True).total_seconds,
+                "MS-NOL": model.megis("ms-nol").total_seconds,
+                "MS": model.megis("ms").total_seconds,
+            }
+            result.add_row(
+                ssd=base.name,
+                channels=channels,
+                **{c: times["P-Opt"] / times[c] for c in CONFIGS},
+                **{"MS_vs_A-Opt": times["A-Opt"] / times["MS"]},
+            )
+    return result

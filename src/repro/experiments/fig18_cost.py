@@ -1,0 +1,41 @@
+"""Fig 18: system cost efficiency.
+
+MegIS on a cost-optimized system (SSD-C + 64 GB DRAM) versus the baselines
+on both the same system and a performance-optimized one (SSD-P + 1 TB).
+Paper headlines: MS_C is 2.4x / 7.2x faster on average than P-Opt_P /
+A-Opt_P; P-Opt_C is 6.8x slower than P-Opt_P and A-Opt_C 2.8x slower than
+A-Opt_P.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.cost import cost_efficiency_comparison, speedups_over
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt_P", "A-Opt_P", "P-Opt_C", "A-Opt_C", "MS_C")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig18",
+        title="Speedup over P-Opt_P on cost- vs performance-optimized systems",
+        columns=["sample", *CONFIGS, "MS_C_price_usd"],
+        paper_reference="Fig 18 + footnote 13",
+    )
+    accum = {c: [] for c in CONFIGS}
+    price = 0.0
+    for sample in ("CAMI-L", "CAMI-M", "CAMI-H"):
+        rows = cost_efficiency_comparison(cami_spec(sample))
+        speedups = speedups_over(rows, "P-Opt_P")
+        price = rows["MS_C"].price_usd
+        for c in CONFIGS:
+            accum[c].append(speedups[c])
+        result.add_row(sample=sample, MS_C_price_usd=price, **speedups)
+    gmean = {
+        c: math.exp(sum(math.log(v) for v in vs) / len(vs)) for c, vs in accum.items()
+    }
+    result.add_row(sample="GMean", MS_C_price_usd=price, **gmean)
+    return result

@@ -1,0 +1,37 @@
+"""Fig 19: MegIS versus the PIM-accelerated baseline (Sieve).
+
+Sieve accelerates Kraken2's k-mer matching in DRAM but still pays the full
+database load from storage, so the I/O share of its end-to-end time grows.
+Paper: MegIS is 4.8-5.1x (SSD-C) / 1.5-2.7x (SSD-P) faster end to end,
+with higher accuracy.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig19",
+        title="Speedup of MS over PIM-accelerated Kraken2 (Sieve)",
+        columns=["ssd", "sample", "sieve_seconds", "ms_seconds", "ms_speedup"],
+        paper_reference="Fig 19; 4.8-5.1x (SSD-C), 1.5-2.7x (SSD-P)",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        for sample in ("CAMI-L", "CAMI-M", "CAMI-H"):
+            model = TimingModel(baseline_system(ssd), cami_spec(sample))
+            sieve = model.sieve().total_seconds
+            ms = model.megis("ms").total_seconds
+            result.add_row(
+                ssd=ssd.name,
+                sample=sample,
+                sieve_seconds=sieve,
+                ms_seconds=ms,
+                ms_speedup=sieve / ms,
+            )
+    return result

@@ -1,0 +1,43 @@
+"""Fig 20: abundance estimation speedup (§6.2).
+
+Four configurations: P-Opt (Kraken2+Bracken), A-Opt (full Metalign),
+MS-NIdx (MegIS without in-SSD unified-index generation; Minimap2 builds the
+index), and MS.  Paper: MS gives 5.1-5.5x / 2.5-3.7x over P-Opt and
+12.0-15.3x / 6.5-20.8x over A-Opt, and 65% higher average speedup than
+MS-NIdx.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+CONFIGS = ("P-Opt", "A-Opt", "MS-NIdx", "MS")
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="fig20",
+        title="Abundance-estimation speedup over P-Opt",
+        columns=["ssd", "sample", *CONFIGS, "MS_vs_NIdx"],
+        paper_reference="Fig 20",
+    )
+    for ssd in (ssd_c(), ssd_p()):
+        for sample in ("CAMI-L", "CAMI-M", "CAMI-H"):
+            model = TimingModel(baseline_system(ssd), cami_spec(sample))
+            times = {
+                "P-Opt": model.popt(abundance=True).total_seconds,
+                "A-Opt": model.aopt(abundance=True).total_seconds,
+                "MS-NIdx": model.megis_nidx().total_seconds,
+                "MS": model.megis("ms", abundance=True).total_seconds,
+            }
+            result.add_row(
+                ssd=ssd.name,
+                sample=sample,
+                **{c: times["P-Opt"] / times[c] for c in CONFIGS},
+                MS_vs_NIdx=times["MS-NIdx"] / times["MS"],
+            )
+    return result

@@ -1,0 +1,49 @@
+"""MegIS: the paper's primary contribution.
+
+An efficient pipeline between the host and the SSD (paper §4):
+
+- Step 1 (:mod:`repro.megis.host`): the host extracts k-mers from the input
+  reads, partitions them into lexicographic buckets, sorts, and applies
+  frequency exclusion;
+- Step 2 (:mod:`repro.megis.isp`): in-storage Intersect units stream the
+  sorted database against the query buckets and retrieve taxIDs from the
+  KSS tables with the Index Generator;
+- Step 3 (:mod:`repro.megis.abundance`): the SSD merges per-species
+  reference indexes into a unified index for read mapping;
+- :mod:`repro.megis.ftl` — the specialized block-level FTL and data layout;
+- :mod:`repro.megis.commands` — the three NVMe command extensions;
+- :mod:`repro.megis.accelerator` — Table 2 area/power accounting;
+- :mod:`repro.megis.pipeline` — end-to-end orchestration, including the
+  multi-sample mode (§4.7).
+"""
+
+from repro.megis.accelerator import AcceleratorReport, accelerator_report
+from repro.megis.commands import CommandProcessor, MegisInit, MegisStep, MegisWrite
+from repro.megis.ftl import DatabaseLayout, MegisFtl
+from repro.megis.host import Bucket, BucketSet, KmerBucketPartitioner
+from repro.megis.isp import IntersectUnit, IspStepTwo, TaxIdRetriever
+from repro.megis.multissd import DatabaseShard, MultiSsdStepTwo, split_database
+from repro.megis.pipeline import MegisConfig, MegisPipeline, MegisResult
+
+__all__ = [
+    "AcceleratorReport",
+    "Bucket",
+    "BucketSet",
+    "CommandProcessor",
+    "DatabaseLayout",
+    "DatabaseShard",
+    "IntersectUnit",
+    "IspStepTwo",
+    "KmerBucketPartitioner",
+    "MegisConfig",
+    "MegisFtl",
+    "MegisInit",
+    "MegisPipeline",
+    "MegisResult",
+    "MegisStep",
+    "MegisWrite",
+    "MultiSsdStepTwo",
+    "TaxIdRetriever",
+    "accelerator_report",
+    "split_database",
+]

@@ -1,0 +1,97 @@
+"""MegIS Step 3: in-storage unified index generation (paper §4.4, Fig 9).
+
+Read-mapping-based abundance estimation needs a *unified* index over the
+reference genomes of the candidate species found in Step 2.  Individual
+per-species indexes are built offline, but the unified index cannot be —
+the candidate set is only known at analysis time.  MegIS streams the
+per-species sorted indexes from flash and merges them in-storage: when a
+k-mer occurs in several genomes, the merged entry stores every location,
+adjusted by each genome's offset in the concatenation.
+
+The merge here is a k-way streaming merge structured like the hardware data
+path; it must produce exactly :meth:`repro.tools.mapping.UnifiedIndex.merge`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.sequences.generator import ReferenceCollection
+from repro.tools.mapping import SpeciesIndex, UnifiedIndex
+
+
+@dataclass
+class IndexMergeStats:
+    """Counters for the performance model and tests."""
+
+    entries_read: int = 0
+    entries_written: int = 0
+    shared_kmers: int = 0
+
+
+def merge_species_indexes(
+    indexes: Sequence[SpeciesIndex],
+) -> Tuple[UnifiedIndex, IndexMergeStats]:
+    """Streaming k-way merge of per-species sorted indexes (Fig 9).
+
+    Each input index is consumed strictly in ascending k-mer order — the
+    access pattern the SSD serves sequentially from flash — and the output
+    is emitted in ascending order, one entry per distinct k-mer.
+    """
+    stats = IndexMergeStats()
+    if not indexes:
+        return UnifiedIndex(k=0, entries={}, boundaries={}), stats
+    k = indexes[0].k
+    if any(ix.k != k for ix in indexes):
+        raise ValueError("all indexes must share the same k")
+
+    ordered = sorted(indexes, key=lambda ix: ix.taxid)
+    boundaries: Dict[int, Tuple[int, int]] = {}
+    offset = 0
+    streams: List[Tuple[int, int, Iterable]] = []  # (first_kmer, stream_id, ...)
+    heap: List[Tuple[int, int]] = []  # (kmer, stream index)
+    iterators = []
+    offsets = []
+    for stream_id, index in enumerate(ordered):
+        boundaries[index.taxid] = (offset, offset + index.genome_length)
+        iterators.append(iter(index.sorted_kmers()))
+        offsets.append(offset)
+        offset += index.genome_length
+        first = next(iterators[stream_id], None)
+        if first is not None:
+            heapq.heappush(heap, (first, stream_id))
+
+    entries: Dict[int, Tuple[int, ...]] = {}
+    while heap:
+        kmer, _ = heap[0]
+        locations: List[int] = []
+        contributors = 0
+        while heap and heap[0][0] == kmer:
+            _, stream_id = heapq.heappop(heap)
+            contributors += 1
+            stats.entries_read += 1
+            index = ordered[stream_id]
+            locations.extend(p + offsets[stream_id] for p in index.entries[kmer])
+            nxt = next(iterators[stream_id], None)
+            if nxt is not None:
+                heapq.heappush(heap, (nxt, stream_id))
+        if contributors > 1:
+            stats.shared_kmers += 1
+        entries[kmer] = tuple(sorted(locations))
+        stats.entries_written += 1
+    return UnifiedIndex(k=k, entries=entries, boundaries=boundaries), stats
+
+
+def build_unified_index(
+    references: ReferenceCollection,
+    candidate_taxids: Iterable[int],
+    k: int = 15,
+) -> Tuple[UnifiedIndex, IndexMergeStats]:
+    """Build per-species indexes for the candidates and merge them."""
+    indexes = [
+        SpeciesIndex.build(taxid, references.sequence(taxid), k)
+        for taxid in sorted(set(candidate_taxids))
+    ]
+    return merge_species_indexes(indexes)

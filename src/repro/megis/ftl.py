@@ -1,0 +1,156 @@
+"""MegIS FTL: block-level mapping and sequential data placement (paper §4.5).
+
+During ISP, MegIS never writes to the flash chips and only reads the
+databases sequentially, so the page-granularity L2P table of the regular
+FTL (0.1% of capacity — gigabytes) is unnecessary.  MegIS FTL keeps just:
+
+- the start LPA -> PPA mapping and the database size;
+- the sequence of physical block addresses per channel;
+- per-block read counts for read-disturbance management.
+
+For a 4-TB database with 12-MB blocks that is ~1.3 MB of L2P plus the
+access counters — at most ~2.6 MB in total, freeing nearly all internal
+DRAM capacity and bandwidth for the ISP buffers.
+
+Data placement stripes the database evenly and sequentially across all
+channels with every active block at the same page offset, so multi-plane,
+round-robin channel reads stream the database at full internal bandwidth
+(Fig 10).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.ssd.config import NandGeometry
+from repro.ssd.nand import PageAddress
+
+L2P_ENTRY_BYTES = 4
+READ_COUNT_BYTES = 4
+
+
+@dataclass
+class DatabaseLayout:
+    """Physical layout of one database placed by MegIS FTL."""
+
+    name: str
+    start_lpa: int
+    size_bytes: int
+    geometry: NandGeometry
+    # Per-channel ordered list of (die, plane, block) "superblock" slots.
+    block_sequences: Dict[int, List[Tuple[int, int, int]]]
+
+    @property
+    def n_pages(self) -> int:
+        return math.ceil(self.size_bytes / self.geometry.page_bytes)
+
+    @property
+    def blocks_used(self) -> int:
+        return sum(len(seq) for seq in self.block_sequences.values())
+
+    def read_order(self) -> Iterator[PageAddress]:
+        """Physical pages in streaming order: round-robin across channels.
+
+        Within a channel, pages advance through the current block of each
+        die/plane at the same offset before moving to the next block in the
+        sequence — the "increment PPA within a block, reset at the next
+        block" walk of §4.5.
+        """
+        g = self.geometry
+        emitted = 0
+        total = self.n_pages
+        slot = 0  # index into each channel's block sequence
+        while emitted < total:
+            progressed = False
+            for page in range(g.pages_per_block):
+                for channel in sorted(self.block_sequences):
+                    sequence = self.block_sequences[channel]
+                    if slot >= len(sequence):
+                        continue
+                    die, plane, block = sequence[slot]
+                    if emitted >= total:
+                        return
+                    yield PageAddress(channel, die, plane, block, page)
+                    emitted += 1
+                    progressed = True
+            slot += 1
+            if not progressed:
+                raise RuntimeError(f"layout exhausted before {total} pages emitted")
+
+
+class MegisFtl:
+    """Block-level FTL used while the SSD is in metagenomic-acceleration mode."""
+
+    def __init__(self, geometry: NandGeometry):
+        self.geometry = geometry
+        self.layouts: Dict[str, DatabaseLayout] = {}
+        self._next_lpa = 0
+        self._next_slot = 0  # next free (die, plane, block) slot, shared by channels
+        self.read_counts: Dict[Tuple[int, int, int, int], int] = {}
+
+    # -- placement --------------------------------------------------------------
+
+    def place_database(self, name: str, size_bytes: int) -> DatabaseLayout:
+        """Stripe a database evenly and sequentially across channels."""
+        if name in self.layouts:
+            raise ValueError(f"database {name!r} already placed")
+        if size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive, got {size_bytes}")
+        g = self.geometry
+        n_pages = math.ceil(size_bytes / g.page_bytes)
+        # Pages per channel, then blocks per channel (same offset everywhere).
+        pages_per_channel = math.ceil(n_pages / g.channels)
+        blocks_per_channel = math.ceil(pages_per_channel / g.pages_per_block)
+
+        slots_available = g.dies_per_channel * g.planes_per_die * g.blocks_per_plane
+        if self._next_slot + blocks_per_channel > slots_available:
+            raise RuntimeError("not enough flash blocks to place database")
+
+        sequences: Dict[int, List[Tuple[int, int, int]]] = {}
+        for channel in range(g.channels):
+            sequence = []
+            for slot in range(self._next_slot, self._next_slot + blocks_per_channel):
+                die = slot % g.dies_per_channel
+                plane = (slot // g.dies_per_channel) % g.planes_per_die
+                block = slot // (g.dies_per_channel * g.planes_per_die)
+                sequence.append((die, plane, block))
+            sequences[channel] = sequence
+        self._next_slot += blocks_per_channel
+
+        layout = DatabaseLayout(
+            name=name,
+            start_lpa=self._next_lpa,
+            size_bytes=size_bytes,
+            geometry=g,
+            block_sequences=sequences,
+        )
+        self._next_lpa += n_pages
+        self.layouts[name] = layout
+        return layout
+
+    # -- reads --------------------------------------------------------------------
+
+    def record_read(self, addr: PageAddress) -> None:
+        """Track per-block read counts (read-disturb management, §4.5)."""
+        key = (addr.channel, addr.die, addr.plane, addr.block)
+        self.read_counts[key] = self.read_counts.get(key, 0) + 1
+
+    def stream_database(self, name: str) -> Iterator[PageAddress]:
+        layout = self.layouts[name]
+        for addr in layout.read_order():
+            self.record_read(addr)
+            yield addr
+
+    # -- metadata accounting ----------------------------------------------------------
+
+    def l2p_metadata_bytes(self, name: str) -> int:
+        """Block-sequence mapping + start mapping + size (§4.5's ~1.3 MB)."""
+        layout = self.layouts[name]
+        return L2P_ENTRY_BYTES * layout.blocks_used + 16
+
+    def total_metadata_bytes(self, name: str) -> int:
+        """L2P plus per-block read counters (§4.5's "up to 2.6 MB")."""
+        layout = self.layouts[name]
+        return self.l2p_metadata_bytes(name) + READ_COUNT_BYTES * layout.blocks_used

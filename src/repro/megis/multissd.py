@@ -1,0 +1,96 @@
+"""Functional multi-SSD partitioning (paper §6.1, Fig 15).
+
+Because MegIS's database and queries are both sorted, the database can be
+*disjointly* split across SSDs by lexicographic range; each SSD runs Step 2
+independently on its shard and the host concatenates the (still sorted)
+per-shard results.  This module implements that split functionally so the
+Fig 15 scaling experiment has a correctness counterpart: the sharded
+pipeline must produce exactly the single-SSD result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.databases.kss import KssTables
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.isp import IspStepTwo
+
+
+@dataclass
+class DatabaseShard:
+    """One SSD's slice of the sorted database: a lexicographic range."""
+
+    index: int
+    lo: int
+    hi: int
+    database: SortedKmerDatabase
+
+
+def split_database(database: SortedKmerDatabase, n_shards: int) -> List[DatabaseShard]:
+    """Split a sorted database into ``n_shards`` contiguous ranges.
+
+    Boundaries are chosen at equal k-mer counts, so shards are balanced
+    regardless of how k-mers cluster in the key space.
+    """
+    if n_shards <= 0:
+        raise ValueError(f"n_shards must be positive, got {n_shards}")
+    kmers = database.kmers
+    space = 1 << (2 * database.k)
+    shards: List[DatabaseShard] = []
+    for i in range(n_shards):
+        start = len(kmers) * i // n_shards
+        stop = len(kmers) * (i + 1) // n_shards
+        lo = 0 if i == 0 else kmers[start]
+        hi = space if i == n_shards - 1 else kmers[stop]
+        shard_kmers = kmers[start:stop]
+        owners = [database.owners_of(x) for x in shard_kmers]
+        shards.append(
+            DatabaseShard(
+                index=i,
+                lo=lo,
+                hi=hi,
+                database=SortedKmerDatabase(database.k, shard_kmers, owners),
+            )
+        )
+    return shards
+
+
+class MultiSsdStepTwo:
+    """Step 2 fanned out over database shards, one ISP engine per SSD."""
+
+    def __init__(self, database: SortedKmerDatabase, kss: KssTables,
+                 n_ssds: int, channels_per_ssd: int = 8):
+        self.shards = split_database(database, n_ssds)
+        self.kss = kss
+        self.engines = [
+            IspStepTwo(shard.database, kss, n_channels=channels_per_ssd)
+            for shard in self.shards
+        ]
+
+    def run(
+        self, sorted_query: Sequence[int]
+    ) -> Tuple[List[int], Dict[int, Dict[int, FrozenSet[int]]]]:
+        """Intersect per shard, concatenate, retrieve taxIDs once.
+
+        Each shard only sees the query slice that can match its range —
+        the same range-pruning the bucket scheme exploits (§4.2.1).
+        """
+        query = [int(q) for q in sorted_query]
+        intersecting: List[int] = []
+        for shard, engine in zip(self.shards, self.engines):
+            slice_ = [q for q in query if shard.lo <= q < shard.hi]
+            partial, _ = engine.run(slice_)
+            intersecting.extend(partial)
+        # Shards are contiguous ranges in ascending order, so the
+        # concatenation is already sorted.
+        from repro.megis.isp import TaxIdRetriever
+
+        retrieved = TaxIdRetriever(self.kss).retrieve(intersecting)
+        return intersecting, retrieved
+
+    @property
+    def n_ssds(self) -> int:
+        return len(self.shards)

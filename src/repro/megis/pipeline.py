@@ -1,0 +1,212 @@
+"""End-to-end MegIS pipeline (paper §4.1, Fig 4) and multi-sample mode (§4.7).
+
+Orchestrates: MegIS_Init -> Step 1 on the host (extract/bucket/sort/exclude)
+-> Step 2 in the SSD (per-channel intersection + KSS taxID retrieval) ->
+Step 3 (unified-index generation + read mapping for abundance).
+
+Functionally, MegIS computes exactly what the accuracy-optimized software
+pipeline (Metalign) computes — same intersecting k-mers, same sketch
+semantics, same mapper — which is how the paper can claim identical
+accuracy; the test suite asserts this equivalence end to end.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.databases.kss import KssTables
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.abundance import IndexMergeStats, build_unified_index
+from repro.megis.commands import CommandProcessor, HostStep, MegisInit, MegisStep
+from repro.megis.ftl import MegisFtl
+from repro.megis.host import KmerBucketPartitioner
+from repro.megis.isp import IspStepTwo
+from repro.sequences.generator import ReferenceCollection
+from repro.sequences.reads import Read
+from repro.ssd.device import SSD
+from repro.taxonomy.profiles import AbundanceProfile
+from repro.tools.mapping import ReadMapper
+from repro.tools.metalign import containment_score
+
+
+@dataclass
+class MegisConfig:
+    """Tunables of the functional pipeline."""
+
+    n_buckets: int = 16
+    min_count: int = 1
+    max_count: Optional[int] = None
+    min_containment: float = 0.15
+    mapper_k: int = 15
+    host_dram_bytes: Optional[int] = None
+    batch_bytes: int = 1 << 20  # query transfer batch size (two in flight)
+    #: Step-3 flavor (§4.4): "mapping" (read mapping over the unified
+    #: index, accurate) or "statistical" (EM over Step-2 hits, lightweight).
+    abundance_method: str = "mapping"
+
+    def __post_init__(self):
+        if self.abundance_method not in {"mapping", "statistical"}:
+            raise ValueError(
+                f"abundance_method must be 'mapping' or 'statistical', "
+                f"got {self.abundance_method!r}"
+            )
+
+
+@dataclass
+class MegisResult:
+    """Output and execution statistics of one analysis."""
+
+    intersecting_kmers: List[int] = field(default_factory=list)
+    sketch_hits: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    candidates: Set[int] = field(default_factory=set)
+    profile: AbundanceProfile = field(default_factory=AbundanceProfile)
+    n_buckets: int = 0
+    spilled_bytes: int = 0
+    query_kmers: int = 0
+    transfer_batches: int = 0
+    merge_stats: Optional[IndexMergeStats] = None
+
+    def present(self, threshold: float = 0.0) -> Set[int]:
+        return self.profile.present(threshold)
+
+
+class MegisPipeline:
+    """The full MegIS system over the functional substrates."""
+
+    def __init__(
+        self,
+        database: SortedKmerDatabase,
+        sketch: SketchDatabase,
+        references: ReferenceCollection,
+        ssd: Optional[SSD] = None,
+        config: Optional[MegisConfig] = None,
+    ):
+        if database.k != sketch.k_max:
+            raise ValueError(
+                f"sorted database k ({database.k}) must equal sketch k_max "
+                f"({sketch.k_max})"
+            )
+        self.database = database
+        self.sketch = sketch
+        self.kss = KssTables(sketch)
+        self.references = references
+        self.ssd = ssd
+        self.config = config or MegisConfig()
+        n_channels = ssd.config.geometry.channels if ssd else 8
+        self.isp = IspStepTwo(database, self.kss, n_channels=n_channels)
+        self._processor: Optional[CommandProcessor] = None
+        if ssd is not None:
+            self._processor = CommandProcessor(ssd, MegisFtl(ssd.config.geometry))
+            self._processor.megis_ftl.place_database("kmer_db", database.size_bytes() or 1)
+            self._processor.megis_ftl.place_database("kss_db", max(1, self.kss.size_bytes()))
+
+    # -- single sample ----------------------------------------------------------
+
+    def analyze(self, reads: Sequence[Read], with_abundance: bool = True) -> MegisResult:
+        """Run the three steps for one sample."""
+        result = MegisResult()
+        if self._processor is not None:
+            self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
+
+        # Step 1 (host): extract, bucket, sort, exclude.
+        self._step_marker(HostStep.KMER_EXTRACTION)
+        partitioner = KmerBucketPartitioner(
+            k=self.database.k,
+            n_buckets=self.config.n_buckets,
+            min_count=self.config.min_count,
+            max_count=self.config.max_count,
+            host_dram_bytes=self.config.host_dram_bytes,
+        )
+        buckets = partitioner.partition(reads)
+        self._step_marker(HostStep.KMER_EXTRACTION)
+        result.n_buckets = len(buckets)
+        result.spilled_bytes = buckets.spilled_bytes
+        result.query_kmers = buckets.total_kmers()
+        result.transfer_batches = self._count_batches(buckets, partitioner.kmer_bytes)
+
+        # Step 2 (ISP): bucketed intersection + KSS retrieval.  With a real
+        # SSD attached, reserve the §4.3.1 buffers in internal DRAM for the
+        # duration of the step.
+        self._step_marker(HostStep.SORTING)
+        self._step_marker(HostStep.SORTING)
+        buffer_plan = None
+        if self.ssd is not None:
+            from repro.megis.buffers import plan_buffers
+
+            buffer_plan = plan_buffers(self.ssd.config)
+            buffer_plan.apply(self.ssd.dram)
+        try:
+            intersecting, retrieved = self.isp.run_bucketed(
+                (b.lo, b.hi, b.kmers) for b in buckets.buckets
+            )
+        finally:
+            if buffer_plan is not None:
+                buffer_plan.release(self.ssd.dram)
+        result.intersecting_kmers = intersecting
+        result.sketch_hits = self._accumulate_hits(retrieved)
+        result.candidates = {
+            taxid
+            for taxid, levels in result.sketch_hits.items()
+            if containment_score(self.sketch, taxid, levels)
+            >= self.config.min_containment
+        }
+
+        # Step 3: abundance estimation (mapping or lightweight statistics).
+        if with_abundance and result.candidates:
+            if self.config.abundance_method == "mapping":
+                index, merge_stats = build_unified_index(
+                    self.references, result.candidates, k=self.config.mapper_k
+                )
+                result.merge_stats = merge_stats
+                mapper = ReadMapper(index)
+                result.profile = mapper.estimate_abundance(reads)
+            else:
+                from repro.tools.statistical import StatisticalAbundanceEstimator
+
+                estimator = StatisticalAbundanceEstimator(self.sketch)
+                result.profile, _ = estimator.estimate_from_retrieval(
+                    retrieved, result.candidates
+                )
+
+        if self._processor is not None:
+            self._processor.finish()
+        return result
+
+    # -- multi-sample (§4.7) --------------------------------------------------------
+
+    def analyze_multi(
+        self, samples: Sequence[Sequence[Read]], with_abundance: bool = True
+    ) -> List[MegisResult]:
+        """Analyze several samples against the same database.
+
+        Functionally equivalent to analyzing each sample independently; the
+        win is architectural (the database is streamed from flash once for
+        all buffered samples), which the performance model charges for.
+        """
+        return [self.analyze(reads, with_abundance=with_abundance) for reads in samples]
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _step_marker(self, step: HostStep) -> None:
+        if self._processor is not None:
+            self._processor.megis_step(MegisStep(step))
+
+    def _count_batches(self, buckets, kmer_bytes: int) -> int:
+        total = 0
+        for bucket in buckets.buckets:
+            size = bucket.byte_size(kmer_bytes)
+            total += max(1, -(-size // self.config.batch_bytes)) if bucket.kmers else 0
+        return total
+
+    @staticmethod
+    def _accumulate_hits(retrieved) -> Dict[int, Dict[int, int]]:
+        """Fold per-query level sets into per-taxid level hit counts."""
+        hit_counts: Dict[int, Counter] = {}
+        for levels in retrieved.values():
+            for level, taxids in levels.items():
+                for taxid in taxids:
+                    hit_counts.setdefault(taxid, Counter())[level] += 1
+        return {t: dict(c) for t, c in hit_counts.items()}

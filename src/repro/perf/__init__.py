@@ -1,0 +1,28 @@
+"""Performance, energy, and cost models.
+
+The timing model (:mod:`repro.perf.timing`) is analytic: each configuration
+is a sum/max composition of phase times derived from byte counts
+(:mod:`repro.workloads.datasets`), SSD bandwidths (:mod:`repro.ssd`), and a
+small set of host-throughput calibration constants
+(:mod:`repro.perf.calibration`).  The energy model charges component powers
+per phase; the cost model reproduces the Fig 18 system-price comparison.
+"""
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.perf.energy import EnergyModel, EnergyReport
+from repro.perf.specs import HostSpec, SystemSpec, cost_system, perf_system
+from repro.perf.timing import Phase, TimeBreakdown, TimingModel
+
+__all__ = [
+    "Calibration",
+    "DEFAULT_CALIBRATION",
+    "EnergyModel",
+    "EnergyReport",
+    "HostSpec",
+    "Phase",
+    "SystemSpec",
+    "TimeBreakdown",
+    "TimingModel",
+    "cost_system",
+    "perf_system",
+]

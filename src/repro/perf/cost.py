@@ -1,0 +1,57 @@
+"""System cost-efficiency analysis (paper Fig 18, footnote 13).
+
+Compares MegIS on a cost-optimized system (SSD-C + 64 GB DRAM, ~$658 of
+memory/storage) against the baselines on both the same system and a
+performance-optimized one (SSD-P + 1 TB DRAM, ~$7955).  The headline
+result: MegIS on the cheap system outperforms the baselines even on the
+expensive one, while matching the accuracy-optimized tool's accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.perf.specs import SystemSpec, cost_system, perf_system
+from repro.perf.timing import TimingModel
+from repro.workloads.datasets import DatasetSpec
+
+
+@dataclass
+class CostEfficiencyRow:
+    """One configuration's time, system price, and derived efficiency."""
+
+    config: str
+    system: str
+    seconds: float
+    price_usd: float
+
+    @property
+    def throughput_per_dollar(self) -> float:
+        """Analyses per second per dollar of memory/storage spend."""
+        return 1.0 / (self.seconds * self.price_usd)
+
+
+def cost_efficiency_comparison(dataset: DatasetSpec) -> Dict[str, CostEfficiencyRow]:
+    """The five Fig 18 configurations for one dataset."""
+    cheap = cost_system()
+    rich = perf_system()
+    model_cheap = TimingModel(cheap, dataset)
+    model_rich = TimingModel(rich, dataset)
+
+    def row(config: str, system: SystemSpec, seconds: float) -> CostEfficiencyRow:
+        return CostEfficiencyRow(config, system.name, seconds, system.price_usd)
+
+    return {
+        "P-Opt_P": row("P-Opt_P", rich, model_rich.popt().total_seconds),
+        "A-Opt_P": row("A-Opt_P", rich, model_rich.aopt().total_seconds),
+        "P-Opt_C": row("P-Opt_C", cheap, model_cheap.popt().total_seconds),
+        "A-Opt_C": row("A-Opt_C", cheap, model_cheap.aopt().total_seconds),
+        "MS_C": row("MS_C", cheap, model_cheap.megis("ms").total_seconds),
+    }
+
+
+def speedups_over(rows: Dict[str, CostEfficiencyRow], reference: str) -> Dict[str, float]:
+    """Per-configuration speedup over ``reference`` (Fig 18 normalizes to P-Opt_P)."""
+    ref = rows[reference].seconds
+    return {name: ref / row.seconds for name, row in rows.items()}

@@ -1,0 +1,46 @@
+"""Sieve: processing-in-memory k-mer matching (paper baseline [64]).
+
+Sieve is an in-situ DRAM accelerator that performs massively parallel k-mer
+matching; the paper integrates it into Kraken2's pipeline and, as we do,
+uses the matching throughput reported by the original Sieve paper rather
+than re-simulating the hardware.  The model exposes the two quantities the
+end-to-end integration needs: the fraction of Kraken2's compute that is
+k-mer matching, and the speedup PIM delivers on that fraction.
+
+The paper's §3.2 observation is reproduced by construction: accelerating
+matching leaves the database load untouched, so the *relative* I/O share
+of the end-to-end time grows (No-I/O becomes 26.1x / 3.0x better than
+SSD-C / SSD-P for PIM-accelerated Kraken2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass(frozen=True)
+class SieveModel:
+    """Amdahl-style integration of PIM k-mer matching into Kraken2."""
+
+    match_fraction: float = DEFAULT_CALIBRATION.sieve_match_fraction
+    match_speedup: float = DEFAULT_CALIBRATION.sieve_match_speedup
+
+    def accelerated_compute_seconds(self, kraken_compute_seconds: float) -> float:
+        """End-to-end compute time with matching offloaded to PIM."""
+        if kraken_compute_seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        matched = kraken_compute_seconds * self.match_fraction / self.match_speedup
+        rest = kraken_compute_seconds * (1.0 - self.match_fraction)
+        return matched + rest
+
+    def compute_speedup(self) -> float:
+        """Speedup on the compute portion alone (not end to end)."""
+        return 1.0 / (
+            self.match_fraction / self.match_speedup + (1.0 - self.match_fraction)
+        )
+
+
+def from_calibration(cal: Calibration = DEFAULT_CALIBRATION) -> SieveModel:
+    return SieveModel(cal.sieve_match_fraction, cal.sieve_match_speedup)

@@ -1,0 +1,46 @@
+"""Sorting accelerator model (TopSort-class FPGA sorter, paper [204]).
+
+MegIS can orthogonally integrate a sorting accelerator for Step 1; the
+paper uses one in the multi-sample experiments (Fig 21) and notes that in
+many-SSD systems the host's sorting becomes the bottleneck (Fig 15), where
+such an accelerator restores scaling.  As in the paper, only the reported
+throughput is used, plus the data-movement time between the accelerator
+and the rest of the pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass(frozen=True)
+class SortingAccelerator:
+    """Throughput-parameterized external sorter."""
+
+    throughput: float = DEFAULT_CALIBRATION.sort_accel_bw  # bytes/s
+    link_bw: float = 16e9  # PCIe-class link to/from the accelerator
+
+    def sort_seconds(self, nbytes: float, include_transfer: bool = True) -> float:
+        """Time to sort ``nbytes`` of k-mers, optionally with transfers.
+
+        The transfer in each direction overlaps with sorting of earlier
+        batches, so the charged transfer cost is the residual of one pass.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        sort = nbytes / self.throughput
+        if not include_transfer:
+            return sort
+        return max(sort, nbytes / self.link_bw)
+
+    def speedup_over_host(self, nbytes: float,
+                          cal: Calibration = DEFAULT_CALIBRATION) -> float:
+        host = nbytes / cal.sort_bw
+        accelerated = self.sort_seconds(nbytes)
+        return host / accelerated if accelerated > 0 else float("inf")
+
+
+def from_calibration(cal: Calibration = DEFAULT_CALIBRATION) -> SortingAccelerator:
+    return SortingAccelerator(throughput=cal.sort_accel_bw)

@@ -1,0 +1,165 @@
+"""Programmatic validation of the model against the paper's reported bands.
+
+Encodes the paper's headline numbers as target bands and evaluates the
+timing/energy models against them, producing the data behind
+EXPERIMENTS.md's headline table.  Used by tests (most targets must land in
+band) and printable via :func:`format_validation_report`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.perf.energy import EnergyModel, external_data_movement_bytes
+from repro.perf.specs import baseline_system
+from repro.perf.timing import TimingModel
+from repro.ssd.config import ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+SAMPLES = ("CAMI-L", "CAMI-M", "CAMI-H")
+
+
+def _gmean(values: List[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Target:
+    """One paper-reported quantity with an acceptance band.
+
+    ``low``/``high`` bound the *acceptable* reproduced value; they are set
+    wider than the paper's own range where EXPERIMENTS.md documents a known
+    deviation.
+    """
+
+    name: str
+    paper_value: str
+    low: float
+    high: float
+    compute: Callable[[], float]
+
+
+@dataclass
+class ValidationRow:
+    name: str
+    paper_value: str
+    reproduced: float
+    low: float
+    high: float
+
+    @property
+    def in_band(self) -> bool:
+        return self.low <= self.reproduced <= self.high
+
+
+def _models(ssd) -> List[TimingModel]:
+    system = baseline_system(ssd)
+    return [TimingModel(system, cami_spec(s)) for s in SAMPLES]
+
+
+def _speedup_gmean(ssd, numerator: str, denominator: str = "ms") -> float:
+    ratios = []
+    for model in _models(ssd):
+        baselines = {
+            "popt": model.popt,
+            "aopt": model.aopt,
+            "sieve": model.sieve,
+        }
+        top = baselines[numerator]().total_seconds
+        bottom = model.megis(denominator).total_seconds
+        ratios.append(top / bottom)
+    return _gmean(ratios)
+
+
+def _ablation_ratio(ssd, variant: str) -> float:
+    model = TimingModel(baseline_system(ssd), cami_spec("CAMI-M"))
+    return model.megis(variant).total_seconds / model.megis("ms").total_seconds
+
+
+def _energy_reduction(numerator: str) -> float:
+    ratios = []
+    for ssd in (ssd_c(), ssd_p()):
+        system = baseline_system(ssd)
+        energy = EnergyModel(system)
+        for sample in SAMPLES:
+            model = TimingModel(system, cami_spec(sample))
+            runner = {"popt": model.popt, "aopt": model.aopt, "sieve": model.sieve}
+            ms = energy.evaluate(model.megis("ms")).joules
+            ratios.append(energy.evaluate(runner[numerator]()).joules / ms)
+    return sum(ratios) / len(ratios)
+
+
+def _io_reduction(config: str) -> float:
+    spec = cami_spec("CAMI-M")
+    return external_data_movement_bytes(config, spec) / external_data_movement_bytes(
+        "MS", spec
+    )
+
+
+def paper_targets() -> List[Target]:
+    """All headline targets (paper value, acceptance band, generator)."""
+    return [
+        Target("MS vs P-Opt, SSD-C (GMean)", "5.3-6.4x", 4.0, 8.0,
+               lambda: _speedup_gmean(ssd_c(), "popt")),
+        Target("MS vs P-Opt, SSD-P (GMean)", "2.7-6.5x", 2.0, 7.0,
+               lambda: _speedup_gmean(ssd_p(), "popt")),
+        Target("MS vs A-Opt, SSD-C (GMean)", "12.4-18.2x", 10.0, 25.0,
+               lambda: _speedup_gmean(ssd_c(), "aopt")),
+        Target("MS vs A-Opt, SSD-P (GMean)", "6.9-20.4x", 6.0, 25.0,
+               lambda: _speedup_gmean(ssd_p(), "aopt")),
+        Target("MS vs Sieve, SSD-C (GMean)", "4.8-5.1x", 3.5, 6.5,
+               lambda: _speedup_gmean(ssd_c(), "sieve")),
+        Target("MS vs Sieve, SSD-P (GMean)", "1.5-2.7x (dev. D3)", 1.0, 3.0,
+               lambda: _speedup_gmean(ssd_p(), "sieve")),
+        Target("MS-NOL penalty, SSD-C", "1.235x", 1.1, 1.4,
+               lambda: _ablation_ratio(ssd_c(), "ms-nol")),
+        Target("MS-NOL penalty, SSD-P", "1.349x", 1.2, 1.5,
+               lambda: _ablation_ratio(ssd_p(), "ms-nol")),
+        Target("MS-CC penalty, SSD-C", "1.09x", 1.02, 1.2,
+               lambda: _ablation_ratio(ssd_c(), "ms-cc")),
+        Target("MS-CC penalty, SSD-P", "1.43x", 1.25, 1.6,
+               lambda: _ablation_ratio(ssd_p(), "ms-cc")),
+        Target("Ext-MS penalty, SSD-C", "10.2x", 8.0, 14.0,
+               lambda: _ablation_ratio(ssd_c(), "ext-ms")),
+        Target("Ext-MS penalty, SSD-P", "2.2x", 1.5, 3.0,
+               lambda: _ablation_ratio(ssd_p(), "ext-ms")),
+        Target("Energy reduction vs P-Opt (avg)", "5.4x", 3.0, 8.0,
+               lambda: _energy_reduction("popt")),
+        Target("Energy reduction vs A-Opt (avg)", "15.2x", 10.0, 25.0,
+               lambda: _energy_reduction("aopt")),
+        Target("Energy reduction vs Sieve (avg)", "1.9x", 1.3, 3.5,
+               lambda: _energy_reduction("sieve")),
+        Target("I/O movement reduction vs A-Opt", "71.7x", 50.0, 100.0,
+               lambda: _io_reduction("A-Opt")),
+        Target("I/O movement reduction vs P-Opt", "30.1x", 20.0, 40.0,
+               lambda: _io_reduction("P-Opt")),
+    ]
+
+
+def validate() -> List[ValidationRow]:
+    """Evaluate every target; one row per headline quantity."""
+    return [
+        ValidationRow(
+            name=target.name,
+            paper_value=target.paper_value,
+            reproduced=target.compute(),
+            low=target.low,
+            high=target.high,
+        )
+        for target in paper_targets()
+    ]
+
+
+def format_validation_report(rows: List[ValidationRow] | None = None) -> str:
+    rows = rows if rows is not None else validate()
+    lines = [f"{'target':<38} {'paper':>18} {'repro':>8}  verdict"]
+    for row in rows:
+        verdict = "OK" if row.in_band else "OUT OF BAND"
+        lines.append(
+            f"{row.name:<38} {row.paper_value:>18} {row.reproduced:8.2f}  {verdict}"
+        )
+    in_band = sum(row.in_band for row in rows)
+    lines.append(f"{in_band}/{len(rows)} targets in band")
+    return "\n".join(lines)

@@ -1,0 +1,161 @@
+"""FASTA/FASTQ parsing and formatting.
+
+MegIS "is able to work with different formats" for read sets, performing
+any conversion (ASCII to 2-bit) on the host during Step 1 (paper §4.2).
+This module supplies the standard interchange formats so the pipelines can
+consume real-world-shaped inputs: multi-line FASTA for reference genomes
+and four-line FASTQ for read sets.
+
+Parsers are strict about structure (they raise :class:`FormatError` on
+malformed records) but tolerant about sequence content validation, which is
+deferred to the 2-bit encoder like real pipelines do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from repro.sequences.reads import Read
+
+
+class FormatError(ValueError):
+    """Raised when a FASTA/FASTQ payload is structurally malformed."""
+
+
+@dataclass(frozen=True)
+class FastaRecord:
+    """One FASTA record: header (without ``>``) and sequence."""
+
+    name: str
+    sequence: str
+
+
+# -- FASTA -----------------------------------------------------------------
+
+
+def parse_fasta(text: str) -> List[FastaRecord]:
+    """Parse a multi-record, possibly line-wrapped FASTA string."""
+    records: List[FastaRecord] = []
+    name = None
+    chunks: List[str] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                records.append(FastaRecord(name, "".join(chunks)))
+            name = line[1:].strip()
+            if not name:
+                raise FormatError(f"line {line_no}: empty FASTA header")
+            chunks = []
+        else:
+            if name is None:
+                raise FormatError(f"line {line_no}: sequence before first header")
+            chunks.append(line.upper())
+    if name is not None:
+        records.append(FastaRecord(name, "".join(chunks)))
+    return records
+
+
+def format_fasta(records: Iterable[FastaRecord], width: int = 70) -> str:
+    """Render records as FASTA with lines wrapped at ``width``."""
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    lines: List[str] = []
+    for record in records:
+        lines.append(f">{record.name}")
+        seq = record.sequence
+        lines.extend(seq[i : i + width] for i in range(0, len(seq), width))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def references_to_fasta(references) -> str:
+    """Serialize a :class:`ReferenceCollection` (names carry the taxID)."""
+    records = [
+        FastaRecord(f"taxid|{g.taxid}|{g.name}", g.sequence)
+        for g in sorted(references.genomes.values(), key=lambda g: g.taxid)
+    ]
+    return format_fasta(records)
+
+
+# -- FASTQ -----------------------------------------------------------------
+
+
+def parse_fastq(text: str) -> List[Tuple[str, str, str]]:
+    """Parse four-line FASTQ records into (name, sequence, quality) tuples."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if len(lines) % 4 != 0:
+        raise FormatError(
+            f"FASTQ line count {len(lines)} is not a multiple of four"
+        )
+    records: List[Tuple[str, str, str]] = []
+    for i in range(0, len(lines), 4):
+        header, sequence, separator, quality = lines[i : i + 4]
+        if not header.startswith("@"):
+            raise FormatError(f"record {i // 4}: header must start with '@'")
+        if not separator.startswith("+"):
+            raise FormatError(f"record {i // 4}: separator must start with '+'")
+        if len(sequence) != len(quality):
+            raise FormatError(
+                f"record {i // 4}: sequence/quality length mismatch "
+                f"({len(sequence)} vs {len(quality)})"
+            )
+        records.append((header[1:].strip(), sequence.strip().upper(), quality.strip()))
+    return records
+
+
+def format_fastq(reads: Sequence[Read], quality_char: str = "I") -> str:
+    """Render simulated reads as FASTQ (uniform quality, like a basecaller
+    that reports a fixed confidence)."""
+    if len(quality_char) != 1:
+        raise ValueError("quality_char must be a single character")
+    lines: List[str] = []
+    for read in reads:
+        lines.append(f"@read{read.read_id}")
+        lines.append(read.sequence)
+        lines.append("+")
+        lines.append(quality_char * len(read.sequence))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def reads_from_fastq(text: str) -> List[Read]:
+    """Load a FASTQ string into :class:`Read` objects.
+
+    Provenance is unknown for real inputs, so ``true_taxid`` is 0; accuracy
+    metrics are only meaningful for simulated reads that kept provenance.
+    """
+    return [
+        Read(read_id=i, sequence=sequence, true_taxid=0)
+        for i, (_, sequence, _) in enumerate(parse_fastq(text))
+    ]
+
+
+def references_from_fasta(text: str):
+    """Load a FASTA produced by :func:`references_to_fasta` back into a
+    :class:`ReferenceCollection`.
+
+    Headers must follow the ``taxid|<species>|<genusN_speciesM>`` convention;
+    genus IDs are recovered from the species names' ``genus<i>`` component
+    with the same numbering :class:`GenomeGenerator` uses.
+    """
+    from repro.sequences.generator import ReferenceCollection, SpeciesGenome
+
+    collection = ReferenceCollection()
+    for record in parse_fasta(text):
+        fields = record.name.split("|")
+        if len(fields) != 3 or fields[0] != "taxid":
+            raise FormatError(f"unrecognized reference header {record.name!r}")
+        taxid = int(fields[1])
+        name = fields[2]
+        if not name.startswith("genus"):
+            raise FormatError(f"cannot recover genus from name {name!r}")
+        genus_index = int(name[len("genus"):].split("_", 1)[0])
+        collection.genomes[taxid] = SpeciesGenome(
+            taxid=taxid,
+            genus_id=2 + genus_index,
+            name=name,
+            sequence=record.sequence,
+        )
+    return collection

@@ -1,0 +1,124 @@
+"""K-mer extraction and counting.
+
+Provides both a readable per-k-mer iterator and a vectorized extractor used
+when building databases and processing full samples.  Extraction mirrors the
+behaviour of KMC (the counting tool MegIS's Step 1 improves upon, §4.2.1):
+canonical k-mers, with optional frequency-based exclusion (§4.2.3).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator
+
+import numpy as np
+
+from repro.sequences.encoding import (
+    BITS_PER_BASE,
+    canonical_kmer,
+    encode_sequence,
+)
+
+
+def iter_kmers(seq: str, k: int, canonical: bool = True) -> Iterator[int]:
+    """Yield packed k-mers of a DNA string in order of appearance."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if len(seq) < k:
+        return
+    codes = encode_sequence(seq)
+    mask = (1 << (BITS_PER_BASE * k)) - 1
+    value = 0
+    for i, code in enumerate(codes):
+        value = ((value << BITS_PER_BASE) | int(code)) & mask
+        if i >= k - 1:
+            yield canonical_kmer(value, k) if canonical else value
+
+
+def extract_kmers(seq: str, k: int, canonical: bool = True) -> np.ndarray:
+    """Extract all packed k-mers of a sequence as a numpy array.
+
+    Vectorized for ``k <= 31`` (fits in uint64); falls back to the iterator
+    for longer k-mers, returning an object array of Python integers so that
+    the 120-bit k-mers used by Metalign/MegIS (k = 60) are supported.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    n = len(seq) - k + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.uint64 if k <= 31 else object)
+    if k > 31:
+        return np.array(list(iter_kmers(seq, k, canonical=canonical)), dtype=object)
+    codes = encode_sequence(seq).astype(np.uint64)
+    # Rolling pack: forward[i] = packed k-mer starting at i.
+    forward = np.zeros(n, dtype=np.uint64)
+    for offset in range(k):
+        forward = (forward << np.uint64(BITS_PER_BASE)) | codes[offset : offset + n]
+    if not canonical:
+        return forward
+    reverse = np.zeros(n, dtype=np.uint64)
+    complement = np.uint64(3) - codes
+    # Reverse complement of window [i, i+k): complement codes in reverse order.
+    for offset in range(k - 1, -1, -1):
+        reverse = (reverse << np.uint64(BITS_PER_BASE)) | complement[offset : offset + n]
+    return np.minimum(forward, reverse)
+
+
+def kmer_spectrum(seq: str, k: int, canonical: bool = True) -> Dict[int, int]:
+    """Return the multiset of k-mers of a sequence as ``{kmer: count}``."""
+    return dict(Counter(extract_kmers(seq, k, canonical=canonical).tolist()))
+
+
+class KmerCounter:
+    """Accumulates k-mer counts across many sequences (KMC stand-in).
+
+    Supports the frequency-based exclusion of §4.2.3: overly common
+    (indiscriminative) k-mers and singletons that likely represent
+    sequencing errors can both be dropped before Step 2.
+    """
+
+    def __init__(self, k: int, canonical: bool = True):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        self.canonical = canonical
+        self._counts: Counter = Counter()
+
+    def add_sequence(self, seq: str) -> None:
+        """Count every k-mer of ``seq``."""
+        self._counts.update(extract_kmers(seq, self.k, canonical=self.canonical).tolist())
+
+    def add_sequences(self, seqs: Iterable[str]) -> None:
+        for seq in seqs:
+            self.add_sequence(seq)
+
+    @property
+    def counts(self) -> Dict[int, int]:
+        return dict(self._counts)
+
+    def total(self) -> int:
+        """Total number of k-mer occurrences counted."""
+        return sum(self._counts.values())
+
+    def distinct(self) -> int:
+        """Number of distinct k-mers counted."""
+        return len(self._counts)
+
+    def selected(self, min_count: int = 1, max_count: int | None = None) -> np.ndarray:
+        """Distinct k-mers passing the exclusion thresholds, sorted ascending.
+
+        Sorted order is what MegIS transfers to the SSD: the Intersect units
+        require both query and database streams to be lexicographically
+        sorted (§4.3.1).
+        """
+        if min_count < 1:
+            raise ValueError(f"min_count must be >= 1, got {min_count}")
+        kept = [
+            kmer
+            for kmer, count in self._counts.items()
+            if count >= min_count and (max_count is None or count <= max_count)
+        ]
+        kept.sort()
+        if self.k <= 31:
+            return np.array(kept, dtype=np.uint64)
+        return np.array(kept, dtype=object)

@@ -1,0 +1,43 @@
+"""NAND flash SSD simulator substrate.
+
+Models the SSD organization of paper §2.2/Table 1: channels, dies, planes,
+blocks, and pages; tR/tPROG latencies; per-channel bus arbitration; a
+page-level FTL with 4-KiB L2P granularity; and the internal LPDDR4 DRAM.
+The channel-level event simulation reproduces the property MegIS's design
+hinges on: sequential multi-die streaming saturates the channel buses
+(internal bandwidth > external), while random accesses collapse throughput
+through die and channel conflicts.
+"""
+
+from repro.ssd.channel import AccessPattern, ChannelSimulator
+from repro.ssd.config import NandGeometry, SSDConfig, ssd_c, ssd_p
+from repro.ssd.device import SSD
+from repro.ssd.dram import InternalDram
+from repro.ssd.ftl import PageLevelFTL
+from repro.ssd.gc import GarbageCollector, wear_statistics
+from repro.ssd.nand import NandFlash, PageAddress
+from repro.ssd.reliability import EccModel, RberModel, ReadDisturbManager
+from repro.ssd.scheduler import LatencyStats, OpType, Request, RequestScheduler
+
+__all__ = [
+    "AccessPattern",
+    "ChannelSimulator",
+    "EccModel",
+    "GarbageCollector",
+    "InternalDram",
+    "LatencyStats",
+    "NandFlash",
+    "NandGeometry",
+    "OpType",
+    "PageAddress",
+    "PageLevelFTL",
+    "RberModel",
+    "ReadDisturbManager",
+    "Request",
+    "RequestScheduler",
+    "SSD",
+    "SSDConfig",
+    "ssd_c",
+    "ssd_p",
+    "wear_statistics",
+]

@@ -1,0 +1,70 @@
+"""Internal SSD DRAM model: capacity ledger and bandwidth budget.
+
+MegIS's ISP steps must fit their buffers (query batches, intersecting
+k-mers, FTL metadata) in the SSD's 4-GB LPDDR4 DRAM and must not demand
+more bandwidth than it offers — reading the database from the channels at
+full internal bandwidth can already exceed the DRAM bandwidth, which is why
+the Intersect units compute directly on the flash stream (§4.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+class DramCapacityError(RuntimeError):
+    """Raised when an allocation would exceed internal DRAM capacity."""
+
+
+@dataclass
+class InternalDram:
+    """Tracks named allocations against a capacity and bandwidth budget."""
+
+    capacity_bytes: int
+    bandwidth: float  # bytes/s
+    _allocations: Dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise DramCapacityError(
+                f"allocation {name!r} ({nbytes} B) exceeds capacity: "
+                f"{self.used_bytes}/{self.capacity_bytes} B in use"
+            )
+        self._allocations[name] = nbytes
+
+    def free(self, name: str) -> None:
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        del self._allocations[name]
+
+    def resize(self, name: str, nbytes: int) -> None:
+        """Grow or shrink an allocation in place."""
+        if name not in self._allocations:
+            raise KeyError(f"no allocation named {name!r}")
+        current = self._allocations[name]
+        if self.used_bytes - current + nbytes > self.capacity_bytes:
+            raise DramCapacityError(f"resize of {name!r} to {nbytes} B exceeds capacity")
+        self._allocations[name] = nbytes
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def allocation(self, name: str) -> int:
+        return self._allocations[name]
+
+    def allocations(self) -> Dict[str, int]:
+        return dict(self._allocations)
+
+    def supports_bandwidth(self, demand: float) -> bool:
+        """True if a combined read+write demand (bytes/s) fits the budget."""
+        return demand <= self.bandwidth

@@ -1,0 +1,119 @@
+"""Garbage collection and wear statistics for the page-level FTL.
+
+GC is one of the SSD management tasks whose internal data migration the
+internal bandwidth is overprovisioned for (paper §2.3) — and one of the
+costs MegIS's ISP mode avoids entirely by never writing to flash during
+analysis (§4.1, §4.5).  The collector here is the standard greedy design:
+pick the written block with the most invalid pages, relocate its live
+pages to fresh locations, erase, and return the block to the free pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ssd.ftl import BlockKey, PageLevelFTL
+
+
+@dataclass
+class GcReport:
+    """Outcome of one collection pass."""
+
+    victims: List[BlockKey] = field(default_factory=list)
+    relocated_pages: int = 0
+    reclaimed_pages: int = 0
+
+
+class GarbageCollector:
+    """Greedy garbage collector over a :class:`PageLevelFTL`."""
+
+    def __init__(self, ftl: PageLevelFTL, free_block_threshold: int = 2):
+        if free_block_threshold < 1:
+            raise ValueError("free_block_threshold must be >= 1")
+        self.ftl = ftl
+        self.free_block_threshold = free_block_threshold
+
+    # -- victim selection -----------------------------------------------------
+
+    def select_victim(self) -> Optional[BlockKey]:
+        """The written block with the most invalid pages (if any).
+
+        Open blocks are eligible too — :meth:`collect_block` closes them
+        first so relocation writes cannot land in the victim.
+        """
+        candidates = [
+            key
+            for key in self.ftl.written_blocks()
+            if self.ftl.invalid_count(key) > 0
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=self.ftl.invalid_count)
+
+    # -- collection --------------------------------------------------------------
+
+    def collect_block(self, key: BlockKey) -> Tuple[int, int]:
+        """Relocate live pages out of ``key``, erase it, return it to the pool.
+
+        Returns ``(relocated, reclaimed)`` page counts.
+        """
+        self.ftl.close_block(key)
+        live = self.ftl.valid_lpas(key)
+        invalid = self.ftl.invalid_count(key)
+        for lpa, addr in live:
+            data, _ = self.ftl.flash.read(addr)
+            # Re-write through the FTL: updates L2P, invalidates the old copy.
+            self.ftl.write(lpa, data)
+            self.ftl.stats.host_writes -= 1  # not a host write
+            self.ftl.stats.gc_relocations += 1
+        self.ftl.flash.erase(*key)
+        self.ftl.stats.gc_erases += 1
+        self.ftl.release_block(key)
+        return len(live), invalid
+
+    def run(self, max_victims: int = 8) -> GcReport:
+        """Collect until the free pool is comfortable or no victims remain."""
+        report = GcReport()
+        while (
+            len(report.victims) < max_victims
+            and self.ftl.free_block_count() < self.free_block_threshold
+        ):
+            victim = self.select_victim()
+            if victim is None:
+                break
+            relocated, reclaimed = self.collect_block(victim)
+            report.victims.append(victim)
+            report.relocated_pages += relocated
+            report.reclaimed_pages += reclaimed
+        return report
+
+    def force_collect(self, n_victims: int = 1) -> GcReport:
+        """Collect the best victims unconditionally (for tests/experiments)."""
+        report = GcReport()
+        for _ in range(n_victims):
+            victim = self.select_victim()
+            if victim is None:
+                break
+            relocated, reclaimed = self.collect_block(victim)
+            report.victims.append(victim)
+            report.relocated_pages += relocated
+            report.reclaimed_pages += reclaimed
+        return report
+
+
+def wear_statistics(ftl: PageLevelFTL) -> dict:
+    """Erase-count spread across all blocks ever erased (wear leveling)."""
+    counts = [
+        ftl.flash.erase_count(*key)
+        for key in ftl.written_blocks() + list(ftl.open_blocks())
+    ]
+    counts += [0] * ftl.free_block_count() if not counts else []
+    if not counts:
+        return {"min": 0, "max": 0, "mean": 0.0, "spread": 0}
+    return {
+        "min": min(counts),
+        "max": max(counts),
+        "mean": sum(counts) / len(counts),
+        "spread": max(counts) - min(counts),
+    }

@@ -1,0 +1,151 @@
+"""Flash reliability substrate: raw bit errors, ECC, read disturb, refresh.
+
+MegIS's ISP units sit behind ECC in the controller, and the paper argues
+(§4.5) that ECC never throttles ISP because modern controllers provision
+correction bandwidth to match full internal bandwidth.  It also argues
+MegIS can defer retention refresh (analyses are much shorter than the
+retention threshold) and avoids read-disturb trouble because its accesses
+are sequential and low-reuse — while still keeping per-block read counts as
+the one piece of reliability metadata maintained during ISP.
+
+This module provides the quantitative backing for those claims:
+
+- a raw bit-error-rate (RBER) model growing with program/erase cycling,
+  retention age, and accumulated read disturb;
+- an ECC model (correction strength per codeword) that classifies a read as
+  clean, correctable, or uncorrectable, with correction throughput
+  accounting;
+- a read-disturb manager that schedules a block refresh when the per-block
+  read count crosses the manufacturer threshold.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Typical 3D TLC parameters (order-of-magnitude, after [71, 98, 100]).
+BASE_RBER = 1e-5
+PE_CYCLE_COEFF = 4e-9  # RBER growth per P/E cycle
+RETENTION_COEFF = 3e-6  # RBER growth per month of retention
+READ_DISTURB_COEFF = 5e-10  # RBER growth per read to the block
+
+#: LDPC-class ECC: correctable bits per 1-KiB codeword.
+ECC_CODEWORD_BYTES = 1024
+ECC_CORRECTABLE_BITS = 72
+
+#: Manufacturer read count threshold before a block must be refreshed.
+READ_DISTURB_REFRESH_THRESHOLD = 100_000
+
+#: Manufacturer-specified reliable retention age (paper cites one year).
+RETENTION_THRESHOLD_MONTHS = 12.0
+
+
+@dataclass(frozen=True)
+class RberModel:
+    """Raw bit error rate as a function of wear, age, and disturb."""
+
+    base: float = BASE_RBER
+    pe_coeff: float = PE_CYCLE_COEFF
+    retention_coeff: float = RETENTION_COEFF
+    disturb_coeff: float = READ_DISTURB_COEFF
+
+    def rber(self, pe_cycles: int, retention_months: float, block_reads: int) -> float:
+        if pe_cycles < 0 or retention_months < 0 or block_reads < 0:
+            raise ValueError("wear inputs must be non-negative")
+        return (
+            self.base
+            + self.pe_coeff * pe_cycles
+            + self.retention_coeff * retention_months
+            + self.disturb_coeff * block_reads
+        )
+
+
+@dataclass(frozen=True)
+class EccModel:
+    """Per-codeword correction with a hard correctability limit."""
+
+    codeword_bytes: int = ECC_CODEWORD_BYTES
+    correctable_bits: int = ECC_CORRECTABLE_BITS
+
+    def expected_bit_errors(self, rber: float) -> float:
+        return rber * self.codeword_bytes * 8
+
+    def classify(self, rber: float, margin: float = 6.0) -> str:
+        """"clean", "correctable", or "uncorrectable" for a codeword.
+
+        Uses a mean + ``margin`` * sigma Poisson bound so the verdict is
+        deterministic (suitable for capacity planning, not per-read
+        sampling).
+        """
+        mean = self.expected_bit_errors(rber)
+        bound = mean + margin * math.sqrt(max(mean, 1e-12))
+        if mean < 0.1:
+            return "clean"
+        if bound <= self.correctable_bits:
+            return "correctable"
+        return "uncorrectable"
+
+    def correction_bandwidth_ok(self, internal_bw: float,
+                                per_engine_bw: float = 1.3e9,
+                                engines_per_channel: int = 1,
+                                channels: int = 8) -> bool:
+        """Paper §4.5: ECC engines must keep up with full internal bandwidth."""
+        return per_engine_bw * engines_per_channel * channels >= internal_bw
+
+
+@dataclass
+class ReadDisturbManager:
+    """Tracks per-block reads; schedules refresh past the threshold.
+
+    This is the only reliability metadata MegIS FTL keeps during ISP
+    (§4.5); sequential single-pass streaming keeps counts far below the
+    threshold, which :meth:`megis_stream_is_safe` verifies.
+    """
+
+    threshold: int = READ_DISTURB_REFRESH_THRESHOLD
+    counts: Dict[Tuple[int, int, int, int], int] = field(default_factory=dict)
+    refreshes: int = 0
+
+    def record_read(self, block_key: Tuple[int, int, int, int]) -> bool:
+        """Count one read; returns True if the block now needs a refresh."""
+        self.counts[block_key] = self.counts.get(block_key, 0) + 1
+        if self.counts[block_key] >= self.threshold:
+            self.refresh(block_key)
+            return True
+        return False
+
+    def refresh(self, block_key: Tuple[int, int, int, int]) -> None:
+        """Rewrite the block elsewhere and reset its count."""
+        self.counts[block_key] = 0
+        self.refreshes += 1
+
+    def max_count(self) -> int:
+        return max(self.counts.values(), default=0)
+
+    def megis_stream_is_safe(self, passes_per_analysis: int,
+                             analyses_between_refresh: int) -> bool:
+        """Would streaming the database this often trip read disturb?
+
+        Each full-database pass reads every block once, so the count per
+        block grows by ``passes_per_analysis`` per analysis.
+        """
+        return (
+            passes_per_analysis * analyses_between_refresh < self.threshold
+        )
+
+
+def retention_refresh_needed(age_months: float,
+                             threshold_months: float = RETENTION_THRESHOLD_MONTHS) -> bool:
+    """Whether stored data has outlived the reliable retention age."""
+    if age_months < 0:
+        raise ValueError("age must be non-negative")
+    return age_months >= threshold_months
+
+
+def isp_defers_reliability_tasks(analysis_seconds: float) -> bool:
+    """Paper §4.5: a MegIS analysis is far shorter than the retention age,
+    so refresh can run before/after ISP rather than during it."""
+    seconds_per_month = 30 * 24 * 3600
+    return analysis_seconds < 0.01 * RETENTION_THRESHOLD_MONTHS * seconds_per_month

@@ -1,0 +1,172 @@
+"""Request-level SSD scheduler with latency statistics (MQSim stand-in).
+
+The paper models SSD internals with MQSim [224]; this module provides the
+slice of that functionality the experiments need: timestamped read/write
+requests flowing through per-die service and per-channel bus arbitration,
+yielding per-request latencies and tail statistics.  It extends the
+bandwidth-oriented :mod:`repro.ssd.channel` simulator with arrival times,
+program operations, and FCFS queueing, so latency under load — not just
+throughput — can be studied.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.ssd.config import NandGeometry, US_PER_S
+
+
+class OpType(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One timestamped flash operation."""
+
+    arrival_s: float
+    op: OpType
+    channel: int
+    die: int
+    multiplane: bool = False
+
+    def __post_init__(self):
+        if self.arrival_s < 0:
+            raise ValueError("arrival time must be non-negative")
+
+
+@dataclass
+class CompletedRequest:
+    request: Request
+    start_s: float
+    finish_s: float
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.request.arrival_s
+
+
+@dataclass
+class LatencyStats:
+    """Latency distribution summary over completed requests."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    @classmethod
+    def from_completions(cls, completions: Sequence[CompletedRequest]) -> "LatencyStats":
+        if not completions:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        latencies = np.array([c.latency_s for c in completions])
+        return cls(
+            count=len(latencies),
+            mean_s=float(latencies.mean()),
+            p50_s=float(np.percentile(latencies, 50)),
+            p95_s=float(np.percentile(latencies, 95)),
+            p99_s=float(np.percentile(latencies, 99)),
+            max_s=float(latencies.max()),
+        )
+
+
+class RequestScheduler:
+    """FCFS per die, one transfer at a time per channel bus.
+
+    Reads sense for tR then transfer over the channel; writes transfer
+    first (channel) then program for tPROG (die busy).  Requests must be
+    supplied in arrival order.
+    """
+
+    def __init__(self, geometry: NandGeometry, t_read_us: float = 52.5,
+                 t_prog_us: float = 700.0, channel_bw: float = 1.2e9):
+        self.geometry = geometry
+        self.t_read_s = t_read_us / US_PER_S
+        self.t_prog_s = t_prog_us / US_PER_S
+        self.channel_bw = channel_bw
+
+    def _transfer_s(self, multiplane: bool) -> float:
+        nbytes = self.geometry.page_bytes * (
+            self.geometry.planes_per_die if multiplane else 1
+        )
+        return nbytes / self.channel_bw
+
+    def run(self, requests: Sequence[Request]) -> List[CompletedRequest]:
+        if any(
+            requests[i].arrival_s > requests[i + 1].arrival_s
+            for i in range(len(requests) - 1)
+        ):
+            raise ValueError("requests must be sorted by arrival time")
+        die_free: Dict[Tuple[int, int], float] = {}
+        channel_free: Dict[int, float] = {}
+        completions: List[CompletedRequest] = []
+        for request in requests:
+            die_key = (request.channel, request.die)
+            die_at = die_free.get(die_key, 0.0)
+            channel_at = channel_free.get(request.channel, 0.0)
+            transfer = self._transfer_s(request.multiplane)
+            if request.op is OpType.READ:
+                sense_start = max(request.arrival_s, die_at)
+                sense_end = sense_start + self.t_read_s
+                transfer_start = max(sense_end, channel_at)
+                finish = transfer_start + transfer
+                die_free[die_key] = finish
+                channel_free[request.channel] = finish
+                start = sense_start
+            else:
+                transfer_start = max(request.arrival_s, channel_at, die_at)
+                transfer_end = transfer_start + transfer
+                finish = transfer_end + self.t_prog_s
+                channel_free[request.channel] = transfer_end
+                die_free[die_key] = finish
+                start = transfer_start
+            completions.append(CompletedRequest(request, start, finish))
+        return completions
+
+    # -- canned workloads ------------------------------------------------------
+
+    def poisson_random_reads(self, rate_per_s: float, duration_s: float,
+                             seed: int = 0) -> List[Request]:
+        """Open-loop random 4K-read arrivals at ``rate_per_s``."""
+        if rate_per_s <= 0 or duration_s <= 0:
+            raise ValueError("rate and duration must be positive")
+        rng = np.random.Generator(np.random.PCG64(seed))
+        t = 0.0
+        requests: List[Request] = []
+        while True:
+            t += rng.exponential(1.0 / rate_per_s)
+            if t >= duration_s:
+                break
+            requests.append(
+                Request(
+                    arrival_s=t,
+                    op=OpType.READ,
+                    channel=int(rng.integers(self.geometry.channels)),
+                    die=int(rng.integers(self.geometry.dies_per_channel)),
+                )
+            )
+        return requests
+
+    def measure_latency(self, rate_per_s: float, duration_s: float = 0.05,
+                        seed: int = 0) -> LatencyStats:
+        requests = self.poisson_random_reads(rate_per_s, duration_s, seed)
+        return LatencyStats.from_completions(self.run(requests))
+
+    def saturation_rate(self) -> float:
+        """Requests/s at which random single-plane reads saturate the device.
+
+        Bounded by per-die sensing and per-channel transfer capacity.
+        """
+        per_die = 1.0 / (self.t_read_s + self._transfer_s(False))
+        per_channel_bus = self.channel_bw / self.geometry.page_bytes
+        per_channel = min(
+            per_die * self.geometry.dies_per_channel, per_channel_bus
+        )
+        return per_channel * self.geometry.channels

@@ -1,0 +1,20 @@
+"""Taxonomy substrate: tree of taxIDs, LCA, abundance profiles, metrics."""
+
+from repro.taxonomy.metrics import (
+    f1_score,
+    l1_norm_error,
+    precision_recall_f1,
+    presence_absence_confusion,
+)
+from repro.taxonomy.profiles import AbundanceProfile
+from repro.taxonomy.tree import Rank, Taxonomy
+
+__all__ = [
+    "AbundanceProfile",
+    "Rank",
+    "Taxonomy",
+    "f1_score",
+    "l1_norm_error",
+    "precision_recall_f1",
+    "presence_absence_confusion",
+]

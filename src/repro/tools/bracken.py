@@ -1,0 +1,59 @@
+"""Bracken-style abundance re-estimation over Kraken2 output.
+
+Kraken2 leaves reads assigned at internal ranks (genus, root) whenever
+their k-mers are shared among species.  Bracken redistributes those reads
+down to species proportionally to each species' share of the database's
+discriminative k-mers, producing the species-level abundance profile the
+paper's P-Opt configuration (Kraken2 + Bracken) reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.databases.kraken import KrakenDatabase
+from repro.taxonomy.profiles import AbundanceProfile
+from repro.taxonomy.tree import Rank, Taxonomy
+from repro.tools.kraken2 import Kraken2Result
+
+
+class BrackenEstimator:
+    """Redistributes internal-node read counts to species."""
+
+    def __init__(self, database: KrakenDatabase):
+        self.database = database
+        self.taxonomy: Taxonomy = database.taxonomy
+        self._species_kmers = self._count_species_kmers()
+
+    def _count_species_kmers(self) -> Dict[int, int]:
+        """Database k-mers attributed directly to each species."""
+        counts: Counter = Counter()
+        for taxid in self.database._table.values():
+            if taxid in self.taxonomy and self.taxonomy.rank(taxid) == Rank.SPECIES:
+                counts[taxid] += 1
+        # Every indexed species gets at least weight 1 so redistribution
+        # never divides by zero even if all its k-mers were shared.
+        for taxid in self.database.indexed_taxids:
+            counts.setdefault(taxid, 1)
+        return dict(counts)
+
+    def estimate(self, result: Kraken2Result) -> AbundanceProfile:
+        """Species-level profile with internal counts pushed down."""
+        species_counts: Counter = Counter(result.species_counts(self.taxonomy))
+        for taxid, count in result.taxid_counts().items():
+            if taxid not in self.taxonomy:
+                continue
+            if self.taxonomy.rank(taxid) == Rank.SPECIES:
+                continue  # already counted
+            candidates = [
+                s
+                for s in self.taxonomy.species_under(taxid)
+                if s in self._species_kmers
+            ]
+            if not candidates:
+                continue
+            total_weight = sum(self._species_kmers[s] for s in candidates)
+            for s in candidates:
+                species_counts[s] += count * self._species_kmers[s] / total_weight
+        return AbundanceProfile.from_counts(species_counts)

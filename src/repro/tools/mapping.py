@@ -1,0 +1,144 @@
+"""Read mapping for abundance estimation.
+
+Metagenomic tools map reads against the reference genomes of the candidate
+species found present, and derive abundances from the relative number of
+reads mapping to each species (paper §2.1.2, §4.4).  The mapper here is a
+seed-counting mapper: reads vote for the species whose reference index
+contains the most of their k-mers — the same role GenCache plays in the
+paper's evaluation, where only its throughput matters.
+
+The *unified index* (Fig 9) merges per-species sorted k-mer indexes into one
+structure with genome-offset-adjusted locations so the mapper searches a
+single index instead of one per species; MegIS's Step 3 builds this merge
+in-storage (:mod:`repro.megis.abundance` models that data path and must
+produce exactly this structure).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.sequences.generator import ReferenceCollection
+from repro.sequences.kmers import extract_kmers
+from repro.sequences.reads import Read
+from repro.taxonomy.profiles import AbundanceProfile
+
+
+@dataclass
+class SpeciesIndex:
+    """Per-species sorted k-mer index: k-mer -> sorted genome locations."""
+
+    taxid: int
+    k: int
+    genome_length: int
+    entries: Dict[int, Tuple[int, ...]]
+
+    @classmethod
+    def build(cls, taxid: int, sequence: str, k: int) -> "SpeciesIndex":
+        locations: Dict[int, List[int]] = {}
+        for pos, kmer in enumerate(extract_kmers(sequence, k, canonical=False).tolist()):
+            locations.setdefault(int(kmer), []).append(pos)
+        return cls(
+            taxid=taxid,
+            k=k,
+            genome_length=len(sequence),
+            entries={x: tuple(p) for x, p in sorted(locations.items())},
+        )
+
+    def sorted_kmers(self) -> List[int]:
+        return sorted(self.entries)
+
+
+@dataclass
+class UnifiedIndex:
+    """Merged index over candidate species with offset-adjusted locations.
+
+    Locations are global coordinates into the concatenation of the candidate
+    genomes (in ascending-taxid order); ``boundaries`` maps each species to
+    its ``[start, end)`` range so hits can be attributed back.
+    """
+
+    k: int
+    entries: Dict[int, Tuple[int, ...]]
+    boundaries: Dict[int, Tuple[int, int]]
+
+    @classmethod
+    def merge(cls, indexes: Sequence[SpeciesIndex]) -> "UnifiedIndex":
+        """Reference merge of per-species indexes (Fig 9 semantics)."""
+        if not indexes:
+            return cls(k=0, entries={}, boundaries={})
+        k = indexes[0].k
+        if any(ix.k != k for ix in indexes):
+            raise ValueError("all indexes must share the same k")
+        ordered = sorted(indexes, key=lambda ix: ix.taxid)
+        boundaries: Dict[int, Tuple[int, int]] = {}
+        offset = 0
+        merged: Dict[int, List[int]] = {}
+        for index in ordered:
+            boundaries[index.taxid] = (offset, offset + index.genome_length)
+            for kmer, positions in index.entries.items():
+                merged.setdefault(kmer, []).extend(p + offset for p in positions)
+            offset += index.genome_length
+        entries = {x: tuple(sorted(p)) for x, p in sorted(merged.items())}
+        return cls(k=k, entries=entries, boundaries=boundaries)
+
+    def taxid_of_location(self, location: int) -> Optional[int]:
+        for taxid, (start, end) in self.boundaries.items():
+            if start <= location < end:
+                return taxid
+        return None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class ReadMapper:
+    """Seed-voting mapper over a unified index."""
+
+    def __init__(self, index: UnifiedIndex, min_seed_hits: int = 2):
+        if min_seed_hits < 1:
+            raise ValueError("min_seed_hits must be >= 1")
+        self.index = index
+        self.min_seed_hits = min_seed_hits
+
+    @classmethod
+    def for_candidates(
+        cls,
+        references: ReferenceCollection,
+        candidate_taxids: Iterable[int],
+        k: int = 15,
+        min_seed_hits: int = 2,
+    ) -> "ReadMapper":
+        indexes = [
+            SpeciesIndex.build(t, references.sequence(t), k)
+            for t in sorted(set(candidate_taxids))
+        ]
+        return cls(UnifiedIndex.merge(indexes), min_seed_hits=min_seed_hits)
+
+    def map_read(self, sequence: str) -> Optional[int]:
+        """Best species for one read, or None if unmapped."""
+        if self.index.k == 0 or len(sequence) < self.index.k:
+            return None
+        votes: Counter = Counter()
+        for kmer in extract_kmers(sequence, self.index.k, canonical=False).tolist():
+            for location in self.index.entries.get(int(kmer), ()):
+                taxid = self.index.taxid_of_location(location)
+                if taxid is not None:
+                    votes[taxid] += 1
+        if not votes:
+            return None
+        taxid, hits = max(votes.items(), key=lambda item: (item[1], -item[0]))
+        if hits < self.min_seed_hits:
+            return None
+        return taxid
+
+    def estimate_abundance(self, reads: Sequence[Read]) -> AbundanceProfile:
+        """Map all reads; profile = relative mapped-read counts per species."""
+        counts: Counter = Counter()
+        for read in reads:
+            taxid = self.map_read(read.sequence)
+            if taxid is not None:
+                counts[taxid] += 1
+        return AbundanceProfile.from_counts(counts)

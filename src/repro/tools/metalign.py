@@ -1,0 +1,138 @@
+"""Metalign-style pipeline (the accuracy-optimized baseline, A-Opt).
+
+Presence/absence identification (paper §2.1.1, S-Qry):
+
+1. *prepare queries*: extract k-mers from the reads (KMC role), count them,
+   apply frequency exclusion, and sort;
+2. *find species*: intersect the sorted query k-mers with the pre-sorted
+   reference database using large k-mers (low false-positive rate), then
+   retrieve taxIDs for the intersecting k-mers (and their prefixes, raising
+   the true-positive rate) from the CMash sketch database.
+
+Abundance estimation maps the reads against the candidate species' genomes
+(:mod:`repro.tools.mapping`) and reports relative mapped-read counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.databases.sketch import SketchDatabase, TernarySearchTree
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.sequences.generator import ReferenceCollection
+from repro.sequences.kmers import KmerCounter
+from repro.sequences.reads import Read
+from repro.taxonomy.profiles import AbundanceProfile
+from repro.tools.mapping import ReadMapper
+
+
+def containment_score(
+    sketch: SketchDatabase, taxid: int, level_hits: Dict[int, int]
+) -> float:
+    """Estimated containment index: k_max sketch hits / sketch size.
+
+    Smaller-k hits contribute at reduced weight — they expand matches
+    (raising the true-positive rate) but are less specific.  Shared between
+    Metalign and MegIS so the two pipelines call species identically (the
+    paper's MegIS matches A-Opt's accuracy exactly).
+    """
+    size = max(1, sketch.sketch_sizes.get(taxid, 1))
+    score = level_hits.get(sketch.k_max, 0)
+    score += 0.25 * sum(v for k, v in level_hits.items() if k != sketch.k_max)
+    return score / size
+
+
+@dataclass
+class MetalignResult:
+    """Output of a Metalign-style analysis."""
+
+    intersecting_kmers: List[int] = field(default_factory=list)
+    sketch_hits: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    # taxid -> {level k -> hit count}
+    candidates: Set[int] = field(default_factory=set)
+    profile: AbundanceProfile = field(default_factory=AbundanceProfile)
+
+    def present(self, threshold: float = 0.0) -> Set[int]:
+        return self.profile.present(threshold)
+
+
+class MetalignPipeline:
+    """KMC + sorted intersection + CMash lookup + mapping."""
+
+    def __init__(
+        self,
+        database: SortedKmerDatabase,
+        sketch: SketchDatabase,
+        references: ReferenceCollection,
+        min_count: int = 1,
+        max_count: Optional[int] = None,
+        min_containment: float = 0.15,
+        mapper_k: int = 15,
+    ):
+        if database.k != sketch.k_max:
+            raise ValueError(
+                f"sorted database k ({database.k}) must equal sketch k_max "
+                f"({sketch.k_max})"
+            )
+        self.database = database
+        self.sketch = sketch
+        self.tree = TernarySearchTree(sketch)
+        self.references = references
+        self.min_count = min_count
+        self.max_count = max_count
+        self.min_containment = min_containment
+        self.mapper_k = mapper_k
+
+    # -- step 1: query preparation ------------------------------------------
+
+    def prepare_queries(self, reads: Sequence[Read]) -> np.ndarray:
+        """Extract, count, exclude, and sort sample k-mers (KMC role)."""
+        counter = KmerCounter(self.database.k, canonical=False)
+        counter.add_sequences(read.sequence for read in reads)
+        return counter.selected(min_count=self.min_count, max_count=self.max_count)
+
+    # -- step 2: finding species ------------------------------------------------
+
+    def find_candidates(self, sorted_query: Sequence[int]) -> MetalignResult:
+        """Intersection + sketch lookups -> candidate species."""
+        result = MetalignResult()
+        result.intersecting_kmers = self.database.intersect(sorted_query)
+        hit_counts: Dict[int, Counter] = {}
+        for kmer in result.intersecting_kmers:
+            for level, taxids in self.tree.lookup(kmer).items():
+                for taxid in taxids:
+                    hit_counts.setdefault(taxid, Counter())[level] += 1
+        result.sketch_hits = {t: dict(c) for t, c in hit_counts.items()}
+        result.candidates = {
+            taxid
+            for taxid, levels in result.sketch_hits.items()
+            if self._containment(taxid, levels) >= self.min_containment
+        }
+        return result
+
+    def _containment(self, taxid: int, level_hits: Dict[int, int]) -> float:
+        return containment_score(self.sketch, taxid, level_hits)
+
+    # -- abundance estimation ------------------------------------------------------
+
+    def estimate_abundance(
+        self, reads: Sequence[Read], candidates: Set[int]
+    ) -> AbundanceProfile:
+        if not candidates:
+            return AbundanceProfile()
+        mapper = ReadMapper.for_candidates(
+            self.references, candidates, k=self.mapper_k
+        )
+        return mapper.estimate_abundance(reads)
+
+    # -- end to end ---------------------------------------------------------------
+
+    def analyze(self, reads: Sequence[Read]) -> MetalignResult:
+        sorted_query = self.prepare_queries(reads)
+        result = self.find_candidates(sorted_query.tolist())
+        result.profile = self.estimate_abundance(reads, result.candidates)
+        return result

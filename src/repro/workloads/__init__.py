@@ -1,0 +1,19 @@
+"""Workloads: CAMI-like synthetic samples and paper-scale dataset specs."""
+
+from repro.workloads.cami import CamiDiversity, CamiSample, make_cami_sample
+from repro.workloads.datasets import (
+    DatasetSpec,
+    KRAKEN_DB_BYTES,
+    METALIGN_DB_BYTES,
+    cami_spec,
+)
+
+__all__ = [
+    "CamiDiversity",
+    "CamiSample",
+    "DatasetSpec",
+    "KRAKEN_DB_BYTES",
+    "METALIGN_DB_BYTES",
+    "cami_spec",
+    "make_cami_sample",
+]

@@ -1,0 +1,90 @@
+"""Paper-scale dataset descriptors.
+
+The timing and energy models consume *byte counts*, not sequence payloads.
+This module records the sizes the paper reports (§3.2, §4.2, §5) so every
+experiment uses the same, documented numbers:
+
+- Kraken2 database: 293 GB (default NCBI microbial build);
+- Metalign / MegIS sorted k-mer database: 701 GB;
+- Metalign CMash sketch ternary tree: 6.9 GB; MegIS KSS tables: 14 GB;
+  flat baseline sketch tables: 107 GB;
+- per-sample extracted query k-mers: ~60 GB; after exclusion: ~6.5 GB;
+- 100 million reads of ~150 bp per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+GB = 1_000_000_000
+
+#: Database sizes at the default (3x in Fig 14) scale, in bytes.
+KRAKEN_DB_BYTES = 293 * GB
+METALIGN_DB_BYTES = 701 * GB
+CMASH_TREE_BYTES = 6.9 * GB
+KSS_TABLE_BYTES = 14 * GB
+FLAT_SKETCH_BYTES = 107 * GB
+
+#: Per-sample sizes (averages reported in §4.2).
+READS_PER_SAMPLE = 100_000_000
+READ_LENGTH_BP = 150
+EXTRACTED_KMER_BYTES = 60 * GB
+SELECTED_KMER_BYTES = 6.5 * GB
+
+#: Relative sketch-lookup work per diversity level.  More diverse samples
+#: contain more species, so the baseline taxID retrieval performs more
+#: pointer-chasing tree lookups (§6.1: "MegIS's speedup improves as the
+#: genetic diversity of the input read sets increases").
+DIVERSITY_LOOKUP_FACTOR = {"CAMI-L": 1.0, "CAMI-M": 1.6, "CAMI-H": 2.4}
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Byte-level description of one analysis (sample x database)."""
+
+    name: str
+    n_reads: int = READS_PER_SAMPLE
+    read_length: int = READ_LENGTH_BP
+    kraken_db_bytes: float = KRAKEN_DB_BYTES
+    sorted_db_bytes: float = METALIGN_DB_BYTES
+    cmash_tree_bytes: float = CMASH_TREE_BYTES
+    kss_table_bytes: float = KSS_TABLE_BYTES
+    extracted_kmer_bytes: float = EXTRACTED_KMER_BYTES
+    selected_kmer_bytes: float = SELECTED_KMER_BYTES
+    lookup_factor: float = 1.0
+
+    @property
+    def read_bytes(self) -> float:
+        """Raw sample size: one byte per basecalled character."""
+        return float(self.n_reads) * self.read_length
+
+    def scaled_database(self, scale: float) -> "DatasetSpec":
+        """Scale database-side structures (Fig 14's 1x/2x/3x sweep).
+
+        The paper's 3x point equals the default sizes, so pass
+        ``scale = s / 3`` for the figure's ``s`` label, or use
+        :func:`database_scale_points`.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        return replace(
+            self,
+            name=f"{self.name}@{scale:g}x",
+            kraken_db_bytes=self.kraken_db_bytes * scale,
+            sorted_db_bytes=self.sorted_db_bytes * scale,
+            cmash_tree_bytes=self.cmash_tree_bytes * scale,
+            kss_table_bytes=self.kss_table_bytes * scale,
+        )
+
+
+def cami_spec(name: str = "CAMI-M") -> DatasetSpec:
+    """Paper-scale spec for one of the CAMI-L/M/H samples."""
+    if name not in DIVERSITY_LOOKUP_FACTOR:
+        raise KeyError(f"unknown CAMI sample {name!r}")
+    return DatasetSpec(name=name, lookup_factor=DIVERSITY_LOOKUP_FACTOR[name])
+
+
+def database_scale_points(spec: DatasetSpec) -> dict:
+    """The Fig 14 sweep: labels 1x/2x/3x with 3x at the default size."""
+    return {label: spec.scaled_database(label_value / 3.0) for label, label_value in
+            (("1x", 1.0), ("2x", 2.0), ("3x", 3.0))}

@@ -1,0 +1,81 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestSimulate:
+    def test_writes_dataset(self, tmp_path, capsys):
+        out = tmp_path / "ds"
+        assert main(["simulate", str(out), "--reads", "60"]) == 0
+        assert (out / "references.fasta").exists()
+        assert (out / "reads.fastq").exists()
+        truth = json.loads((out / "truth.json").read_text())
+        assert truth and all(float(v) > 0 for v in truth.values())
+
+    def test_diversity_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["simulate", "x", "--diversity", "CAMI-X"])
+
+
+@pytest.fixture(scope="module")
+def dataset(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "ds"
+    main(["simulate", str(out), "--reads", "120", "--seed", "5"])
+    return out
+
+
+class TestAnalyze:
+    @pytest.mark.parametrize("tool", ["megis", "metalign", "kraken2"])
+    def test_tools_run(self, dataset, tool, capsys):
+        code = main([
+            "analyze", str(dataset / "references.fasta"),
+            str(dataset / "reads.fastq"), "--tool", tool,
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert f"tool: {tool}" in output
+        assert "taxid" in output
+
+    def test_statistical_abundance(self, dataset, capsys):
+        code = main([
+            "analyze", str(dataset / "references.fasta"),
+            str(dataset / "reads.fastq"), "--abundance", "statistical",
+        ])
+        assert code == 0
+        assert "species called" in capsys.readouterr().out
+
+    def test_megis_matches_metalign_output(self, dataset, capsys):
+        main(["analyze", str(dataset / "references.fasta"),
+              str(dataset / "reads.fastq"), "--tool", "megis"])
+        megis_out = capsys.readouterr().out.splitlines()[1:]
+        main(["analyze", str(dataset / "references.fasta"),
+              str(dataset / "reads.fastq"), "--tool", "metalign"])
+        metalign_out = capsys.readouterr().out.splitlines()[1:]
+        assert megis_out == metalign_out
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        output = capsys.readouterr().out
+        assert "targets in band" in output
+        assert "OUT OF BAND" not in output
+
+
+class TestModel:
+    def test_model_prints_all_configs(self, capsys):
+        assert main(["model", "--ssd", "SSD-P", "--sample", "CAMI-L"]) == 0
+        output = capsys.readouterr().out
+        for config in ("P-Opt", "A-Opt", "Sieve", "MS-NOL", "MS-CC", "MS"):
+            assert config in output
+
+    def test_ms_speedup_is_one(self, capsys):
+        main(["model"])
+        output = capsys.readouterr().out
+        ms_line = next(line for line in output.splitlines() if line.strip().startswith("MS "))
+        assert "1.00x" in ms_line

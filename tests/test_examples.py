@@ -1,0 +1,29 @@
+"""Smoke tests: every example script must run to completion."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert {"quickstart.py", "clinical_outbreak.py", "multi_sample_study.py",
+            "design_space.py", "full_workflow.py"} <= set(EXAMPLES)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script} produced no output"

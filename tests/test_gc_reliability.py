@@ -1,0 +1,186 @@
+"""Tests for garbage collection, wear leveling, and flash reliability."""
+
+import pytest
+
+from repro.ssd.config import NandGeometry, ssd_c
+from repro.ssd.ftl import PageLevelFTL
+from repro.ssd.gc import GarbageCollector, wear_statistics
+from repro.ssd.nand import NandFlash
+from repro.ssd.reliability import (
+    EccModel,
+    RberModel,
+    ReadDisturbManager,
+    isp_defers_reliability_tasks,
+    retention_refresh_needed,
+)
+
+
+def small_ftl(**overrides):
+    params = dict(
+        channels=2,
+        dies_per_channel=1,
+        planes_per_die=1,
+        blocks_per_plane=4,
+        pages_per_block=4,
+        page_bytes=4096,
+    )
+    params.update(overrides)
+    return PageLevelFTL(NandFlash(NandGeometry(**params)))
+
+
+class TestGarbageCollection:
+    def test_overwrites_create_garbage(self):
+        ftl = small_ftl()
+        for _ in range(3):
+            ftl.write(0, data="v")
+        gc = GarbageCollector(ftl)
+        assert gc.select_victim() is not None
+
+    def test_collect_preserves_data(self):
+        ftl = small_ftl()
+        # Fill several blocks, overwriting half the LPAs to create garbage.
+        for lpa in range(8):
+            ftl.write(lpa, data=f"v{lpa}")
+        for lpa in range(0, 8, 2):
+            ftl.write(lpa, data=f"w{lpa}")
+        gc = GarbageCollector(ftl)
+        report = gc.force_collect(n_victims=2)
+        assert report.victims
+        for lpa in range(8):
+            expected = f"w{lpa}" if lpa % 2 == 0 else f"v{lpa}"
+            assert ftl.read(lpa)[0] == expected
+
+    def test_collection_reclaims_blocks(self):
+        ftl = small_ftl()
+        for lpa in range(8):
+            ftl.write(lpa)
+        for lpa in range(8):
+            ftl.write(lpa)  # every first copy now invalid
+        free_before = ftl.free_block_count()
+        GarbageCollector(ftl).force_collect(n_victims=4)
+        assert ftl.free_block_count() > free_before
+
+    def test_write_amplification_tracked(self):
+        ftl = small_ftl()
+        for lpa in range(6):
+            ftl.write(lpa)
+        for lpa in range(6):
+            ftl.write(lpa)
+        GarbageCollector(ftl).force_collect(n_victims=4)
+        assert ftl.stats.write_amplification >= 1.0
+        assert ftl.stats.gc_erases > 0
+
+    def test_run_stops_when_pool_comfortable(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        gc = GarbageCollector(ftl, free_block_threshold=1)
+        report = gc.run()
+        assert report.victims == []  # plenty of free blocks already
+
+    def test_device_survives_sustained_overwrites(self):
+        # With GC, overwriting the same small LPA set forever must not
+        # exhaust the device.
+        ftl = small_ftl()
+        gc = GarbageCollector(ftl, free_block_threshold=3)
+        for round_ in range(12):
+            for lpa in range(4):
+                gc.run()
+                ftl.write(lpa, data=round_)
+        for lpa in range(4):
+            assert ftl.read(lpa)[0] == 11
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            GarbageCollector(small_ftl(), free_block_threshold=0)
+
+    def test_trim_creates_garbage(self):
+        ftl = small_ftl()
+        ftl.write(0)
+        ftl.trim(0)
+        assert ftl.translate(0) is None
+        assert GarbageCollector(ftl).select_victim() is not None
+
+
+class TestWearLeveling:
+    def test_allocation_prefers_low_wear(self):
+        ftl = small_ftl()
+        gc = GarbageCollector(ftl, free_block_threshold=2)
+        for round_ in range(20):
+            gc.run()
+            ftl.write(round_ % 3, data=round_)
+        stats = wear_statistics(ftl)
+        assert stats["max"] >= 1
+        # Greedy-lowest-erase allocation keeps the spread tight.
+        assert stats["spread"] <= stats["max"]
+
+    def test_statistics_empty_device(self):
+        stats = wear_statistics(small_ftl())
+        assert stats["spread"] == 0
+
+
+class TestRberModel:
+    def test_monotonic_in_all_inputs(self):
+        model = RberModel()
+        base = model.rber(0, 0, 0)
+        assert model.rber(1000, 0, 0) > base
+        assert model.rber(0, 6, 0) > base
+        assert model.rber(0, 0, 50_000) > base
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            RberModel().rber(-1, 0, 0)
+
+
+class TestEccModel:
+    def test_fresh_block_clean(self):
+        rber = RberModel().rber(0, 0, 0)
+        assert EccModel().classify(rber) == "clean"
+
+    def test_worn_aged_block_correctable(self):
+        rber = RberModel().rber(3000, 6, 10_000)
+        assert EccModel().classify(rber) == "correctable"
+
+    def test_extreme_wear_uncorrectable(self):
+        rber = RberModel().rber(2_000_000, 48, 10_000_000)
+        assert EccModel().classify(rber) == "uncorrectable"
+
+    def test_correction_keeps_up_with_internal_bw(self):
+        # Paper §4.5: ECC matches full internal bandwidth on both SSDs.
+        config = ssd_c()
+        assert EccModel().correction_bandwidth_ok(
+            config.internal_read_bw, channels=config.geometry.channels
+        )
+
+
+class TestReadDisturb:
+    def test_refresh_triggered_at_threshold(self):
+        manager = ReadDisturbManager(threshold=5)
+        key = (0, 0, 0, 0)
+        triggered = [manager.record_read(key) for _ in range(5)]
+        assert triggered == [False] * 4 + [True]
+        assert manager.refreshes == 1
+        assert manager.counts[key] == 0  # reset after refresh
+
+    def test_megis_streaming_is_safe(self):
+        manager = ReadDisturbManager()
+        # One database pass per analysis, refresh at most yearly: even tens
+        # of thousands of analyses stay below the threshold.
+        assert manager.megis_stream_is_safe(
+            passes_per_analysis=1, analyses_between_refresh=50_000
+        )
+        assert not manager.megis_stream_is_safe(
+            passes_per_analysis=10, analyses_between_refresh=50_000
+        )
+
+
+class TestRetention:
+    def test_thresholds(self):
+        assert not retention_refresh_needed(2.0)
+        assert retention_refresh_needed(12.0)
+        with pytest.raises(ValueError):
+            retention_refresh_needed(-1.0)
+
+    def test_isp_defers_reliability_tasks(self):
+        # A MegIS analysis (minutes) is far below the retention age.
+        assert isp_defers_reliability_tasks(600.0)
+        assert not isp_defers_reliability_tasks(3e6)

@@ -1,0 +1,113 @@
+"""Tests for FASTA/FASTQ parsing and formatting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sequences.io import (
+    FastaRecord,
+    FormatError,
+    format_fasta,
+    format_fastq,
+    parse_fasta,
+    parse_fastq,
+    reads_from_fastq,
+    references_from_fasta,
+    references_to_fasta,
+)
+from repro.sequences.reads import Read
+
+
+class TestFasta:
+    def test_parse_simple(self):
+        records = parse_fasta(">a\nACGT\n>b\nTTTT\n")
+        assert records == [FastaRecord("a", "ACGT"), FastaRecord("b", "TTTT")]
+
+    def test_parse_wrapped_lines(self):
+        records = parse_fasta(">a\nACGT\nACGT\n")
+        assert records[0].sequence == "ACGTACGT"
+
+    def test_parse_lowercase_normalized(self):
+        assert parse_fasta(">a\nacgt\n")[0].sequence == "ACGT"
+
+    def test_parse_blank_lines_ignored(self):
+        assert len(parse_fasta(">a\nAC\n\n>b\nGT\n")) == 2
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(FormatError):
+            parse_fasta("ACGT\n>a\nAC\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FormatError):
+            parse_fasta(">\nACGT\n")
+
+    def test_empty_input(self):
+        assert parse_fasta("") == []
+
+    def test_format_wraps(self):
+        text = format_fasta([FastaRecord("x", "A" * 150)], width=70)
+        lines = text.strip().splitlines()
+        assert lines[0] == ">x"
+        assert len(lines[1]) == 70 and len(lines[3]) == 10
+
+    def test_format_invalid_width(self):
+        with pytest.raises(ValueError):
+            format_fasta([], width=0)
+
+    @given(st.lists(st.tuples(
+        st.text(alphabet="abcXYZ09_", min_size=1, max_size=10),
+        st.text(alphabet="ACGT", min_size=1, max_size=200),
+    ), max_size=5))
+    def test_roundtrip_property(self, raw):
+        records = [FastaRecord(n, s) for n, s in raw]
+        assert parse_fasta(format_fasta(records)) == records
+
+
+class TestFastq:
+    def test_roundtrip(self):
+        reads = [Read(0, "ACGT", 5), Read(1, "TTAA", 6)]
+        parsed = parse_fastq(format_fastq(reads))
+        assert [seq for _, seq, _ in parsed] == ["ACGT", "TTAA"]
+
+    def test_reads_from_fastq_loses_provenance(self):
+        reads = [Read(0, "ACGT", 5)]
+        loaded = reads_from_fastq(format_fastq(reads))
+        assert loaded[0].sequence == "ACGT"
+        assert loaded[0].true_taxid == 0
+
+    def test_bad_line_count(self):
+        with pytest.raises(FormatError):
+            parse_fastq("@a\nACGT\n+\n")
+
+    def test_bad_header(self):
+        with pytest.raises(FormatError):
+            parse_fastq("a\nACGT\n+\nIIII\n")
+
+    def test_bad_separator(self):
+        with pytest.raises(FormatError):
+            parse_fastq("@a\nACGT\nx\nIIII\n")
+
+    def test_quality_length_mismatch(self):
+        with pytest.raises(FormatError):
+            parse_fastq("@a\nACGT\n+\nII\n")
+
+    def test_quality_char_validation(self):
+        with pytest.raises(ValueError):
+            format_fastq([], quality_char="II")
+
+
+class TestReferenceRoundtrip:
+    def test_roundtrip(self, references):
+        text = references_to_fasta(references)
+        loaded = references_from_fasta(text)
+        assert set(loaded.genomes) == set(references.genomes)
+        for taxid in references.genomes:
+            assert loaded.sequence(taxid) == references.sequence(taxid)
+            assert loaded.genus_of(taxid) == references.genus_of(taxid)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(FormatError):
+            references_from_fasta(">whatever\nACGT\n")
+
+    def test_bad_name_rejected(self):
+        with pytest.raises(FormatError):
+            references_from_fasta(">taxid|8|noclade\nACGT\n")

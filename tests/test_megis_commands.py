@@ -1,0 +1,114 @@
+"""Tests for the NVMe command extensions and FTL metadata swapping."""
+
+import pytest
+
+from repro.megis.commands import (
+    CommandProcessor,
+    HostStep,
+    MegisInit,
+    MegisStep,
+    MegisWrite,
+    ProtocolError,
+    SsdMode,
+)
+from repro.megis.ftl import MegisFtl
+from repro.ssd.config import ssd_c
+from repro.ssd.device import SSD
+
+
+@pytest.fixture()
+def processor():
+    ssd = SSD(ssd_c())
+    megis_ftl = MegisFtl(ssd.config.geometry)
+    megis_ftl.place_database("kmer_db", int(1e12))
+    return CommandProcessor(ssd, megis_ftl)
+
+
+class TestProtocol:
+    def test_starts_in_baseline_mode(self, processor):
+        assert processor.mode is SsdMode.BASELINE
+
+    def test_init_enters_acceleration(self, processor):
+        processor.megis_init(MegisInit(0, 1 << 30))
+        assert processor.mode is SsdMode.ACCELERATION
+        assert processor.host_buffer_bytes == 1 << 30
+
+    def test_double_init_rejected(self, processor):
+        processor.megis_init(MegisInit(0, 1 << 30))
+        with pytest.raises(ProtocolError):
+            processor.megis_init(MegisInit(0, 1 << 30))
+
+    def test_init_requires_buffer(self, processor):
+        with pytest.raises(ProtocolError):
+            processor.megis_init(MegisInit(0, 0))
+
+    def test_step_outside_acceleration_rejected(self, processor):
+        with pytest.raises(ProtocolError):
+            processor.megis_step(MegisStep(HostStep.SORTING))
+
+    def test_step_toggles(self, processor):
+        processor.megis_init(MegisInit(0, 1))
+        assert processor.megis_step(MegisStep(HostStep.SORTING)) == "start"
+        assert processor.megis_step(MegisStep(HostStep.SORTING)) == "end"
+
+    def test_step_cannot_restart(self, processor):
+        processor.megis_init(MegisInit(0, 1))
+        processor.megis_step(MegisStep(HostStep.SORTING))
+        processor.megis_step(MegisStep(HostStep.SORTING))
+        with pytest.raises(ProtocolError):
+            processor.megis_step(MegisStep(HostStep.SORTING))
+
+    def test_write_only_during_extraction(self, processor):
+        processor.megis_init(MegisInit(0, 1))
+        with pytest.raises(ProtocolError):
+            processor.megis_write(MegisWrite(lpa=0))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.megis_write(MegisWrite(lpa=0))
+        assert processor.ssd.ftl.translate(0) is not None
+
+    def test_finish_requires_steps_closed(self, processor):
+        processor.megis_init(MegisInit(0, 1))
+        processor.megis_step(MegisStep(HostStep.SORTING))
+        with pytest.raises(ProtocolError):
+            processor.finish()
+
+    def test_finish_returns_to_baseline(self, processor):
+        processor.megis_init(MegisInit(0, 1))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.finish()
+        assert processor.mode is SsdMode.BASELINE
+
+    def test_finish_outside_acceleration_rejected(self, processor):
+        with pytest.raises(ProtocolError):
+            processor.finish()
+
+
+class TestMetadataSwap:
+    def test_extraction_end_swaps_l2p(self, processor):
+        dram = processor.ssd.dram
+        assert "baseline_l2p" in dram.allocations()
+        processor.megis_init(MegisInit(0, 1))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        assert "baseline_l2p" not in dram.allocations()
+        assert "megis_l2p" in dram.allocations()
+        # MegIS metadata is tiny compared to the page-level table.
+        assert dram.allocation("megis_l2p") < processor.ssd.ftl.metadata_bytes() / 100
+
+    def test_finish_restores_baseline_l2p(self, processor):
+        processor.megis_init(MegisInit(0, 1))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.finish()
+        dram = processor.ssd.dram
+        assert "baseline_l2p" in dram.allocations()
+        assert "megis_l2p" not in dram.allocations()
+
+    def test_swap_frees_dram_for_isp(self, processor):
+        dram = processor.ssd.dram
+        before = dram.free_bytes
+        processor.megis_init(MegisInit(0, 1))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        processor.megis_step(MegisStep(HostStep.KMER_EXTRACTION))
+        assert dram.free_bytes > before

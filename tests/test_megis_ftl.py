@@ -1,0 +1,121 @@
+"""Tests for MegIS FTL: placement, streaming order, metadata accounting."""
+
+import itertools
+
+import pytest
+
+from repro.megis.ftl import MegisFtl
+from repro.ssd.config import NandGeometry, ssd_c
+
+
+def geometry(**overrides):
+    params = dict(
+        channels=4,
+        dies_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=8,
+        pages_per_block=16,
+        page_bytes=4096,
+    )
+    params.update(overrides)
+    return NandGeometry(**params)
+
+
+class TestPlacement:
+    def test_even_striping_across_channels(self):
+        ftl = MegisFtl(geometry())
+        layout = ftl.place_database("db", 4096 * 64)
+        lengths = {len(seq) for seq in layout.block_sequences.values()}
+        assert len(lengths) == 1  # same block count per channel
+        assert set(layout.block_sequences) == set(range(4))
+
+    def test_same_slot_offsets_across_channels(self):
+        # Active blocks at the same page offset in every channel (§4.5).
+        ftl = MegisFtl(geometry())
+        layout = ftl.place_database("db", 4096 * 200)
+        per_channel = list(layout.block_sequences.values())
+        assert all(seq == per_channel[0] for seq in per_channel[1:])
+
+    def test_read_order_round_robin(self):
+        g = geometry()
+        ftl = MegisFtl(g)
+        layout = ftl.place_database("db", 4096 * 4 * 3)  # 12 pages
+        order = list(layout.read_order())
+        assert len(order) == 12
+        # Channels rotate fastest.
+        assert [a.channel for a in order[:4]] == [0, 1, 2, 3]
+        # Same page offset within a rotation.
+        assert len({(a.die, a.plane, a.block, a.page) for a in order[:4]}) == 1
+
+    def test_read_order_covers_exact_page_count(self):
+        ftl = MegisFtl(geometry())
+        layout = ftl.place_database("db", 4096 * 37 + 1)  # 38 pages
+        assert len(list(layout.read_order())) == 38
+
+    def test_read_order_advances_pages_before_blocks(self):
+        g = geometry()
+        ftl = MegisFtl(g)
+        pages = g.pages_per_block * g.channels + g.channels  # spill into slot 2
+        layout = ftl.place_database("db", 4096 * pages)
+        order = list(layout.read_order())
+        first_block = order[0].block_address() if hasattr(order[0], "block_address") else None
+        blocks_seen = {(a.die, a.plane, a.block) for a in order[: g.pages_per_block * g.channels]}
+        assert len(blocks_seen) == 1
+
+    def test_two_databases_disjoint_blocks(self):
+        ftl = MegisFtl(geometry())
+        a = ftl.place_database("a", 4096 * 100)
+        b = ftl.place_database("b", 4096 * 100)
+        blocks_a = {
+            (c, *slot) for c, seq in a.block_sequences.items() for slot in seq
+        }
+        blocks_b = {
+            (c, *slot) for c, seq in b.block_sequences.items() for slot in seq
+        }
+        assert not blocks_a & blocks_b
+
+    def test_duplicate_name_rejected(self):
+        ftl = MegisFtl(geometry())
+        ftl.place_database("db", 4096)
+        with pytest.raises(ValueError):
+            ftl.place_database("db", 4096)
+
+    def test_capacity_exhaustion(self):
+        g = geometry(blocks_per_plane=1)
+        ftl = MegisFtl(g)
+        with pytest.raises(RuntimeError):
+            ftl.place_database("huge", g.capacity_bytes * 10)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            MegisFtl(geometry()).place_database("db", 0)
+
+
+class TestMetadata:
+    def test_paper_scale_l2p_size(self):
+        # 4-TB-class database -> ~1.3 MB of L2P (paper §4.5).
+        ftl = MegisFtl(ssd_c().geometry)
+        db_bytes = int(3.5e12)
+        ftl.place_database("kmer_db", db_bytes)
+        l2p = ftl.l2p_metadata_bytes("kmer_db")
+        total = ftl.total_metadata_bytes("kmer_db")
+        assert 1.0e6 < l2p < 2.0e6
+        assert total < 3.2e6
+        assert total > l2p
+
+    def test_metadata_tiny_vs_page_level(self):
+        from repro.ssd.ftl import PageLevelFTL
+        from repro.ssd.nand import NandFlash
+
+        config = ssd_c()
+        baseline = PageLevelFTL(NandFlash(config.geometry)).metadata_bytes()
+        ftl = MegisFtl(config.geometry)
+        ftl.place_database("db", int(3.5e12))
+        assert ftl.total_metadata_bytes("db") < baseline / 1000
+
+    def test_read_counts_recorded(self):
+        ftl = MegisFtl(geometry())
+        ftl.place_database("db", 4096 * 8)
+        consumed = list(ftl.stream_database("db"))
+        assert len(consumed) == 8
+        assert sum(ftl.read_counts.values()) == 8

@@ -1,0 +1,109 @@
+"""Tests for MegIS Step 1: k-mer bucket partitioning on the host."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.megis.host import KmerBucketPartitioner
+from repro.sequences.kmers import KmerCounter
+from repro.sequences.reads import Read
+
+
+def make_reads(seqs):
+    return [Read(i, s, 0) for i, s in enumerate(seqs)]
+
+
+@pytest.fixture(scope="module")
+def bucket_set(sample):
+    partitioner = KmerBucketPartitioner(k=20, n_buckets=8)
+    return partitioner.partition(sample.reads)
+
+
+class TestPartitioning:
+    def test_buckets_cover_kmer_space(self, bucket_set):
+        edges_ok = bucket_set.buckets[0].lo == 0
+        assert edges_ok
+        assert bucket_set.buckets[-1].hi == 1 << 40  # 2 bits x k=20
+        for a, b in zip(bucket_set.buckets, bucket_set.buckets[1:]):
+            assert a.hi == b.lo
+
+    def test_each_bucket_sorted_and_in_range(self, bucket_set):
+        for bucket in bucket_set.buckets:
+            assert bucket.is_sorted()
+            assert all(bucket.lo <= x < bucket.hi for x in bucket.kmers)
+
+    def test_concatenation_globally_sorted(self, bucket_set):
+        merged = bucket_set.merged_sorted()
+        assert merged == sorted(merged)
+
+    def test_matches_kmer_counter_selection(self, sample, bucket_set):
+        counter = KmerCounter(20, canonical=False)
+        counter.add_sequences(r.sequence for r in sample.reads)
+        assert bucket_set.merged_sorted() == counter.selected(min_count=1).tolist()
+
+    def test_exclusion_thresholds(self, sample):
+        strict = KmerBucketPartitioner(k=20, n_buckets=8, min_count=2)
+        loose = KmerBucketPartitioner(k=20, n_buckets=8, min_count=1)
+        assert strict.partition(sample.reads).total_kmers() < loose.partition(
+            sample.reads
+        ).total_kmers()
+
+    def test_max_count_exclusion(self):
+        reads = make_reads(["A" * 40, "ACGTT" + "A" * 30])
+        partitioner = KmerBucketPartitioner(k=10, n_buckets=4, max_count=3)
+        bucket_set = partitioner.partition(reads)
+        from repro.sequences.encoding import encode_kmer
+
+        assert encode_kmer("A" * 10) not in bucket_set.merged_sorted()
+
+    def test_balanced_buckets(self, bucket_set):
+        sizes = [len(b.kmers) for b in bucket_set.buckets if b.kmers]
+        assert max(sizes) < 6 * (sum(sizes) / len(sizes))
+
+    def test_empty_reads(self):
+        partitioner = KmerBucketPartitioner(k=10, n_buckets=4)
+        bucket_set = partitioner.partition([])
+        assert bucket_set.total_kmers() == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            KmerBucketPartitioner(k=10, n_buckets=0)
+        with pytest.raises(ValueError):
+            KmerBucketPartitioner(k=10, min_count=0)
+
+    @given(st.lists(st.text(alphabet="ACGT", min_size=12, max_size=40), max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_completeness_property(self, seqs):
+        partitioner = KmerBucketPartitioner(k=12, n_buckets=5)
+        bucket_set = partitioner.partition(make_reads(seqs))
+        counter = KmerCounter(12, canonical=False)
+        counter.add_sequences(seqs)
+        assert bucket_set.merged_sorted() == counter.selected().tolist()
+
+
+class TestPinning:
+    def test_unlimited_dram_pins_everything(self, bucket_set):
+        assert all(b.pinned for b in bucket_set.buckets)
+        assert bucket_set.spilled_bytes == 0
+
+    def test_small_dram_spills(self, sample):
+        partitioner = KmerBucketPartitioner(
+            k=20, n_buckets=8, host_dram_bytes=1024
+        )
+        bucket_set = partitioner.partition(sample.reads)
+        assert bucket_set.spilled_bytes > 0
+        assert any(not b.pinned for b in bucket_set.buckets)
+        spilled = sum(
+            b.byte_size(partitioner.kmer_bytes)
+            for b in bucket_set.buckets
+            if not b.pinned
+        )
+        assert spilled == bucket_set.spilled_bytes
+
+    def test_pinned_fit_in_dram(self, sample):
+        dram = 50_000
+        partitioner = KmerBucketPartitioner(k=20, n_buckets=8, host_dram_bytes=dram)
+        bucket_set = partitioner.partition(sample.reads)
+        pinned = sum(
+            b.byte_size(partitioner.kmer_bytes) for b in bucket_set.buckets if b.pinned
+        )
+        assert pinned <= dram

@@ -1,0 +1,170 @@
+"""End-to-end MegIS pipeline tests, including the accuracy-equivalence claim."""
+
+import pytest
+
+from repro.megis.abundance import build_unified_index, merge_species_indexes
+from repro.megis.accelerator import accelerator_report, scale_area
+from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.ssd.config import ssd_c
+from repro.ssd.device import SSD
+from repro.taxonomy.metrics import f1_score
+from repro.tools.mapping import SpeciesIndex, UnifiedIndex
+from repro.tools.metalign import MetalignPipeline
+from repro.workloads.cami import CamiDiversity, make_cami_sample
+
+
+@pytest.fixture(scope="module")
+def pipelines(sorted_db, sketch_db, sample):
+    megis = MegisPipeline(sorted_db, sketch_db, sample.references)
+    metalign = MetalignPipeline(sorted_db, sketch_db, sample.references)
+    return megis, metalign
+
+
+class TestEquivalenceWithMetalign:
+    """MegIS must match the accuracy-optimized baseline exactly (§5)."""
+
+    def test_same_intersection(self, pipelines, sample):
+        megis, metalign = pipelines
+        assert (
+            megis.analyze(sample.reads).intersecting_kmers
+            == metalign.analyze(sample.reads).intersecting_kmers
+        )
+
+    def test_same_candidates_and_profile(self, pipelines, sample):
+        megis, metalign = pipelines
+        ours = megis.analyze(sample.reads)
+        theirs = metalign.analyze(sample.reads)
+        assert ours.candidates == theirs.candidates
+        assert ours.profile.fractions == theirs.profile.fractions
+
+    @pytest.mark.parametrize("diversity", list(CamiDiversity))
+    @pytest.mark.parametrize("seed", [3, 19])
+    def test_equivalence_across_samples(self, diversity, seed):
+        from repro.databases.sketch import SketchDatabase
+        from repro.databases.sorted_db import SortedKmerDatabase
+
+        sample = make_cami_sample(
+            diversity, n_reads=150, n_genera=3, species_per_genus=2,
+            genome_length=1000, seed=seed,
+        )
+        db = SortedKmerDatabase.build(sample.references, k=20)
+        sketch = SketchDatabase.build(sample.references, k_max=20, smaller_ks=(12, 8))
+        megis = MegisPipeline(db, sketch, sample.references).analyze(sample.reads)
+        metalign = MetalignPipeline(db, sketch, sample.references).analyze(sample.reads)
+        assert megis.intersecting_kmers == metalign.intersecting_kmers
+        assert megis.candidates == metalign.candidates
+        assert megis.profile.fractions == metalign.profile.fractions
+
+
+class TestPipelineBehaviour:
+    def test_accuracy_against_truth(self, pipelines, sample):
+        megis, _ = pipelines
+        result = megis.analyze(sample.reads)
+        assert f1_score(result.present(), sample.present_species()) > 0.8
+
+    def test_presence_only_mode(self, pipelines, sample):
+        megis, _ = pipelines
+        result = megis.analyze(sample.reads, with_abundance=False)
+        assert result.candidates
+        assert len(result.profile) == 0
+        assert result.merge_stats is None
+
+    def test_stats_populated(self, pipelines, sample):
+        megis, _ = pipelines
+        result = megis.analyze(sample.reads)
+        assert result.n_buckets == megis.config.n_buckets
+        assert result.query_kmers > 0
+        assert result.transfer_batches > 0
+        assert result.merge_stats is not None
+        assert result.merge_stats.entries_written > 0
+
+    def test_multi_sample_matches_individual(self, pipelines, sample):
+        megis, _ = pipelines
+        halves = [sample.reads[:200], sample.reads[200:]]
+        batched = megis.analyze_multi(halves)
+        individual = [megis.analyze(reads) for reads in halves]
+        for got, want in zip(batched, individual):
+            assert got.candidates == want.candidates
+            assert got.profile.fractions == want.profile.fractions
+
+    def test_mismatched_k_rejected(self, sorted_db, sample):
+        from repro.databases.sketch import SketchDatabase
+
+        wrong = SketchDatabase.build(sample.references, k_max=16, smaller_ks=(8,))
+        with pytest.raises(ValueError):
+            MegisPipeline(sorted_db, wrong, sample.references)
+
+    def test_with_ssd_attached(self, sorted_db, sketch_db, sample):
+        ssd = SSD(ssd_c())
+        pipeline = MegisPipeline(sorted_db, sketch_db, sample.references, ssd=ssd)
+        result = pipeline.analyze(sample.reads)
+        assert result.candidates
+        # Mode restored and baseline metadata resident again.
+        assert "baseline_l2p" in ssd.dram.allocations()
+
+    def test_spill_reported_with_tiny_host_dram(self, sorted_db, sketch_db, sample):
+        config = MegisConfig(host_dram_bytes=1024)
+        pipeline = MegisPipeline(sorted_db, sketch_db, sample.references, config=config)
+        result = pipeline.analyze(sample.reads, with_abundance=False)
+        assert result.spilled_bytes > 0
+
+
+class TestUnifiedIndexMerge:
+    def test_streaming_merge_equals_reference(self, sample):
+        refs = sample.references
+        taxids = refs.species_taxids[:4]
+        indexes = [SpeciesIndex.build(t, refs.sequence(t), 15) for t in taxids]
+        merged, stats = merge_species_indexes(indexes)
+        reference = UnifiedIndex.merge(indexes)
+        assert merged.entries == reference.entries
+        assert merged.boundaries == reference.boundaries
+        assert stats.entries_written == len(reference.entries)
+
+    def test_shared_kmers_counted(self, sample):
+        refs = sample.references
+        # Same genus species share k-mers by construction.
+        genus_species = [
+            t for t in refs.species_taxids if refs.genus_of(t) == refs.genomes[
+                refs.species_taxids[0]
+            ].genus_id
+        ]
+        merged, stats = build_unified_index(refs, genus_species, k=15)
+        assert stats.shared_kmers > 0
+
+    def test_empty_candidates(self):
+        merged, stats = merge_species_indexes([])
+        assert len(merged) == 0
+        assert stats.entries_read == 0
+
+    def test_mixed_k_rejected(self, sample):
+        refs = sample.references
+        a = SpeciesIndex.build(1, refs.sequence(refs.species_taxids[0]), 10)
+        b = SpeciesIndex.build(2, refs.sequence(refs.species_taxids[1]), 12)
+        with pytest.raises(ValueError):
+            merge_species_indexes([a, b])
+
+
+class TestAccelerator:
+    def test_table2_totals(self):
+        report = accelerator_report(channels=8)
+        assert report.total_area_mm2 == pytest.approx(0.0358, abs=0.005)
+        assert report.total_power_mw == pytest.approx(7.658, abs=0.01)
+
+    def test_32nm_area_and_core_fraction(self):
+        report = accelerator_report(channels=8)
+        assert report.area_mm2_at_32nm == pytest.approx(0.011, abs=0.001)
+        assert report.fraction_of_cores == pytest.approx(0.017, abs=0.002)
+
+    def test_power_efficiency(self):
+        assert accelerator_report().power_efficiency_vs_cores == pytest.approx(26.85)
+
+    def test_scales_with_channels(self):
+        assert accelerator_report(16).total_power_mw > accelerator_report(8).total_power_mw
+
+    def test_scale_area_unknown_node(self):
+        with pytest.raises(KeyError):
+            scale_area(1.0, 14)
+
+    def test_invalid_channels(self):
+        with pytest.raises(ValueError):
+            accelerator_report(0)

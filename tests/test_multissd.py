@@ -1,0 +1,75 @@
+"""Tests for functional multi-SSD database partitioning (Fig 15's premise)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.megis.isp import IspStepTwo
+from repro.megis.multissd import MultiSsdStepTwo, split_database
+
+
+class TestSplitDatabase:
+    def test_shards_partition_the_database(self, sorted_db):
+        shards = split_database(sorted_db, 4)
+        combined = [x for s in shards for x in s.database.kmers]
+        assert combined == sorted_db.kmers
+
+    def test_ranges_are_contiguous_and_cover_space(self, sorted_db):
+        shards = split_database(sorted_db, 3)
+        assert shards[0].lo == 0
+        assert shards[-1].hi == 1 << (2 * sorted_db.k)
+        for a, b in zip(shards, shards[1:]):
+            assert a.hi == b.lo
+
+    def test_kmers_lie_in_their_range(self, sorted_db):
+        for shard in split_database(sorted_db, 5):
+            assert all(shard.lo <= x < shard.hi for x in shard.database.kmers)
+
+    def test_balanced(self, sorted_db):
+        shards = split_database(sorted_db, 4)
+        sizes = [len(s.database) for s in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_single_shard_is_whole_db(self, sorted_db):
+        shards = split_database(sorted_db, 1)
+        assert len(shards) == 1
+        assert shards[0].database.kmers == sorted_db.kmers
+
+    def test_invalid_count(self, sorted_db):
+        with pytest.raises(ValueError):
+            split_database(sorted_db, 0)
+
+    def test_owners_preserved(self, sorted_db):
+        for shard in split_database(sorted_db, 3):
+            for kmer in shard.database.kmers[:10]:
+                assert shard.database.owners_of(kmer) == sorted_db.owners_of(kmer)
+
+
+class TestMultiSsdStepTwo:
+    @pytest.mark.parametrize("n_ssds", [1, 2, 4, 8])
+    def test_sharded_equals_single(self, sorted_db, kss_tables, sample, n_ssds):
+        from repro.megis.host import KmerBucketPartitioner
+
+        query = KmerBucketPartitioner(k=20, n_buckets=4).partition(
+            sample.reads
+        ).merged_sorted()
+        single = IspStepTwo(sorted_db, kss_tables, n_channels=8).run(query)
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=n_ssds).run(query)
+        assert multi[0] == single[0]
+        assert multi[1] == single[1]
+
+    def test_empty_query(self, sorted_db, kss_tables):
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=2)
+        intersecting, retrieved = multi.run([])
+        assert intersecting == []
+        assert retrieved == {}
+
+    def test_n_ssds_property(self, sorted_db, kss_tables):
+        assert MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=4).n_ssds == 4
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_result_invariant_in_shard_count(self, sorted_db, kss_tables, n):
+        query = sorted_db.kmers[::9]
+        expected = sorted_db.intersect(query)
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=n)
+        assert multi.run(query)[0] == expected

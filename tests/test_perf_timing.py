@@ -1,0 +1,254 @@
+"""Tests for the analytic timing model: structure, orderings, paper bands."""
+
+import math
+
+import pytest
+
+from repro.perf.specs import baseline_system, cost_system, perf_system
+from repro.perf.timing import Phase, TimeBreakdown, TimingModel
+from repro.ssd.config import GB, ssd_c, ssd_p
+from repro.workloads.datasets import cami_spec
+
+
+@pytest.fixture(scope="module")
+def model_c():
+    return TimingModel(baseline_system(ssd_c()), cami_spec("CAMI-M"))
+
+
+@pytest.fixture(scope="module")
+def model_p():
+    return TimingModel(baseline_system(ssd_p()), cami_spec("CAMI-M"))
+
+
+def gmean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class TestBreakdownStructure:
+    def test_phases_positive(self, model_c):
+        for config in (
+            model_c.popt(), model_c.aopt(), model_c.aopt(use_kss=True),
+            model_c.sieve(), model_c.megis("ms"), model_c.megis("ms-nol"),
+            model_c.megis("ms-cc"), model_c.megis("ext-ms"),
+        ):
+            assert config.total_seconds > 0
+            assert all(p.seconds > 0 for p in config.phases)
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError):
+            Phase("x", -1.0, frozenset())
+
+    def test_tagged_seconds(self, model_c):
+        popt = model_c.popt()
+        assert popt.tagged_seconds("host_io") > 0
+        assert popt.tagged_seconds("host_compute") > 0
+        assert popt.tagged_seconds("isp") == 0
+
+    def test_megis_has_isp_phase(self, model_c):
+        assert model_c.megis("ms").tagged_seconds("isp") > 0
+
+    def test_unknown_variant(self, model_c):
+        with pytest.raises(ValueError):
+            model_c.megis("ms-xyz")
+
+    def test_as_dict_and_speedup(self, model_c):
+        ms = model_c.megis("ms")
+        popt = model_c.popt()
+        assert set(ms.as_dict()) == {p.name for p in ms.phases}
+        assert ms.speedup_over(popt) == pytest.approx(
+            popt.total_seconds / ms.total_seconds
+        )
+
+
+class TestOrderings:
+    """Who wins, and in the right direction, on both SSDs."""
+
+    @pytest.mark.parametrize("fixture", ["model_c", "model_p"])
+    def test_ms_is_fastest(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        ms = model.megis("ms").total_seconds
+        for other in (
+            model.popt(), model.aopt(), model.aopt(use_kss=True),
+            model.sieve(), model.megis("ms-nol"), model.megis("ms-cc"),
+            model.megis("ext-ms"),
+        ):
+            assert ms <= other.total_seconds
+
+    @pytest.mark.parametrize("fixture", ["model_c", "model_p"])
+    def test_aopt_slower_than_popt(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        assert model.aopt().total_seconds > model.popt().total_seconds
+
+    @pytest.mark.parametrize("fixture", ["model_c", "model_p"])
+    def test_kss_helps_aopt(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        assert model.aopt(use_kss=True).total_seconds < model.aopt().total_seconds
+
+    @pytest.mark.parametrize("fixture", ["model_c", "model_p"])
+    def test_sieve_helps_popt(self, fixture, request):
+        model = request.getfixturevalue(fixture)
+        assert model.sieve().total_seconds < model.popt().total_seconds
+
+    def test_no_io_faster(self, model_c):
+        assert model_c.popt(no_io=True).total_seconds < model_c.popt().total_seconds
+        assert model_c.aopt(no_io=True).total_seconds < model_c.aopt().total_seconds
+
+
+class TestPaperBands:
+    """Loose assertions that headline ratios stay in the paper's ballpark."""
+
+    def test_fig12_ms_vs_popt(self):
+        for ssd, low, high in ((ssd_c(), 4.0, 8.0), (ssd_p(), 2.0, 7.0)):
+            ratios = []
+            for name in ("CAMI-L", "CAMI-M", "CAMI-H"):
+                model = TimingModel(baseline_system(ssd), cami_spec(name))
+                ratios.append(
+                    model.popt().total_seconds / model.megis("ms").total_seconds
+                )
+            assert low < gmean(ratios) < high
+
+    def test_fig12_ms_vs_aopt(self):
+        for ssd, low, high in ((ssd_c(), 10.0, 25.0), (ssd_p(), 6.0, 25.0)):
+            ratios = []
+            for name in ("CAMI-L", "CAMI-M", "CAMI-H"):
+                model = TimingModel(baseline_system(ssd), cami_spec(name))
+                ratios.append(
+                    model.aopt().total_seconds / model.megis("ms").total_seconds
+                )
+            assert low < gmean(ratios) < high
+
+    def test_overlap_ablation_band(self, model_c, model_p):
+        # Paper: MS-NOL costs 23.5% (SSD-C) / 34.9% (SSD-P).
+        ratio_c = model_c.megis("ms-nol").total_seconds / model_c.megis("ms").total_seconds
+        ratio_p = model_p.megis("ms-nol").total_seconds / model_p.megis("ms").total_seconds
+        assert 1.15 < ratio_c < 1.40
+        assert 1.20 < ratio_p < 1.50
+        assert ratio_p > ratio_c
+
+    def test_cores_ablation_band(self, model_c, model_p):
+        # Paper: MS-CC costs 9% (SSD-C) / 43% (SSD-P).
+        ratio_c = model_c.megis("ms-cc").total_seconds / model_c.megis("ms").total_seconds
+        ratio_p = model_p.megis("ms-cc").total_seconds / model_p.megis("ms").total_seconds
+        assert 1.02 < ratio_c < 1.2
+        assert 1.25 < ratio_p < 1.6
+
+    def test_ext_ms_ablation_band(self, model_c, model_p):
+        ratio_c = model_c.megis("ext-ms").total_seconds / model_c.megis("ms").total_seconds
+        ratio_p = model_p.megis("ext-ms").total_seconds / model_p.megis("ms").total_seconds
+        assert 8.0 < ratio_c < 14.0
+        assert 1.5 < ratio_p < 3.0
+
+    def test_diversity_increases_megis_speedup(self):
+        speedups = []
+        for name in ("CAMI-L", "CAMI-M", "CAMI-H"):
+            model = TimingModel(baseline_system(ssd_c()), cami_spec(name))
+            speedups.append(
+                model.aopt().total_seconds / model.megis("ms").total_seconds
+            )
+        assert speedups == sorted(speedups)
+
+
+class TestDramAndScaling:
+    def test_chunking_kicks_in_below_db_size(self):
+        small = TimingModel(
+            baseline_system(ssd_c()).with_dram(64 * GB), cami_spec("CAMI-M")
+        )
+        large = TimingModel(
+            baseline_system(ssd_c()).with_dram(1000 * GB), cami_spec("CAMI-M")
+        )
+        assert small.popt().total_seconds > 2 * large.popt().total_seconds
+
+    def test_megis_insensitive_to_dram_until_spill(self):
+        base = TimingModel(
+            baseline_system(ssd_c()).with_dram(1000 * GB), cami_spec("CAMI-M")
+        ).megis("ms").total_seconds
+        at_128 = TimingModel(
+            baseline_system(ssd_c()).with_dram(128 * GB), cami_spec("CAMI-M")
+        ).megis("ms").total_seconds
+        at_32 = TimingModel(
+            baseline_system(ssd_c()).with_dram(32 * GB), cami_spec("CAMI-M")
+        ).megis("ms").total_seconds
+        assert at_128 == pytest.approx(base)
+        assert at_32 > base  # bucket spill
+
+    def test_database_scaling_monotonic(self):
+        times = []
+        for scale in (0.5, 1.0, 2.0):
+            model = TimingModel(
+                baseline_system(ssd_c()), cami_spec("CAMI-M").scaled_database(scale)
+            )
+            times.append(model.megis("ms").total_seconds)
+        assert times == sorted(times)
+
+    def test_more_channels_speed_up_megis(self):
+        slow = TimingModel(
+            baseline_system(ssd_c()).with_channels(4), cami_spec("CAMI-M")
+        ).megis("ms").total_seconds
+        fast = TimingModel(
+            baseline_system(ssd_c()).with_channels(16), cami_spec("CAMI-M")
+        ).megis("ms").total_seconds
+        assert fast < slow
+
+    def test_more_ssds_speed_up_everyone(self):
+        one = TimingModel(baseline_system(ssd_c(), n_ssds=1), cami_spec("CAMI-M"))
+        eight = TimingModel(baseline_system(ssd_c(), n_ssds=8), cami_spec("CAMI-M"))
+        assert eight.popt().total_seconds < one.popt().total_seconds
+        assert eight.megis("ms").total_seconds < one.megis("ms").total_seconds
+
+
+class TestAbundanceAndMultiSample:
+    def test_abundance_adds_time(self, model_c):
+        assert (
+            model_c.megis("ms", abundance=True).total_seconds
+            > model_c.megis("ms").total_seconds
+        )
+
+    def test_nidx_slower_than_ms(self, model_c, model_p):
+        for model in (model_c, model_p):
+            assert (
+                model.megis_nidx().total_seconds
+                > model.megis("ms", abundance=True).total_seconds
+            )
+
+    def test_multi_sample_anchored_at_single(self, model_c):
+        single = model_c.megis("ms").total_seconds
+        assert model_c.megis_multi(1).total_seconds == pytest.approx(single)
+
+    def test_multi_sample_marginal_below_full_run(self, model_c):
+        t4 = model_c.megis_multi(4).total_seconds
+        t8 = model_c.megis_multi(8).total_seconds
+        marginal = (t8 - t4) / 4
+        assert marginal < model_c.megis("ms").total_seconds / 2
+
+    def test_multi_sample_speedup_grows(self, model_c):
+        speedups = [
+            model_c.baseline_multi(n, "popt").total_seconds
+            / model_c.megis_multi(n).total_seconds
+            for n in (1, 4, 8, 16)
+        ]
+        assert speedups == sorted(speedups)
+
+    def test_software_batching_slower_than_isp(self, model_c):
+        assert (
+            model_c.megis_multi(8, software=True).total_seconds
+            > model_c.megis_multi(8).total_seconds
+        )
+
+    def test_invalid_inputs(self, model_c):
+        with pytest.raises(ValueError):
+            model_c.megis_multi(0)
+        with pytest.raises(ValueError):
+            model_c.baseline_multi(2, "nope")
+
+
+class TestCostSystems:
+    def test_ms_on_cheap_beats_baselines_on_rich(self):
+        cheap = TimingModel(cost_system(), cami_spec("CAMI-M"))
+        rich = TimingModel(perf_system(), cami_spec("CAMI-M"))
+        ms_c = cheap.megis("ms").total_seconds
+        assert ms_c < rich.popt().total_seconds
+        assert ms_c < rich.aopt().total_seconds
+
+    def test_prices(self):
+        assert cost_system().price_usd == pytest.approx(658)
+        assert perf_system().price_usd == pytest.approx(7955)

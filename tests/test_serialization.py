@@ -1,0 +1,128 @@
+"""Tests for the on-flash database format and the offline builder."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.databases.builder import DatabaseBuilder, place_bundle
+from repro.databases.serialization import (
+    SerializationError,
+    byte_order_matches_kmer_order,
+    deserialize_database,
+    kmer_record_bytes,
+    payload_pages,
+    serialize_database,
+)
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.ssd.config import ssd_c
+
+
+class TestSerialization:
+    def test_roundtrip_with_owners(self, sorted_db):
+        payload = serialize_database(sorted_db, with_owners=True)
+        loaded = deserialize_database(payload)
+        assert loaded.k == sorted_db.k
+        assert loaded.kmers == sorted_db.kmers
+        for kmer in sorted_db.kmers[:50]:
+            assert loaded.owners_of(kmer) == sorted_db.owners_of(kmer)
+
+    def test_roundtrip_without_owners(self, sorted_db):
+        payload = serialize_database(sorted_db, with_owners=False)
+        loaded = deserialize_database(payload)
+        assert loaded.kmers == sorted_db.kmers
+
+    def test_owner_payload_larger(self, sorted_db):
+        assert len(serialize_database(sorted_db, with_owners=True)) > len(
+            serialize_database(sorted_db, with_owners=False)
+        )
+
+    def test_byte_order_property(self, sorted_db):
+        # The load-bearing invariant: byte-wise order == k-mer order.
+        assert byte_order_matches_kmer_order(sorted_db)
+
+    def test_record_width(self):
+        assert kmer_record_bytes(20) == 5
+        assert kmer_record_bytes(60) == 15
+        assert kmer_record_bytes(4) == 1
+
+    def test_bad_magic(self, sorted_db):
+        payload = bytearray(serialize_database(sorted_db))
+        payload[0] = 0
+        with pytest.raises(SerializationError):
+            deserialize_database(bytes(payload))
+
+    def test_truncated_payload(self, sorted_db):
+        payload = serialize_database(sorted_db)
+        with pytest.raises(SerializationError):
+            deserialize_database(payload[:-3])
+
+    def test_trailing_garbage(self, sorted_db):
+        payload = serialize_database(sorted_db) + b"xx"
+        with pytest.raises(SerializationError):
+            deserialize_database(payload)
+
+    def test_short_header(self):
+        with pytest.raises(SerializationError):
+            deserialize_database(b"abc")
+
+    def test_payload_pages(self):
+        assert payload_pages(b"x" * 10000, 4096) == (2, 1808)
+        with pytest.raises(ValueError):
+            payload_pages(b"", 0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 24) - 1),
+                    min_size=0, max_size=40, unique=True))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, raw):
+        kmers = sorted(raw)
+        db = SortedKmerDatabase(12, kmers, [frozenset({1})] * len(kmers))
+        loaded = deserialize_database(serialize_database(db))
+        assert loaded.kmers == kmers
+
+
+class TestDatabaseBuilder:
+    @pytest.fixture(scope="class")
+    def bundle(self, references):
+        return DatabaseBuilder(k=20, smaller_ks=(12, 8)).build(references)
+
+    def test_bundle_consistency(self, bundle):
+        assert bundle.sorted_db.k == bundle.sketch.k_max == 20
+        assert bundle.kss.k_max == 20
+        assert set(bundle.taxonomy.species()) == set(
+            bundle.references.species_taxids
+        )
+
+    def test_flash_image_parses(self, bundle):
+        loaded = deserialize_database(bundle.flash_image)
+        assert loaded.kmers == bundle.sorted_db.kmers
+
+    def test_sizes_reported(self, bundle):
+        sizes = bundle.sizes()
+        assert sizes["flash_image"] > 0
+        assert sizes["kss"] < sizes["flat_sketch"]
+
+    def test_pipelines_work_from_bundle(self, bundle, sample):
+        from repro.megis.pipeline import MegisPipeline
+        from repro.tools.metalign import MetalignPipeline
+
+        megis = MegisPipeline(bundle.sorted_db, bundle.sketch, bundle.references)
+        metalign = MetalignPipeline(bundle.sorted_db, bundle.sketch, bundle.references)
+        ours = megis.analyze(sample.reads)
+        theirs = metalign.analyze(sample.reads)
+        assert ours.profile.fractions == theirs.profile.fractions
+
+    def test_build_from_fasta(self, references):
+        from repro.sequences.io import references_to_fasta
+
+        bundle = DatabaseBuilder(k=16, smaller_ks=(8,)).build_from_fasta(
+            references_to_fasta(references)
+        )
+        assert len(bundle.sorted_db) > 0
+
+    def test_invalid_smaller_ks(self):
+        with pytest.raises(ValueError):
+            DatabaseBuilder(k=10, smaller_ks=(12,))
+
+    def test_placement_uses_real_size(self, bundle):
+        layout = place_bundle(bundle, ssd_c().geometry)
+        assert layout.size_bytes == len(bundle.flash_image)
+        assert layout.n_pages >= 1

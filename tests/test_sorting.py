@@ -1,0 +1,60 @@
+"""Tests for the external merge sorter (KMC's sort, §4.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.megis.sorting import ExternalSorter, merge_sorted_runs
+
+values_strategy = st.lists(st.integers(min_value=0, max_value=10**9), max_size=300)
+
+
+class TestExternalSorter:
+    def test_in_memory_run_no_spill(self):
+        sorter = ExternalSorter(memory_values=100)
+        assert sorter.sort([3, 1, 2]) == [1, 2, 3]
+        assert sorter.stats.chunks == 1
+        assert sorter.stats.spilled_values == 0
+
+    def test_spill_when_over_budget(self):
+        sorter = ExternalSorter(memory_values=4)
+        values = [9, 1, 8, 2, 7, 3, 6, 4, 5]
+        assert sorter.sort(values) == sorted(values)
+        assert sorter.stats.chunks == 3
+        assert sorter.stats.spilled_values == len(values)
+
+    def test_spill_fraction(self):
+        sorter = ExternalSorter(memory_values=4)
+        sorter.sort(list(range(8, 0, -1)))
+        assert sorter.stats.spill_fraction(8) == 1.0
+
+    def test_empty_input(self):
+        assert ExternalSorter().sort([]) == []
+
+    def test_sort_unique(self):
+        sorter = ExternalSorter(memory_values=3)
+        assert sorter.sort_unique([5, 1, 5, 1, 2, 2, 5]) == [1, 2, 5]
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            ExternalSorter(memory_values=0)
+
+    @given(values_strategy, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40)
+    def test_matches_sorted_property(self, values, budget):
+        assert ExternalSorter(memory_values=budget).sort(values) == sorted(values)
+
+    @given(values_strategy, st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40)
+    def test_unique_property(self, values, budget):
+        assert ExternalSorter(memory_values=budget).sort_unique(values) == sorted(
+            set(values)
+        )
+
+
+class TestMergeSortedRuns:
+    def test_merges(self):
+        assert list(merge_sorted_runs([[1, 4], [2, 3], []])) == [1, 2, 3, 4]
+
+    def test_rejects_unsorted_run(self):
+        with pytest.raises(ValueError):
+            list(merge_sorted_runs([[2, 1]]))

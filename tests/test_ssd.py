@@ -1,0 +1,286 @@
+"""Tests for the SSD simulator: config, NAND, channels, FTL, DRAM, device."""
+
+import pytest
+
+from repro.ssd.channel import AccessPattern, ChannelSimulator, ReadRequest
+from repro.ssd.config import NandGeometry, ssd_c, ssd_p
+from repro.ssd.device import SSD
+from repro.ssd.dram import DramCapacityError, InternalDram
+from repro.ssd.ftl import PageLevelFTL
+from repro.ssd.nand import NandError, NandFlash, PageAddress
+
+
+def tiny_geometry(**overrides):
+    params = dict(
+        channels=2,
+        dies_per_channel=2,
+        planes_per_die=2,
+        blocks_per_plane=4,
+        pages_per_block=8,
+        page_bytes=4096,
+    )
+    params.update(overrides)
+    return NandGeometry(**params)
+
+
+class TestConfig:
+    def test_table1_internal_bandwidth(self):
+        # 8 x 1.2 GB/s and 16 x 1.2 GB/s (paper §2.3's 19.2 GB/s example).
+        assert ssd_c().internal_read_bw == pytest.approx(9.6e9)
+        assert ssd_p().internal_read_bw == pytest.approx(19.2e9)
+
+    def test_internal_exceeds_external(self):
+        for config in (ssd_c(), ssd_p()):
+            assert config.internal_read_bw > config.seq_read_bw
+
+    def test_capacity_near_4tb(self):
+        for config in (ssd_c(), ssd_p()):
+            assert 3.5e12 < config.capacity_bytes < 6e12
+
+    def test_with_channels_scales_bandwidth(self):
+        base = ssd_c()
+        doubled = base.with_channels(16)
+        assert doubled.internal_read_bw == pytest.approx(2 * base.internal_read_bw)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            tiny_geometry(channels=0)
+
+    def test_geometry_counts(self):
+        g = tiny_geometry()
+        assert g.dies == 4
+        assert g.planes == 8
+        assert g.blocks == 32
+        assert g.pages == 256
+        assert g.capacity_bytes == 256 * 4096
+        assert g.multiplane_read_bytes == 2 * 4096
+
+
+class TestNandFlash:
+    def test_program_then_read(self):
+        flash = NandFlash(tiny_geometry())
+        addr = PageAddress(0, 0, 0, 0, 0)
+        flash.erase(0, 0, 0, 0)
+        flash.program(addr, data="payload")
+        data, latency = flash.read(addr)
+        assert data == "payload"
+        assert latency == 52.5
+
+    def test_out_of_order_program_rejected(self):
+        flash = NandFlash(tiny_geometry())
+        flash.erase(0, 0, 0, 0)
+        with pytest.raises(NandError):
+            flash.program(PageAddress(0, 0, 0, 0, 3))
+
+    def test_reprogram_requires_erase(self):
+        flash = NandFlash(tiny_geometry())
+        flash.erase(0, 0, 0, 0)
+        for page in range(8):
+            flash.program(PageAddress(0, 0, 0, 0, page))
+        with pytest.raises(NandError):
+            flash.program(PageAddress(0, 0, 0, 0, 0))
+        flash.erase(0, 0, 0, 0)
+        flash.program(PageAddress(0, 0, 0, 0, 0))  # legal again
+
+    def test_erase_clears_data(self):
+        flash = NandFlash(tiny_geometry())
+        flash.erase(0, 0, 0, 0)
+        flash.program(PageAddress(0, 0, 0, 0, 0), data="x")
+        flash.erase(0, 0, 0, 0)
+        data, _ = flash.read(PageAddress(0, 0, 0, 0, 0))
+        assert data is None
+
+    def test_erase_count_tracked(self):
+        flash = NandFlash(tiny_geometry())
+        flash.erase(1, 1, 1, 1)
+        flash.erase(1, 1, 1, 1)
+        assert flash.erase_count(1, 1, 1, 1) == 2
+
+    def test_address_validation(self):
+        flash = NandFlash(tiny_geometry())
+        with pytest.raises(NandError):
+            flash.read(PageAddress(9, 0, 0, 0, 0))
+
+    def test_multiplane_read(self):
+        flash = NandFlash(tiny_geometry())
+        for plane in range(2):
+            flash.erase(0, 0, plane, 1)
+            flash.program(PageAddress(0, 0, plane, 1, 0), data=f"p{plane}")
+        data, latency = flash.multiplane_read(0, 0, 1, 0)
+        assert data == ["p0", "p1"]
+        assert latency == 52.5
+
+    def test_linear_index_bijective(self):
+        geometry = tiny_geometry()
+        flash = NandFlash(geometry)
+        seen = set()
+        for channel in range(geometry.channels):
+            for die in range(geometry.dies_per_channel):
+                for plane in range(geometry.planes_per_die):
+                    for block in range(geometry.blocks_per_plane):
+                        for page in range(geometry.pages_per_block):
+                            seen.add(
+                                flash.linear_page_index(
+                                    PageAddress(channel, die, plane, block, page)
+                                )
+                            )
+        assert seen == set(range(geometry.pages))
+
+
+class TestChannelSimulator:
+    def test_sequential_saturates_channels(self):
+        config = ssd_c()
+        sim = ChannelSimulator(config.geometry, config.t_read_us, config.channel_bw)
+        bw = sim.measure_bandwidth(AccessPattern.SEQUENTIAL)
+        assert bw > 0.8 * config.internal_read_bw
+
+    def test_random_collapses_throughput(self):
+        config = ssd_c()
+        sim = ChannelSimulator(config.geometry, config.t_read_us, config.channel_bw)
+        seq = sim.measure_bandwidth(AccessPattern.SEQUENTIAL)
+        rnd = sim.measure_bandwidth(AccessPattern.RANDOM)
+        assert rnd < 0.5 * seq
+
+    def test_empty_request_list(self):
+        sim = ChannelSimulator(tiny_geometry())
+        result = sim.simulate([])
+        assert result.total_time_s == 0.0
+        assert result.bandwidth == 0.0
+
+    def test_single_read_latency(self):
+        g = tiny_geometry()
+        sim = ChannelSimulator(g, t_read_us=50.0, channel_bw=1e9)
+        result = sim.simulate([ReadRequest(0, 0, multiplane=False)])
+        expected = 50e-6 + g.page_bytes / 1e9
+        assert result.total_time_s == pytest.approx(expected)
+
+    def test_two_dies_overlap_sensing(self):
+        g = tiny_geometry()
+        sim = ChannelSimulator(g, t_read_us=50.0, channel_bw=1e9)
+        same_die = sim.simulate([ReadRequest(0, 0, False)] * 2).total_time_s
+        two_dies = sim.simulate(
+            [ReadRequest(0, 0, False), ReadRequest(0, 1, False)]
+        ).total_time_s
+        assert two_dies < same_die
+
+
+class TestPageLevelFTL:
+    def test_write_read_roundtrip(self):
+        ftl = PageLevelFTL(NandFlash(tiny_geometry()))
+        ftl.write(5, data="hello")
+        data, _ = ftl.read(5)
+        assert data == "hello"
+
+    def test_unmapped_read_raises(self):
+        ftl = PageLevelFTL(NandFlash(tiny_geometry()))
+        with pytest.raises(KeyError):
+            ftl.read(0)
+
+    def test_overwrite_remaps(self):
+        ftl = PageLevelFTL(NandFlash(tiny_geometry()))
+        first = ftl.write(1, data="old")
+        second = ftl.write(1, data="new")
+        assert first != second
+        assert ftl.read(1)[0] == "new"
+
+    def test_sequential_writes_stripe_channels(self):
+        geometry = tiny_geometry()
+        ftl = PageLevelFTL(NandFlash(geometry))
+        addrs = [ftl.write(lpa) for lpa in range(geometry.channels)]
+        assert {a.channel for a in addrs} == set(range(geometry.channels))
+
+    def test_metadata_is_0_1_percent(self):
+        config = ssd_c()
+        ftl = PageLevelFTL(NandFlash(config.geometry))
+        ratio = ftl.metadata_bytes() / config.capacity_bytes
+        assert ratio == pytest.approx(0.001, rel=0.05)
+
+    def test_negative_lpa_rejected(self):
+        ftl = PageLevelFTL(NandFlash(tiny_geometry()))
+        with pytest.raises(ValueError):
+            ftl.write(-1)
+
+    def test_device_full(self):
+        geometry = tiny_geometry(blocks_per_plane=1, pages_per_block=2)
+        ftl = PageLevelFTL(NandFlash(geometry))
+        for lpa in range(geometry.pages):
+            ftl.write(lpa)
+        with pytest.raises(RuntimeError):
+            ftl.write(geometry.pages)
+
+
+class TestInternalDram:
+    def test_allocate_and_free(self):
+        dram = InternalDram(capacity_bytes=100, bandwidth=1e9)
+        dram.allocate("a", 60)
+        assert dram.used_bytes == 60
+        assert dram.free_bytes == 40
+        dram.free("a")
+        assert dram.used_bytes == 0
+
+    def test_over_capacity_raises(self):
+        dram = InternalDram(capacity_bytes=100, bandwidth=1e9)
+        dram.allocate("a", 80)
+        with pytest.raises(DramCapacityError):
+            dram.allocate("b", 30)
+
+    def test_duplicate_name_raises(self):
+        dram = InternalDram(capacity_bytes=100, bandwidth=1e9)
+        dram.allocate("a", 10)
+        with pytest.raises(ValueError):
+            dram.allocate("a", 10)
+
+    def test_free_unknown_raises(self):
+        dram = InternalDram(capacity_bytes=100, bandwidth=1e9)
+        with pytest.raises(KeyError):
+            dram.free("missing")
+
+    def test_resize(self):
+        dram = InternalDram(capacity_bytes=100, bandwidth=1e9)
+        dram.allocate("a", 50)
+        dram.resize("a", 90)
+        assert dram.allocation("a") == 90
+        with pytest.raises(DramCapacityError):
+            dram.resize("a", 200)
+
+    def test_bandwidth_budget(self):
+        dram = InternalDram(capacity_bytes=100, bandwidth=4e9)
+        assert dram.supports_bandwidth(2.4e9)
+        assert not dram.supports_bandwidth(20e9)
+
+
+class TestSSDDevice:
+    def test_sequential_read_time_interface_limited(self):
+        device = SSD(ssd_c())
+        seconds = device.host_sequential_read_time(560e6)
+        assert seconds == pytest.approx(1.0)
+
+    def test_internal_faster_than_external(self):
+        device = SSD(ssd_c())
+        nbytes = 10e9
+        assert device.internal_sequential_read_time(
+            nbytes
+        ) < device.host_sequential_read_time(nbytes)
+
+    def test_random_slower_than_sequential_on_ssd_p(self):
+        # On PCIe the flash-side random penalty is visible; on SATA both
+        # patterns are interface-limited, so random is merely no faster.
+        device_p = SSD(ssd_p())
+        assert device_p.host_random_read_time(1e9) > device_p.host_sequential_read_time(1e9)
+        device_c = SSD(ssd_c())
+        assert device_c.host_random_read_time(1e9) >= device_c.host_sequential_read_time(1e9)
+
+    def test_counters_accumulate(self):
+        device = SSD(ssd_p())
+        device.host_sequential_read_time(100)
+        device.host_sequential_write_time(50)
+        device.internal_sequential_read_time(200)
+        assert device.counters.host_read_bytes == 100
+        assert device.counters.host_write_bytes == 50
+        assert device.counters.internal_read_bytes == 200
+        assert device.counters.external_bytes == 150
+
+    def test_negative_bytes_rejected(self):
+        device = SSD(ssd_c())
+        with pytest.raises(ValueError):
+            device.host_sequential_read_time(-1)

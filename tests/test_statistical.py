@@ -1,0 +1,111 @@
+"""Tests for the EM-based statistical abundance estimator (§4.4 option i)."""
+
+import pytest
+
+from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.taxonomy.metrics import l1_norm_error
+from repro.tools.statistical import StatisticalAbundanceEstimator
+
+
+@pytest.fixture(scope="module")
+def estimator(sketch_db):
+    return StatisticalAbundanceEstimator(sketch_db)
+
+
+class TestHitGroups:
+    def test_most_specific_level_wins(self, estimator):
+        retrieved = {
+            5: {20: frozenset({1}), 12: frozenset({1, 2})},
+            9: {12: frozenset({2, 3})},
+        }
+        groups = StatisticalAbundanceEstimator.hit_groups(retrieved, {1, 2, 3})
+        assert groups == {frozenset({1}): 1, frozenset({2, 3}): 1}
+
+    def test_restricted_to_candidates(self, estimator):
+        retrieved = {5: {20: frozenset({1, 99})}}
+        groups = StatisticalAbundanceEstimator.hit_groups(retrieved, {1})
+        assert groups == {frozenset({1}): 1}
+
+    def test_empty_levels_skipped(self, estimator):
+        assert StatisticalAbundanceEstimator.hit_groups({5: {}}, {1}) == {}
+
+
+class TestEm:
+    def test_unambiguous_hits_recover_ratio(self, sketch_db):
+        taxids = sorted(sketch_db.sketch_sizes)[:2]
+        a, b = taxids
+        wa = max(1, sketch_db.sketch_sizes[a])
+        wb = max(1, sketch_db.sketch_sizes[b])
+        # Hits proportional to (abundance x sketch size) with 3:1 abundance.
+        groups = {
+            frozenset({a}): 3 * wa,
+            frozenset({b}): 1 * wb,
+        }
+        profile, diag = StatisticalAbundanceEstimator(sketch_db).estimate(groups)
+        assert diag.converged
+        assert profile.abundance(a) == pytest.approx(0.75, abs=0.02)
+        assert profile.abundance(b) == pytest.approx(0.25, abs=0.02)
+
+    def test_ambiguous_hits_split(self, sketch_db):
+        taxids = sorted(sketch_db.sketch_sizes)[:2]
+        groups = {frozenset(taxids): 100}
+        profile, _ = StatisticalAbundanceEstimator(sketch_db).estimate(groups)
+        assert profile.total() == pytest.approx(1.0)
+        assert all(profile.abundance(t) > 0 for t in taxids)
+
+    def test_ambiguity_resolved_by_unique_evidence(self, sketch_db):
+        a, b = sorted(sketch_db.sketch_sizes)[:2]
+        wa = max(1, sketch_db.sketch_sizes[a])
+        groups = {
+            frozenset({a, b}): 50,
+            frozenset({a}): 5 * wa,  # only a has unique support
+        }
+        profile, _ = StatisticalAbundanceEstimator(sketch_db).estimate(groups)
+        assert profile.abundance(a) > profile.abundance(b)
+
+    def test_empty_input(self, estimator):
+        profile, diag = estimator.estimate({})
+        assert len(profile) == 0
+        assert diag.converged
+
+    def test_invalid_params(self, sketch_db):
+        with pytest.raises(ValueError):
+            StatisticalAbundanceEstimator(sketch_db, max_iterations=0)
+        with pytest.raises(ValueError):
+            StatisticalAbundanceEstimator(sketch_db, tolerance=0)
+
+
+class TestPipelineIntegration:
+    def test_statistical_mode_produces_reasonable_profile(
+        self, sorted_db, sketch_db, sample
+    ):
+        config = MegisConfig(abundance_method="statistical")
+        pipeline = MegisPipeline(sorted_db, sketch_db, sample.references, config=config)
+        result = pipeline.analyze(sample.reads)
+        assert result.profile.total() == pytest.approx(1.0)
+        # Lightweight statistics are less accurate than mapping but must
+        # still be broadly correct (truth species dominate the profile).
+        truth_mass = sum(
+            result.profile.abundance(t) for t in sample.present_species()
+        )
+        assert truth_mass > 0.5
+
+    def test_statistical_less_accurate_than_mapping(
+        self, sorted_db, sketch_db, sample
+    ):
+        mapping = MegisPipeline(
+            sorted_db, sketch_db, sample.references,
+            config=MegisConfig(abundance_method="mapping"),
+        ).analyze(sample.reads)
+        statistical = MegisPipeline(
+            sorted_db, sketch_db, sample.references,
+            config=MegisConfig(abundance_method="statistical"),
+        ).analyze(sample.reads)
+        truth = sample.truth.fractions
+        l1_map = l1_norm_error(mapping.profile.fractions, truth)
+        l1_stat = l1_norm_error(statistical.profile.fractions, truth)
+        assert l1_map <= l1_stat + 0.25  # mapping at least comparable
+
+    def test_invalid_method_rejected(self):
+        with pytest.raises(ValueError):
+            MegisConfig(abundance_method="magic")

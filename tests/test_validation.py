@@ -1,0 +1,24 @@
+"""The reproduction contract: every headline target must be in band."""
+
+import pytest
+
+from repro.perf.validation import format_validation_report, validate
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return validate()
+
+
+class TestValidation:
+    def test_all_targets_in_band(self, rows):
+        out_of_band = [r.name for r in rows if not r.in_band]
+        assert not out_of_band, f"targets out of band: {out_of_band}"
+
+    def test_report_renders(self, rows):
+        report = format_validation_report(rows)
+        assert "targets in band" in report
+        assert f"{len(rows)}/{len(rows)}" in report
+
+    def test_target_count(self, rows):
+        assert len(rows) >= 15  # every headline quantity covered
