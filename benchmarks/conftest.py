@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.databases.kss import KssTables
-from repro.databases.sketch import SketchDatabase, TernarySearchTree
+from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.workloads.cami import CamiDiversity, make_cami_sample
 

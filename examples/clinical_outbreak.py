@@ -14,7 +14,6 @@ on whether the pathogen is detected, then uses the timing model to show the
 turnaround-time advantage at paper scale.
 """
 
-import numpy as np
 
 from repro.databases.kraken import KrakenDatabase
 from repro.databases.sketch import SketchDatabase

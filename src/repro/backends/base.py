@@ -1,0 +1,212 @@
+"""Backend abstraction for MegIS Step 2 (paper §4.3).
+
+A :class:`StepTwoBackend` supplies the three data-path kernels that
+dominate end-to-end time — sorted-stream intersection, bucketed
+intersection, and KSS taxID retrieval — plus the batched multi-sample
+variant (§4.7) in which every database bucket slice is streamed from flash
+once and intersected against all buffered samples before advancing.
+
+Backends must be *functionally identical*: the paper's accuracy-identity
+claim rests on MegIS computing exactly what the software pipeline computes,
+so every backend has to produce the same intersecting k-mers and the same
+per-level taxID sets as the reference implementations
+(:meth:`SortedKmerDatabase.intersect`, :meth:`KssTables.retrieve`).  The
+test suite enforces this with randomized cross-backend equivalence tests.
+
+:class:`PhaseTimings` records per-phase wall time and streaming counters so
+experiments can attribute cost to extraction, intersection, retrieval, and
+abundance estimation without re-instrumenting each backend.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+#: One query bucket: (lo, hi, sorted k-mers).  ``lo``/``hi`` may be ``None``
+#: to denote the full key space (used by the un-bucketed ``intersect``).
+BucketSlice = Tuple[Optional[int], Optional[int], Sequence[int]]
+
+#: Per-query retrieval result: query k-mer -> level k -> taxIDs.
+RetrievalResult = Dict[int, Dict[int, FrozenSet[int]]]
+
+
+@dataclass
+class PhaseTimings:
+    """Per-phase timing breakdown and streaming counters for one analysis.
+
+    Wall times are in milliseconds; the counters record modeled data-path
+    work (how many database / query k-mers were streamed) so the batched
+    multi-sample mode can demonstrate that the database is streamed once
+    for all buffered samples rather than once per sample.
+    """
+
+    backend: str = "python"
+    extract_ms: float = 0.0
+    intersect_ms: float = 0.0
+    retrieve_ms: float = 0.0
+    abundance_ms: float = 0.0
+    db_kmers_streamed: int = 0
+    query_kmers_streamed: int = 0
+    buckets_processed: int = 0
+    db_stream_passes: int = 0
+    samples_batched: int = 1
+    channel_matches: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_ms(self) -> float:
+        return self.extract_ms + self.intersect_ms + self.retrieve_ms + self.abundance_ms
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block into ``<name>_ms`` (e.g. ``with t.phase("intersect")``)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            setattr(self, f"{name}_ms", getattr(self, f"{name}_ms") + elapsed_ms)
+
+    def add_channel_matches(self, channel: int, count: int) -> None:
+        if count:
+            self.channel_matches[channel] = self.channel_matches.get(channel, 0) + count
+
+    def merge(self, other: "PhaseTimings") -> None:
+        """Accumulate another breakdown into this one.
+
+        Counters add; ``samples_batched`` takes the max (it records the
+        widest batch that shared a database stream, not a running total).
+        """
+        self.samples_batched = max(self.samples_batched, other.samples_batched)
+        self.extract_ms += other.extract_ms
+        self.intersect_ms += other.intersect_ms
+        self.retrieve_ms += other.retrieve_ms
+        self.abundance_ms += other.abundance_ms
+        self.db_kmers_streamed += other.db_kmers_streamed
+        self.query_kmers_streamed += other.query_kmers_streamed
+        self.buckets_processed += other.buckets_processed
+        self.db_stream_passes += other.db_stream_passes
+        for channel, count in other.channel_matches.items():
+            self.add_channel_matches(channel, count)
+
+    def copy(self) -> "PhaseTimings":
+        return replace(self, channel_matches=dict(self.channel_matches))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "backend": self.backend,
+            "extract_ms": self.extract_ms,
+            "intersect_ms": self.intersect_ms,
+            "retrieve_ms": self.retrieve_ms,
+            "abundance_ms": self.abundance_ms,
+            "total_ms": self.total_ms,
+            "db_kmers_streamed": self.db_kmers_streamed,
+            "query_kmers_streamed": self.query_kmers_streamed,
+            "buckets_processed": self.buckets_processed,
+            "db_stream_passes": self.db_stream_passes,
+            "samples_batched": self.samples_batched,
+        }
+
+
+def interval_edges(samples: Sequence[Sequence[BucketSlice]]) -> List[int]:
+    """Union of all samples' bucket boundaries, sorted ascending.
+
+    Consecutive pairs form the database streaming intervals of the batched
+    multi-sample Step 2: every bucket of every sample is a whole number of
+    intervals, so intersecting per interval is equivalent to intersecting
+    per bucket — while the database slice for each interval is read once.
+
+    The equivalence requires each sample's buckets to be in ascending,
+    non-overlapping range order with their k-mers inside the declared
+    range (what :class:`~repro.megis.host.KmerBucketPartitioner`
+    produces); violations are rejected rather than silently mis-sliced.
+    """
+    edges = set()
+    for buckets in samples:
+        prev_hi = None
+        for lo, hi, kmers in buckets:
+            if lo is None or hi is None:
+                raise ValueError("multi-sample buckets must have explicit ranges")
+            lo, hi = int(lo), int(hi)
+            if hi < lo or (prev_hi is not None and lo < prev_hi):
+                raise ValueError(
+                    "multi-sample buckets must be in ascending, "
+                    "non-overlapping range order"
+                )
+            if len(kmers) and not (lo <= int(kmers[0]) and int(kmers[-1]) < hi):
+                raise ValueError(
+                    f"bucket k-mers fall outside the declared range [{lo}, {hi})"
+                )
+            prev_hi = hi
+            edges.add(lo)
+            edges.add(hi)
+    return sorted(edges)
+
+
+class StepTwoBackend(abc.ABC):
+    """Execution engine for intersection and KSS retrieval kernels."""
+
+    #: Registry name ("python", "numpy", ...).
+    name: str = "abstract"
+
+    # -- intersection ---------------------------------------------------------
+
+    def intersect(
+        self,
+        database,
+        sorted_query: Sequence[int],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[int]:
+        """Intersect one sorted query stream against the whole database."""
+        return self.intersect_bucketed(
+            database, [(None, None, sorted_query)], n_channels, timings
+        )
+
+    @abc.abstractmethod
+    def intersect_bucketed(
+        self,
+        database,
+        buckets: Sequence[BucketSlice],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[int]:
+        """Intersect each query bucket against its database range (§4.2.1)."""
+
+    @abc.abstractmethod
+    def intersect_bucketed_multi(
+        self,
+        database,
+        samples: Sequence[Sequence[BucketSlice]],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[List[int]]:
+        """Batched multi-sample Step 2 (§4.7).
+
+        Streams every database interval once, intersecting it against all
+        buffered samples' query slices before advancing; returns one sorted
+        intersection list per sample, each identical to what
+        :meth:`intersect_bucketed` would produce for that sample alone.
+        """
+
+    # -- retrieval ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def retrieve(
+        self,
+        kss,
+        sorted_intersecting: Sequence[int],
+        timings: Optional[PhaseTimings] = None,
+    ) -> RetrievalResult:
+        """KSS taxID retrieval over the sorted intersecting k-mers (§4.3.2)."""

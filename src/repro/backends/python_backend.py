@@ -1,0 +1,263 @@
+"""Reference Step-2 backend: register-level pure-Python loops.
+
+This is the fidelity backend.  :class:`IntersectUnit` and
+:class:`TaxIdRetriever` model the in-storage hardware at the register level
+(paper §4.3, Fig 8): two k-mer registers per channel fed straight from the
+flash stream, and an Index Generator that detects prefix transitions while
+streaming the KSS tables.  Every faster backend must reproduce these
+results bit for bit.
+
+The classes are re-exported from :mod:`repro.megis.isp` for backwards
+compatibility — that module remains the documented home of the Step-2
+hardware model.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.backends.base import (
+    BucketSlice,
+    PhaseTimings,
+    RetrievalResult,
+    StepTwoBackend,
+    interval_edges,
+)
+from repro.sequences.encoding import kmer_prefix
+
+
+@dataclass
+class IntersectUnit:
+    """Per-channel streaming comparator with two k-mer registers."""
+
+    channel: int
+    comparisons: int = 0
+
+    def intersect(
+        self, database_stream: Iterable[int], query_stream: Iterable[int]
+    ) -> List[int]:
+        """Merge two sorted streams, emitting equal elements.
+
+        Mirrors the hardware loop: the *current* register holds the k-mer
+        under comparison while the *next* register is loaded from the flash
+        channel; on ``db < query`` the registers shift, on ``db > query``
+        the query side advances, on equality both advance and the k-mer is
+        recorded as intersecting.
+        """
+        db_iter = iter(database_stream)
+        q_iter = iter(query_stream)
+        current_reg = _next_or_none(db_iter)
+        next_reg = _next_or_none(db_iter)
+        query_reg = _next_or_none(q_iter)
+        matches: List[int] = []
+        while current_reg is not None and query_reg is not None:
+            self.comparisons += 1
+            if current_reg == query_reg:
+                matches.append(current_reg)
+                current_reg, next_reg = next_reg, _next_or_none(db_iter)
+                query_reg = _next_or_none(q_iter)
+            elif current_reg < query_reg:
+                current_reg, next_reg = next_reg, _next_or_none(db_iter)
+            else:
+                query_reg = _next_or_none(q_iter)
+        return matches
+
+
+def _next_or_none(iterator: Iterator[int]) -> Optional[int]:
+    try:
+        return int(next(iterator))
+    except StopIteration:
+        return None
+
+
+def stripe_database(kmers: Sequence[int], n_channels: int) -> List[List[int]]:
+    """Round-robin channel striping of the sorted database (§4.5, Fig 10).
+
+    Every channel's slice remains sorted (it takes every ``n_channels``-th
+    element), so each per-channel Intersect unit can merge independently;
+    the union of the per-channel intersections is the full intersection.
+    """
+    if n_channels <= 0:
+        raise ValueError(f"n_channels must be positive, got {n_channels}")
+    stripes: List[List[int]] = [[] for _ in range(n_channels)]
+    for i, kmer in enumerate(kmers):
+        stripes[i % n_channels].append(int(kmer))
+    return stripes
+
+
+@dataclass
+class TaxIdRetriever:
+    """KSS streaming retrieval with the Index Generator (Fig 8).
+
+    All accesses are sequential merges over sorted streams — no pointer
+    chasing.  The Index Generator's work shows up as ``prefix transition``
+    events: it compares the k-prefixes of consecutive k_max entries and,
+    when they differ, advances to the next row of the smaller-k table.
+    """
+
+    kss: "KssTables"  # noqa: F821 - annotation only; resolved by the caller
+    index_generator_advances: int = 0
+    comparisons: int = 0
+
+    def retrieve(self, sorted_intersecting: Sequence[int]) -> RetrievalResult:
+        queries = [int(q) for q in sorted_intersecting]
+        if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
+            raise ValueError("intersecting k-mers must be sorted")
+        results: RetrievalResult = {q: {} for q in queries}
+        if not queries:
+            return results
+        self._merge_kmax(queries, results)
+        for k in self.kss.smaller_ks:
+            self._merge_level(k, queries, results)
+        return results
+
+    def _merge_kmax(self, queries: List[int], results) -> None:
+        """Sorted merge of queries against the k_max (k-mer, taxIDs) table."""
+        entries = self.kss.entries
+        i = q = 0
+        while i < len(entries) and q < len(queries):
+            self.comparisons += 1
+            kmer, owners = entries[i]
+            if kmer == queries[q]:
+                results[queries[q]][self.kss.k_max] = owners
+                q += 1
+            elif kmer < queries[q]:
+                i += 1
+            else:
+                q += 1
+
+    def _prefix_groups(self, k: int) -> Iterator[Tuple[int, FrozenSet[int], FrozenSet[int]]]:
+        """Yield (prefix, stored_row, covered_owners) in ascending order.
+
+        Groups are produced by streaming the k_max table once; the prefix
+        transition detection is exactly the Index Generator's job.
+        """
+        rows = self.kss.sub_tables[k]
+        row_index = 0
+        current: Optional[int] = None
+        covered: set = set()
+        for kmer, owners in self.kss.entries:
+            prefix = kmer_prefix(kmer, self.kss.k_max, k)
+            if prefix != current:
+                if current is not None:
+                    yield current, rows[row_index].stored, frozenset(covered)
+                    row_index += 1
+                    self.index_generator_advances += 1
+                current = prefix
+                covered = set()
+            covered.update(owners)
+        if current is not None:
+            yield current, rows[row_index].stored, frozenset(covered)
+
+    def _merge_level(self, k: int, queries: List[int], results) -> None:
+        """Merge query prefixes against the level-k prefix groups."""
+        q = 0
+        for prefix, stored, covered in self._prefix_groups(k):
+            full = frozenset(stored | covered)
+            while q < len(queries) and kmer_prefix(queries[q], self.kss.k_max, k) < prefix:
+                self.comparisons += 1
+                q += 1
+            start = q
+            while q < len(queries) and kmer_prefix(queries[q], self.kss.k_max, k) == prefix:
+                self.comparisons += 1
+                if full:
+                    results[queries[q]][k] = full
+                q += 1
+            if q == start and q >= len(queries):
+                break
+
+
+class PythonStepTwoBackend(StepTwoBackend):
+    """Fidelity backend running the register-level hardware model."""
+
+    name = "python"
+
+    def intersect_bucketed(
+        self,
+        database,
+        buckets: Sequence[BucketSlice],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[int]:
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        units = [IntersectUnit(channel=c) for c in range(n_channels)]
+        intersecting: List[int] = []
+        with timings.phase("intersect"):
+            for lo, hi, kmers in buckets:
+                db_slice = self._db_slice(database, lo, hi)
+                query = [int(x) for x in kmers]
+                timings.db_kmers_streamed += len(db_slice)
+                timings.query_kmers_streamed += len(query)
+                timings.buckets_processed += 1
+                for unit, stripe in zip(units, stripe_database(db_slice, n_channels)):
+                    matches = unit.intersect(stripe, query)
+                    timings.add_channel_matches(unit.channel, len(matches))
+                    intersecting.extend(matches)
+            timings.db_stream_passes += 1
+            intersecting.sort()
+        return intersecting
+
+    def intersect_bucketed_multi(
+        self,
+        database,
+        samples: Sequence[Sequence[BucketSlice]],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[List[int]]:
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        timings.samples_batched = max(timings.samples_batched, len(samples))
+        # Bucket concatenation in range order is globally sorted, so each
+        # sample's query slice for an interval is a contiguous run.
+        merged: List[List[int]] = [
+            [int(x) for _, _, kmers in buckets for x in kmers] for buckets in samples
+        ]
+        results: List[List[int]] = [[] for _ in samples]
+        units = [IntersectUnit(channel=c) for c in range(n_channels)]
+        edges = interval_edges(samples)
+        with timings.phase("intersect"):
+            for lo, hi in zip(edges, edges[1:]):
+                db_slice = list(database.stream_range(lo, hi))
+                # Charged once: the flash stream is shared by all samples.
+                timings.db_kmers_streamed += len(db_slice)
+                timings.buckets_processed += 1
+                stripes = stripe_database(db_slice, n_channels)
+                for s, query in enumerate(merged):
+                    i = bisect_left(query, lo)
+                    j = bisect_left(query, hi)
+                    if i == j:
+                        continue
+                    timings.query_kmers_streamed += j - i
+                    for unit, stripe in zip(units, stripes):
+                        matches = unit.intersect(stripe, query[i:j])
+                        timings.add_channel_matches(unit.channel, len(matches))
+                        results[s].extend(matches)
+            timings.db_stream_passes += 1
+            for partial in results:
+                partial.sort()
+        return results
+
+    def retrieve(
+        self,
+        kss,
+        sorted_intersecting: Sequence[int],
+        timings: Optional[PhaseTimings] = None,
+    ) -> RetrievalResult:
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        with timings.phase("retrieve"):
+            return TaxIdRetriever(kss).retrieve(sorted_intersecting)
+
+    @staticmethod
+    def _db_slice(database, lo: Optional[int], hi: Optional[int]) -> List[int]:
+        if lo is None or hi is None:
+            return database.kmers
+        return list(database.stream_range(lo, hi))

@@ -17,6 +17,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.backends import available_backends
 from repro.databases.kraken import KrakenDatabase
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
@@ -66,8 +67,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             references, k_max=args.k, smaller_ks=(args.k - 8, args.k - 12)
         )
         if args.tool == "megis":
-            config = MegisConfig(abundance_method=args.abundance)
+            config = MegisConfig(abundance_method=args.abundance, backend=args.backend)
             result = MegisPipeline(database, sketch, references, config=config).analyze(reads)
+            if args.timings:
+                _print_timings(result.timings)
         else:
             result = MetalignPipeline(database, sketch, references).analyze(reads)
         profile = result.profile
@@ -83,6 +86,16 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     ):
         print(f"  taxid {taxid:>6}  {fraction:8.4f}")
     return 0
+
+
+def _print_timings(timings) -> None:
+    print(f"step-2 backend: {timings.backend}")
+    for phase in ("extract", "intersect", "retrieve", "abundance"):
+        print(f"  {phase:10s} {getattr(timings, f'{phase}_ms'):9.2f} ms")
+    print(f"  {'total':10s} {timings.total_ms:9.2f} ms")
+    print(f"  db k-mers streamed: {timings.db_kmers_streamed}   "
+          f"query k-mers: {timings.query_kmers_streamed}   "
+          f"buckets: {timings.buckets_processed}")
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -133,6 +146,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--k", type=int, default=20)
     analyze.add_argument("--abundance", choices=("mapping", "statistical"),
                          default="mapping")
+    analyze.add_argument("--backend", choices=available_backends(), default=None,
+                         help="Step-2 execution backend for megis "
+                              "(default: REPRO_BACKEND env var or 'python')")
+    analyze.add_argument("--timings", action="store_true",
+                         help="print the per-phase timing breakdown (megis only)")
     analyze.set_defaults(func=_cmd_analyze)
 
     model = sub.add_parser("model", help="paper-scale performance model")

@@ -13,7 +13,9 @@ k-mers and the tables, with no pointer chasing.  The paper measures KSS at
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.databases.sketch import SketchDatabase
 from repro.sequences.encoding import kmer_prefix
@@ -32,6 +34,30 @@ class KssSubEntry:
     stored: FrozenSet[int]
 
 
+@dataclass(frozen=True)
+class KssLevelColumns:
+    """Columnar view of one smaller-k table: sorted prefixes + full sets.
+
+    ``full_sets[i]`` is the reconstructed level-k taxID set for row ``i``
+    (``stored UNION covered-owners``) — precomputing the union preserves the
+    reference retrieval's semantics exactly while letting the NumPy backend
+    answer a prefix lookup with one ``searchsorted``.
+    """
+
+    prefixes: np.ndarray
+    full_sets: Tuple[FrozenSet[int], ...]
+
+
+@dataclass(frozen=True)
+class KssColumns:
+    """Columnar view of the whole KSS structure for the NumPy backend."""
+
+    k_max: int
+    kmers: np.ndarray
+    owners: Tuple[FrozenSet[int], ...]
+    levels: Dict[int, KssLevelColumns]
+
+
 class KssTables:
     """Sorted k_max table plus prefix-aligned reduced tables per smaller k."""
 
@@ -45,6 +71,7 @@ class KssTables:
         }
         for k in self.smaller_ks:
             self.sub_tables[k] = self._build_sub_table(k, sketch)
+        self._columns: Optional[KssColumns] = None
 
     def _build_sub_table(self, k: int, sketch: SketchDatabase) -> List[KssSubEntry]:
         """Walk the sorted k_max table; emit one row per distinct k-prefix."""
@@ -69,10 +96,36 @@ class KssTables:
         full = sketch.tables[k][prefix]
         return KssSubEntry(prefix=prefix, stored=frozenset(full - covered))
 
+    # -- columnar view ---------------------------------------------------------
+
+    def columns(self) -> KssColumns:
+        """Columnar ndarray view for the NumPy backend (built once, cached)."""
+        if self._columns is None:
+            from repro.backends.numpy_backend import column_dtype
+
+            dtype = column_dtype(self.k_max)
+            levels: Dict[int, KssLevelColumns] = {}
+            for k in self.smaller_ks:
+                covered = self._covered_by_prefix(k)
+                rows = self.sub_tables[k]
+                levels[k] = KssLevelColumns(
+                    prefixes=np.array([row.prefix for row in rows], dtype=dtype),
+                    full_sets=tuple(
+                        frozenset(row.stored | covered[row.prefix]) for row in rows
+                    ),
+                )
+            self._columns = KssColumns(
+                k_max=self.k_max,
+                kmers=np.array([kmer for kmer, _ in self.entries], dtype=dtype),
+                owners=tuple(owners for _, owners in self.entries),
+                levels=levels,
+            )
+        return self._columns
+
     # -- retrieval -------------------------------------------------------------
 
     def retrieve(
-        self, sorted_intersecting: Sequence[int]
+        self, sorted_intersecting: Sequence[int], backend: Optional[str] = None
     ) -> Dict[int, Dict[int, FrozenSet[int]]]:
         """Reference single-pass retrieval: query k-mer -> level -> taxIDs.
 
@@ -82,7 +135,15 @@ class KssTables:
         owners accumulate naturally during the pass.  The hardware-flavoured
         implementation lives in :mod:`repro.megis.isp`; tests require both
         to match :meth:`SketchDatabase.lookup` exactly.
+
+        Passing ``backend`` ("python", "numpy") delegates to that
+        :class:`~repro.backends.StepTwoBackend`'s retrieval kernel instead
+        of the reference pass below; all backends must agree exactly.
         """
+        if backend is not None:
+            from repro.backends import get_backend
+
+            return get_backend(backend).retrieve(self, sorted_intersecting)
         queries = [int(q) for q in sorted_intersecting]
         if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
             raise ValueError("intersecting k-mers must be sorted")

@@ -18,7 +18,7 @@ under ``p`` (matching a long k-mer implies matching its prefixes).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.databases.kraken import _kmer_hash
 from repro.sequences.encoding import decode_kmer, kmer_prefix

@@ -10,7 +10,9 @@ and for tests, though the intersection step itself only uses the k-mers.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+import numpy as np
 
 from repro.sequences.generator import ReferenceCollection
 from repro.sequences.kmers import extract_kmers
@@ -27,6 +29,7 @@ class SortedKmerDatabase:
         self.k = k
         self._kmers: List[int] = [int(x) for x in kmers]
         self._owners: List[frozenset] = list(owners)
+        self._column: Optional[np.ndarray] = None
 
     @classmethod
     def build(
@@ -60,6 +63,19 @@ class SortedKmerDatabase:
     def kmers(self) -> List[int]:
         return list(self._kmers)
 
+    def column(self) -> np.ndarray:
+        """Sorted k-mer column for the NumPy backend (built once, cached).
+
+        ``uint64`` when ``2 * k <= 64`` (vectorized fast path); ``object``
+        dtype otherwise so the same kernels stay correct for the paper's
+        k = 60 (120-bit k-mers).  Treat the returned array as read-only.
+        """
+        if self._column is None:
+            from repro.backends.numpy_backend import column_dtype
+
+            self._column = np.array(self._kmers, dtype=column_dtype(self.k))
+        return self._column
+
     def owners_of(self, kmer: int) -> frozenset:
         i = bisect.bisect_left(self._kmers, int(kmer))
         if i == len(self._kmers) or self._kmers[i] != int(kmer):
@@ -80,12 +96,21 @@ class SortedKmerDatabase:
         stop = bisect.bisect_left(self._kmers, int(hi))
         return iter(self._kmers[start:stop])
 
-    def intersect(self, sorted_query: Sequence[int]) -> List[int]:
-        """Reference streaming intersection (two-pointer merge).
+    def intersect(
+        self, sorted_query: Sequence[int], backend: Optional[str] = None
+    ) -> List[int]:
+        """Streaming intersection (two-pointer merge).
 
-        The in-storage implementation (:mod:`repro.megis.isp`) must produce
-        exactly this result; tests assert the equivalence.
+        With ``backend=None`` this runs the pure-Python reference merge —
+        the result every other implementation must reproduce exactly
+        (:mod:`repro.megis.isp`; tests assert the equivalence).  Passing a
+        backend name ("python", "numpy") delegates to that
+        :class:`~repro.backends.StepTwoBackend`'s intersection kernel.
         """
+        if backend is not None:
+            from repro.backends import get_backend
+
+            return get_backend(backend).intersect(self, sorted_query, n_channels=1)
         result: List[int] = []
         i = j = 0
         db = self._kmers

@@ -1,24 +1,36 @@
-"""CLI entry point: ``python -m repro.experiments <name>|all``."""
+"""CLI entry point: ``python -m repro.experiments [--backend NAME] <name>|all``."""
 
 from __future__ import annotations
 
 import sys
 
-from repro.experiments.runner import REGISTRY, get_experiment, run_all
+from repro.backends import available_backends
+from repro.experiments.runner import REGISTRY, run_all
 
 
 def main(argv) -> int:
-    if not argv or argv[0] in {"-h", "--help"}:
-        print("usage: python -m repro.experiments <name>|all")
+    backend = None
+    args = list(argv)
+    if "--backend" in args:
+        i = args.index("--backend")
+        try:
+            backend = args[i + 1]
+        except IndexError:
+            print(f"error: --backend requires a value {available_backends()}")
+            return 2
+        if backend not in available_backends():
+            print(f"error: unknown backend {backend!r}; "
+                  f"available: {', '.join(available_backends())}")
+            return 2
+        del args[i : i + 2]
+    if not args or args[0] in {"-h", "--help"}:
+        print("usage: python -m repro.experiments [--backend NAME] <name>|all")
         print("experiments:", ", ".join(sorted(REGISTRY)))
+        print("backends:", ", ".join(available_backends()))
         return 0
-    if argv[0] == "all":
-        for result in run_all():
-            print(result.format_table())
-            print()
-        return 0
-    for name in argv:
-        print(get_experiment(name)().format_table())
+    names = None if args[0] == "all" else args
+    for result in run_all(names, backend=backend):
+        print(result.format_table())
         print()
     return 0
 

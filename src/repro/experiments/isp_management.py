@@ -53,9 +53,6 @@ def run() -> ExperimentResult:
     disturb = ReadDisturbManager()
     analyses = 2000
     layout = megis_ftl.layouts["db"]
-    per_pass_blocks = {
-        (a.channel, a.die, a.plane, a.block) for a in layout.read_order()
-    }
     pages_per_block_touched = {}
     for addr in layout.read_order():
         key = (addr.channel, addr.die, addr.plane, addr.block)

@@ -17,6 +17,7 @@ An efficient pipeline between the host and the SSD (paper §4):
   multi-sample mode (§4.7).
 """
 
+from repro.backends import PhaseTimings, StepTwoBackend, available_backends, get_backend
 from repro.megis.accelerator import AcceleratorReport, accelerator_report
 from repro.megis.commands import CommandProcessor, MegisInit, MegisStep, MegisWrite
 from repro.megis.ftl import DatabaseLayout, MegisFtl
@@ -43,7 +44,11 @@ __all__ = [
     "MegisStep",
     "MegisWrite",
     "MultiSsdStepTwo",
+    "PhaseTimings",
+    "StepTwoBackend",
     "TaxIdRetriever",
     "accelerator_report",
+    "available_backends",
+    "get_backend",
     "split_database",
 ]

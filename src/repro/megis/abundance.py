@@ -50,7 +50,6 @@ def merge_species_indexes(
     ordered = sorted(indexes, key=lambda ix: ix.taxid)
     boundaries: Dict[int, Tuple[int, int]] = {}
     offset = 0
-    streams: List[Tuple[int, int, Iterable]] = []  # (first_kmer, stream_id, ...)
     heap: List[Tuple[int, int]] = []  # (kmer, stream index)
     iterators = []
     offsets = []

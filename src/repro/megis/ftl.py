@@ -21,7 +21,7 @@ round-robin channel reads stream the database at full internal bandwidth
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
 
 from repro.ssd.config import NandGeometry

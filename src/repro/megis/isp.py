@@ -1,6 +1,7 @@
 """MegIS Step 2: finding candidate species inside the SSD (paper §4.3).
 
-The in-storage data path is modelled at the register level:
+The in-storage data path is modelled at the register level by the
+``python`` reference backend (:mod:`repro.backends.python_backend`):
 
 - :class:`IntersectUnit` — one per channel.  Holds two k-mer registers
   (current + next) fed directly from the flash stream, so the unit computes
@@ -12,7 +13,10 @@ The in-storage data path is modelled at the register level:
   consecutive k_max entries; when they differ it advances the smaller-k
   table (§4.3.2, Fig 8).
 
-Both must agree exactly with their software references
+:class:`IspStepTwo` orchestrates Step 2 through a pluggable
+:class:`~repro.backends.StepTwoBackend` — the register-level ``python``
+backend above, or the vectorized ``numpy`` columnar backend.  All backends
+must agree exactly with the software references
 (:meth:`SortedKmerDatabase.intersect`, :meth:`KssTables.retrieve`) — the
 test suite enforces this.
 """
@@ -20,193 +24,99 @@ test suite enforces this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.backends import PhaseTimings, StepTwoBackend, get_backend
+from repro.backends.python_backend import (  # noqa: F401 - compat re-exports
+    IntersectUnit,
+    TaxIdRetriever,
+    stripe_database,
+)
 from repro.databases.kss import KssTables
 from repro.databases.sorted_db import SortedKmerDatabase
-from repro.sequences.encoding import kmer_prefix
 
-
-@dataclass
-class IntersectUnit:
-    """Per-channel streaming comparator with two k-mer registers."""
-
-    channel: int
-    comparisons: int = 0
-
-    def intersect(
-        self, database_stream: Iterable[int], query_stream: Iterable[int]
-    ) -> List[int]:
-        """Merge two sorted streams, emitting equal elements.
-
-        Mirrors the hardware loop: the *current* register holds the k-mer
-        under comparison while the *next* register is loaded from the flash
-        channel; on ``db < query`` the registers shift, on ``db > query``
-        the query side advances, on equality both advance and the k-mer is
-        recorded as intersecting.
-        """
-        db_iter = iter(database_stream)
-        q_iter = iter(query_stream)
-        current_reg = _next_or_none(db_iter)
-        next_reg = _next_or_none(db_iter)
-        query_reg = _next_or_none(q_iter)
-        matches: List[int] = []
-        while current_reg is not None and query_reg is not None:
-            self.comparisons += 1
-            if current_reg == query_reg:
-                matches.append(current_reg)
-                current_reg, next_reg = next_reg, _next_or_none(db_iter)
-                query_reg = _next_or_none(q_iter)
-            elif current_reg < query_reg:
-                current_reg, next_reg = next_reg, _next_or_none(db_iter)
-            else:
-                query_reg = _next_or_none(q_iter)
-        return matches
-
-
-def _next_or_none(iterator: Iterator[int]) -> Optional[int]:
-    try:
-        return int(next(iterator))
-    except StopIteration:
-        return None
-
-
-def stripe_database(kmers: Sequence[int], n_channels: int) -> List[List[int]]:
-    """Round-robin channel striping of the sorted database (§4.5, Fig 10).
-
-    Every channel's slice remains sorted (it takes every ``n_channels``-th
-    element), so each per-channel Intersect unit can merge independently;
-    the union of the per-channel intersections is the full intersection.
-    """
-    if n_channels <= 0:
-        raise ValueError(f"n_channels must be positive, got {n_channels}")
-    stripes: List[List[int]] = [[] for _ in range(n_channels)]
-    for i, kmer in enumerate(kmers):
-        stripes[i % n_channels].append(int(kmer))
-    return stripes
-
-
-@dataclass
-class TaxIdRetriever:
-    """KSS streaming retrieval with the Index Generator (Fig 8).
-
-    All accesses are sequential merges over sorted streams — no pointer
-    chasing.  The Index Generator's work shows up as ``prefix transition``
-    events: it compares the k-prefixes of consecutive k_max entries and,
-    when they differ, advances to the next row of the smaller-k table.
-    """
-
-    kss: KssTables
-    index_generator_advances: int = 0
-    comparisons: int = 0
-
-    def retrieve(
-        self, sorted_intersecting: Sequence[int]
-    ) -> Dict[int, Dict[int, FrozenSet[int]]]:
-        queries = [int(q) for q in sorted_intersecting]
-        if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
-            raise ValueError("intersecting k-mers must be sorted")
-        results: Dict[int, Dict[int, FrozenSet[int]]] = {q: {} for q in queries}
-        if not queries:
-            return results
-        self._merge_kmax(queries, results)
-        for k in self.kss.smaller_ks:
-            self._merge_level(k, queries, results)
-        return results
-
-    def _merge_kmax(self, queries: List[int], results) -> None:
-        """Sorted merge of queries against the k_max (k-mer, taxIDs) table."""
-        entries = self.kss.entries
-        i = q = 0
-        while i < len(entries) and q < len(queries):
-            self.comparisons += 1
-            kmer, owners = entries[i]
-            if kmer == queries[q]:
-                results[queries[q]][self.kss.k_max] = owners
-                q += 1
-            elif kmer < queries[q]:
-                i += 1
-            else:
-                q += 1
-
-    def _prefix_groups(self, k: int) -> Iterator[Tuple[int, FrozenSet[int], FrozenSet[int]]]:
-        """Yield (prefix, stored_row, covered_owners) in ascending order.
-
-        Groups are produced by streaming the k_max table once; the prefix
-        transition detection is exactly the Index Generator's job.
-        """
-        rows = self.kss.sub_tables[k]
-        row_index = 0
-        current: Optional[int] = None
-        covered: set = set()
-        for kmer, owners in self.kss.entries:
-            prefix = kmer_prefix(kmer, self.kss.k_max, k)
-            if prefix != current:
-                if current is not None:
-                    yield current, rows[row_index].stored, frozenset(covered)
-                    row_index += 1
-                    self.index_generator_advances += 1
-                current = prefix
-                covered = set()
-            covered.update(owners)
-        if current is not None:
-            yield current, rows[row_index].stored, frozenset(covered)
-
-    def _merge_level(self, k: int, queries: List[int], results) -> None:
-        """Merge query prefixes against the level-k prefix groups."""
-        q = 0
-        for prefix, stored, covered in self._prefix_groups(k):
-            full = frozenset(stored | covered)
-            while q < len(queries) and kmer_prefix(queries[q], self.kss.k_max, k) < prefix:
-                self.comparisons += 1
-                q += 1
-            start = q
-            while q < len(queries) and kmer_prefix(queries[q], self.kss.k_max, k) == prefix:
-                self.comparisons += 1
-                if full:
-                    results[queries[q]][k] = full
-                q += 1
-            if q == start and q >= len(queries):
-                break
+#: Per-query retrieval mapping: query k-mer -> level -> taxIDs.
+Retrieved = Dict[int, Dict[int, FrozenSet[int]]]
 
 
 @dataclass
 class IspStepTwo:
-    """Step 2 orchestration: per-channel intersection, then taxID retrieval."""
+    """Step 2 orchestration: per-channel intersection, then taxID retrieval.
+
+    ``backend`` selects the execution engine ("python" register-level
+    reference or "numpy" columnar kernels; ``None`` uses the process
+    default).  ``self.timings`` accumulates per-phase wall time and
+    streaming counters across every call.
+    """
 
     database: SortedKmerDatabase
     kss: KssTables
     n_channels: int = 8
-    units: List[IntersectUnit] = field(default_factory=list)
+    backend: Union[str, StepTwoBackend, None] = None
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
 
     def __post_init__(self):
-        if not self.units:
-            self.units = [IntersectUnit(channel=c) for c in range(self.n_channels)]
+        self._backend = get_backend(self.backend)
+        self.timings.backend = self._backend.name
 
-    def run(self, sorted_query: Sequence[int]) -> Tuple[List[int], Dict[int, Dict[int, FrozenSet[int]]]]:
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    def run(
+        self, sorted_query: Sequence[int], timings: Optional[PhaseTimings] = None
+    ) -> Tuple[List[int], Retrieved]:
         """Return (intersecting k-mers, per-query level taxID sets)."""
-        stripes = stripe_database(self.database.kmers, self.n_channels)
-        partial: List[int] = []
-        for unit, stripe in zip(self.units, stripes):
-            partial.extend(unit.intersect(stripe, list(sorted_query)))
-        intersecting = sorted(partial)
-        retriever = TaxIdRetriever(self.kss)
-        return intersecting, retriever.retrieve(intersecting)
+        t = PhaseTimings(backend=self._backend.name)
+        intersecting = self._backend.intersect(
+            self.database, sorted_query, self.n_channels, t
+        )
+        retrieved = self._backend.retrieve(self.kss, intersecting, t)
+        self._record(t, timings)
+        return intersecting, retrieved
 
     def run_bucketed(
-        self, buckets: Iterable[Tuple[int, int, Sequence[int]]]
-    ) -> Tuple[List[int], Dict[int, Dict[int, FrozenSet[int]]]]:
+        self,
+        buckets: Iterable[Tuple[int, int, Sequence[int]]],
+        timings: Optional[PhaseTimings] = None,
+    ) -> Tuple[List[int], Retrieved]:
         """Pipelined variant: intersect each bucket against its db range.
 
         Each item is ``(lo, hi, sorted_kmers)``; since both sides are
         sorted, only the database slice in ``[lo, hi)`` can match (§4.2.1).
         """
-        intersecting: List[int] = []
-        for lo, hi, kmers in buckets:
-            db_slice = list(self.database.stream_range(lo, hi))
-            stripes = stripe_database(db_slice, self.n_channels)
-            for unit, stripe in zip(self.units, stripes):
-                intersecting.extend(unit.intersect(stripe, list(kmers)))
-        intersecting.sort()
-        retriever = TaxIdRetriever(self.kss)
-        return intersecting, retriever.retrieve(intersecting)
+        t = PhaseTimings(backend=self._backend.name)
+        intersecting = self._backend.intersect_bucketed(
+            self.database, list(buckets), self.n_channels, t
+        )
+        retrieved = self._backend.retrieve(self.kss, intersecting, t)
+        self._record(t, timings)
+        return intersecting, retrieved
+
+    def run_bucketed_multi(
+        self,
+        samples: Sequence[Sequence[Tuple[int, int, Sequence[int]]]],
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[Tuple[List[int], Retrieved]]:
+        """Batched multi-sample Step 2 (§4.7).
+
+        Every database interval is streamed from flash once and intersected
+        against all buffered samples' query slices before advancing; each
+        sample's result is identical to running :meth:`run_bucketed` on it
+        alone, which is how multi-sample mode preserves accuracy.
+        """
+        t = PhaseTimings(backend=self._backend.name, samples_batched=len(samples))
+        per_sample = self._backend.intersect_bucketed_multi(
+            self.database, [list(buckets) for buckets in samples], self.n_channels, t
+        )
+        results = [
+            (intersecting, self._backend.retrieve(self.kss, intersecting, t))
+            for intersecting in per_sample
+        ]
+        self._record(t, timings)
+        return results
+
+    def _record(self, t: PhaseTimings, timings: Optional[PhaseTimings]) -> None:
+        self.timings.merge(t)
+        if timings is not None:
+            timings.merge(t)

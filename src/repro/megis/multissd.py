@@ -11,10 +11,9 @@ pipeline must produce exactly the single-SSD result.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.databases.kss import KssTables
-from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.megis.isp import IspStepTwo
 
@@ -62,11 +61,14 @@ class MultiSsdStepTwo:
     """Step 2 fanned out over database shards, one ISP engine per SSD."""
 
     def __init__(self, database: SortedKmerDatabase, kss: KssTables,
-                 n_ssds: int, channels_per_ssd: int = 8):
+                 n_ssds: int, channels_per_ssd: int = 8,
+                 backend: Optional[str] = None):
         self.shards = split_database(database, n_ssds)
         self.kss = kss
+        self.backend = backend
         self.engines = [
-            IspStepTwo(shard.database, kss, n_channels=channels_per_ssd)
+            IspStepTwo(shard.database, kss, n_channels=channels_per_ssd,
+                       backend=backend)
             for shard in self.shards
         ]
 
@@ -86,9 +88,7 @@ class MultiSsdStepTwo:
             intersecting.extend(partial)
         # Shards are contiguous ranges in ascending order, so the
         # concatenation is already sorted.
-        from repro.megis.isp import TaxIdRetriever
-
-        retrieved = TaxIdRetriever(self.kss).retrieve(intersecting)
+        retrieved = self.kss.retrieve(intersecting, backend=self.backend)
         return intersecting, retrieved
 
     @property

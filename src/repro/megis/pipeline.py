@@ -7,22 +7,33 @@ Step 3 (unified-index generation + read mapping for abundance).
 Functionally, MegIS computes exactly what the accuracy-optimized software
 pipeline (Metalign) computes — same intersecting k-mers, same sketch
 semantics, same mapper — which is how the paper can claim identical
-accuracy; the test suite asserts this equivalence end to end.
+accuracy; the test suite asserts this equivalence end to end.  Step 2 runs
+on a pluggable backend (:mod:`repro.backends`): the register-level
+``python`` reference or the vectorized ``numpy`` columnar engine, both
+bit-identical.
+
+Multi-sample mode batches Step 2 across samples: each database bucket
+slice is streamed from flash once and intersected against every buffered
+sample's query bucket before advancing, so the dominant flash traffic is
+amortized over the batch while each sample's result stays identical to an
+independent analysis.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.backends import PhaseTimings, available_backends
 from repro.databases.kss import KssTables
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.megis.abundance import IndexMergeStats, build_unified_index
 from repro.megis.commands import CommandProcessor, HostStep, MegisInit, MegisStep
 from repro.megis.ftl import MegisFtl
-from repro.megis.host import KmerBucketPartitioner
+from repro.megis.host import BucketSet, KmerBucketPartitioner
 from repro.megis.isp import IspStepTwo
 from repro.sequences.generator import ReferenceCollection
 from repro.sequences.reads import Read
@@ -46,12 +57,20 @@ class MegisConfig:
     #: Step-3 flavor (§4.4): "mapping" (read mapping over the unified
     #: index, accurate) or "statistical" (EM over Step-2 hits, lightweight).
     abundance_method: str = "mapping"
+    #: Step-2 execution backend ("python" register-level reference or
+    #: "numpy" columnar kernels); ``None`` uses the process default.
+    backend: Optional[str] = None
 
     def __post_init__(self):
         if self.abundance_method not in {"mapping", "statistical"}:
             raise ValueError(
                 f"abundance_method must be 'mapping' or 'statistical', "
                 f"got {self.abundance_method!r}"
+            )
+        if self.backend is not None and self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, "
+                f"got {self.backend!r}"
             )
 
 
@@ -68,6 +87,11 @@ class MegisResult:
     query_kmers: int = 0
     transfer_batches: int = 0
     merge_stats: Optional[IndexMergeStats] = None
+    #: Per-phase wall time and streaming counters.  In multi-sample mode the
+    #: intersect/retrieve phases reflect the whole batch (the database is
+    #: streamed once for all samples), with ``samples_batched`` recording
+    #: how many samples shared the stream.
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
 
     def present(self, threshold: float = 0.0) -> Set[int]:
         return self.profile.present(threshold)
@@ -96,7 +120,9 @@ class MegisPipeline:
         self.ssd = ssd
         self.config = config or MegisConfig()
         n_channels = ssd.config.geometry.channels if ssd else 8
-        self.isp = IspStepTwo(database, self.kss, n_channels=n_channels)
+        self.isp = IspStepTwo(
+            database, self.kss, n_channels=n_channels, backend=self.config.backend
+        )
         self._processor: Optional[CommandProcessor] = None
         if ssd is not None:
             self._processor = CommandProcessor(ssd, MegisFtl(ssd.config.geometry))
@@ -107,69 +133,32 @@ class MegisPipeline:
 
     def analyze(self, reads: Sequence[Read], with_abundance: bool = True) -> MegisResult:
         """Run the three steps for one sample."""
-        result = MegisResult()
+        result = MegisResult(timings=PhaseTimings(backend=self.isp.backend_name))
         if self._processor is not None:
             self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
 
         # Step 1 (host): extract, bucket, sort, exclude.
         self._step_marker(HostStep.KMER_EXTRACTION)
-        partitioner = KmerBucketPartitioner(
-            k=self.database.k,
-            n_buckets=self.config.n_buckets,
-            min_count=self.config.min_count,
-            max_count=self.config.max_count,
-            host_dram_bytes=self.config.host_dram_bytes,
-        )
-        buckets = partitioner.partition(reads)
+        with result.timings.phase("extract"):
+            buckets = self._partition(reads, result)
         self._step_marker(HostStep.KMER_EXTRACTION)
-        result.n_buckets = len(buckets)
-        result.spilled_bytes = buckets.spilled_bytes
-        result.query_kmers = buckets.total_kmers()
-        result.transfer_batches = self._count_batches(buckets, partitioner.kmer_bytes)
 
         # Step 2 (ISP): bucketed intersection + KSS retrieval.  With a real
         # SSD attached, reserve the §4.3.1 buffers in internal DRAM for the
         # duration of the step.
         self._step_marker(HostStep.SORTING)
         self._step_marker(HostStep.SORTING)
-        buffer_plan = None
-        if self.ssd is not None:
-            from repro.megis.buffers import plan_buffers
-
-            buffer_plan = plan_buffers(self.ssd.config)
-            buffer_plan.apply(self.ssd.dram)
-        try:
+        with self._isp_buffers():
             intersecting, retrieved = self.isp.run_bucketed(
-                (b.lo, b.hi, b.kmers) for b in buckets.buckets
+                ((b.lo, b.hi, b.kmers) for b in buckets.buckets),
+                timings=result.timings,
             )
-        finally:
-            if buffer_plan is not None:
-                buffer_plan.release(self.ssd.dram)
-        result.intersecting_kmers = intersecting
-        result.sketch_hits = self._accumulate_hits(retrieved)
-        result.candidates = {
-            taxid
-            for taxid, levels in result.sketch_hits.items()
-            if containment_score(self.sketch, taxid, levels)
-            >= self.config.min_containment
-        }
+        self._finish_step_two(result, intersecting, retrieved)
 
         # Step 3: abundance estimation (mapping or lightweight statistics).
-        if with_abundance and result.candidates:
-            if self.config.abundance_method == "mapping":
-                index, merge_stats = build_unified_index(
-                    self.references, result.candidates, k=self.config.mapper_k
-                )
-                result.merge_stats = merge_stats
-                mapper = ReadMapper(index)
-                result.profile = mapper.estimate_abundance(reads)
-            else:
-                from repro.tools.statistical import StatisticalAbundanceEstimator
-
-                estimator = StatisticalAbundanceEstimator(self.sketch)
-                result.profile, _ = estimator.estimate_from_retrieval(
-                    retrieved, result.candidates
-                )
+        if with_abundance:
+            with result.timings.phase("abundance"):
+                self._estimate_abundance(result, reads, retrieved)
 
         if self._processor is not None:
             self._processor.finish()
@@ -180,15 +169,117 @@ class MegisPipeline:
     def analyze_multi(
         self, samples: Sequence[Sequence[Read]], with_abundance: bool = True
     ) -> List[MegisResult]:
-        """Analyze several samples against the same database.
+        """Analyze several samples against the same database, batching Step 2.
 
-        Functionally equivalent to analyzing each sample independently; the
-        win is architectural (the database is streamed from flash once for
-        all buffered samples), which the performance model charges for.
+        Functionally equivalent to analyzing each sample independently —
+        identical candidates and profiles — but the sorted database is
+        streamed from flash *once* for all buffered samples: every database
+        interval is intersected against each sample's matching query bucket
+        before the stream advances (§4.7).  The per-result timings record
+        the shared stream (``db_kmers_streamed`` counts each database k-mer
+        once per batch, ``samples_batched`` the batch width).
         """
-        return [self.analyze(reads, with_abundance=with_abundance) for reads in samples]
+        if not samples:
+            return []
+        backend = self.isp.backend_name
+        results = [MegisResult(timings=PhaseTimings(backend=backend)) for _ in samples]
+        if self._processor is not None:
+            self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
+
+        # Step 1 per sample: all samples' buckets are buffered before the
+        # shared database stream starts.
+        self._step_marker(HostStep.KMER_EXTRACTION)
+        bucket_sets: List[BucketSet] = []
+        for reads, result in zip(samples, results):
+            with result.timings.phase("extract"):
+                bucket_sets.append(self._partition(reads, result))
+        self._step_marker(HostStep.KMER_EXTRACTION)
+
+        # Step 2, batched: one database stream for the whole batch.
+        self._step_marker(HostStep.SORTING)
+        self._step_marker(HostStep.SORTING)
+        batch_timings = PhaseTimings(backend=backend, samples_batched=len(samples))
+        with self._isp_buffers():
+            step_two = self.isp.run_bucketed_multi(
+                [
+                    [(b.lo, b.hi, b.kmers) for b in buckets.buckets]
+                    for buckets in bucket_sets
+                ],
+                timings=batch_timings,
+            )
+
+        # Step 3 per sample.
+        for result, reads, (intersecting, retrieved) in zip(results, samples, step_two):
+            result.timings.merge(batch_timings)
+            self._finish_step_two(result, intersecting, retrieved)
+            if with_abundance:
+                with result.timings.phase("abundance"):
+                    self._estimate_abundance(result, reads, retrieved)
+
+        if self._processor is not None:
+            self._processor.finish()
+        return results
 
     # -- helpers ------------------------------------------------------------------
+
+    def _partition(self, reads: Sequence[Read], result: MegisResult) -> BucketSet:
+        """Step 1 for one sample, recording its statistics on the result."""
+        partitioner = KmerBucketPartitioner(
+            k=self.database.k,
+            n_buckets=self.config.n_buckets,
+            min_count=self.config.min_count,
+            max_count=self.config.max_count,
+            host_dram_bytes=self.config.host_dram_bytes,
+        )
+        buckets = partitioner.partition(reads)
+        result.n_buckets = len(buckets)
+        result.spilled_bytes = buckets.spilled_bytes
+        result.query_kmers = buckets.total_kmers()
+        result.transfer_batches = self._count_batches(buckets, partitioner.kmer_bytes)
+        return buckets
+
+    @contextmanager
+    def _isp_buffers(self):
+        """Reserve the §4.3.1 internal-DRAM buffers for the Step-2 scope."""
+        buffer_plan = None
+        if self.ssd is not None:
+            from repro.megis.buffers import plan_buffers
+
+            buffer_plan = plan_buffers(self.ssd.config)
+            buffer_plan.apply(self.ssd.dram)
+        try:
+            yield
+        finally:
+            if buffer_plan is not None:
+                buffer_plan.release(self.ssd.dram)
+
+    def _finish_step_two(self, result: MegisResult, intersecting, retrieved) -> None:
+        result.intersecting_kmers = intersecting
+        result.sketch_hits = self._accumulate_hits(retrieved)
+        result.candidates = {
+            taxid
+            for taxid, levels in result.sketch_hits.items()
+            if containment_score(self.sketch, taxid, levels)
+            >= self.config.min_containment
+        }
+
+    def _estimate_abundance(self, result: MegisResult, reads, retrieved) -> None:
+        if not result.candidates:
+            return
+        if self.config.abundance_method == "mapping":
+            index, merge_stats = build_unified_index(
+                self.references, result.candidates, k=self.config.mapper_k
+            )
+            result.merge_stats = merge_stats
+            mapper = ReadMapper(index)
+            result.profile = mapper.estimate_abundance(reads)
+        else:
+            from repro.tools.statistical import StatisticalAbundanceEstimator
+
+            estimator = StatisticalAbundanceEstimator(self.sketch)
+            result.profile, _ = estimator.estimate_from_retrieval(
+                retrieved, result.candidates
+            )
 
     def _step_marker(self, step: HostStep) -> None:
         if self._processor is not None:

@@ -12,7 +12,7 @@ charges for, and serves as the reference for the bucket partitioner's
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence
 
 

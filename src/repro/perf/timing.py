@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.perf.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.perf.specs import SystemSpec

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from repro.perf.energy import EnergyModel, external_data_movement_bytes
 from repro.perf.specs import baseline_system

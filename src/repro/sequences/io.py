@@ -14,7 +14,7 @@ deferred to the 2-bit encoder like real pipelines do.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.sequences.reads import Read
 

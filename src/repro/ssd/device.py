@@ -9,7 +9,7 @@ channel bandwidth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.ssd.channel import AccessPattern, ChannelSimulator
 from repro.ssd.config import SSDConfig

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.databases.kraken import KrakenDatabase
 from repro.sequences.kmers import extract_kmers
 from repro.sequences.reads import Read
 from repro.taxonomy.profiles import AbundanceProfile
-from repro.taxonomy.tree import ROOT_TAXID, Rank
+from repro.taxonomy.tree import Rank
 
 
 @dataclass

@@ -1,0 +1,336 @@
+"""Cross-backend equivalence: python and numpy must agree bit for bit.
+
+MegIS's accuracy-identity claim requires every Step-2 execution engine to
+produce exactly the reference results — same intersecting k-mers, same KSS
+retrievals, same abundance profiles.  These tests pit the backends against
+each other and against the software references on randomized inputs,
+including empty buckets, empty samples, and single-channel configurations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.backends import (
+    PhaseTimings,
+    available_backends,
+    default_backend,
+    get_backend,
+    set_default_backend,
+)
+from repro.backends.numpy_backend import as_column, stripe_columns
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.host import KmerBucketPartitioner
+from repro.megis.pipeline import MegisConfig, MegisPipeline
+from tests.conftest import SKETCH_K
+
+BACKENDS = ("python", "numpy")
+SPACE = 1 << (2 * SKETCH_K)
+
+
+def random_database(rng: random.Random, size: int, k: int = SKETCH_K) -> SortedKmerDatabase:
+    kmers = sorted(rng.sample(range(1 << (2 * k)), size))
+    owners = [frozenset({rng.randrange(1000, 1010)}) for _ in kmers]
+    return SortedKmerDatabase(k, kmers, owners)
+
+
+def random_query(rng: random.Random, database: SortedKmerDatabase, n: int) -> list:
+    hits = rng.sample(database.kmers, min(n // 2, len(database)))
+    misses = [rng.randrange(SPACE) for _ in range(n - len(hits))]
+    return sorted(set(hits + misses))
+
+
+def bucketize(query: list, edges: list) -> list:
+    """Split a sorted query into (lo, hi, kmers) buckets at the given edges."""
+    from bisect import bisect_left
+
+    bounds = [0] + sorted(edges) + [SPACE]
+    return [
+        (lo, hi, query[bisect_left(query, lo):bisect_left(query, hi)])
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(BACKENDS) <= set(available_backends())
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_backend("fortran")
+        with pytest.raises(ValueError):
+            set_default_backend("fortran")
+
+    def test_instance_passthrough(self):
+        backend = get_backend("numpy")
+        assert get_backend(backend) is backend
+
+    def test_default_roundtrip(self):
+        before = default_backend()
+        previous = set_default_backend("numpy")
+        try:
+            assert previous == before
+            assert default_backend() == "numpy"
+            assert get_backend(None).name == "numpy"
+        finally:
+            set_default_backend(before)
+
+    def test_config_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            MegisConfig(backend="fortran")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("n_channels", [1, 5])
+class TestIntersectEquivalence:
+    def test_matches_reference(self, backend, seed, n_channels):
+        rng = random.Random(seed)
+        database = random_database(rng, 400)
+        query = random_query(rng, database, 150)
+        result = get_backend(backend).intersect(database, query, n_channels)
+        assert result == database.intersect(query)
+
+    def test_bucketed_matches_flat(self, backend, seed, n_channels):
+        rng = random.Random(seed + 100)
+        database = random_database(rng, 300)
+        query = random_query(rng, database, 120)
+        edges = sorted(rng.sample(range(1, SPACE), 5))
+        buckets = bucketize(query, edges)
+        assert any(not kmers for _, _, kmers in buckets) or len(buckets) == 6
+        result = get_backend(backend).intersect_bucketed(database, buckets, n_channels)
+        assert result == database.intersect(query)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestIntersectEdgeCases:
+    def test_empty_query(self, backend):
+        database = random_database(random.Random(3), 50)
+        assert get_backend(backend).intersect(database, [], 4) == []
+
+    def test_empty_database(self, backend):
+        database = SortedKmerDatabase(SKETCH_K, [], [])
+        assert get_backend(backend).intersect(database, [1, 2, 3], 4) == []
+
+    def test_all_buckets_empty(self, backend):
+        database = random_database(random.Random(4), 50)
+        buckets = [(0, 100, []), (100, SPACE, [])]
+        assert get_backend(backend).intersect_bucketed(database, buckets, 2) == []
+
+    def test_out_of_order_buckets_still_sorted(self, backend):
+        """Single-sample bucketed output is sorted regardless of bucket order."""
+        rng = random.Random(7)
+        database = random_database(rng, 200)
+        query = random_query(rng, database, 100)
+        buckets = list(reversed(bucketize(query, [SPACE // 3, 2 * SPACE // 3])))
+        result = get_backend(backend).intersect_bucketed(database, buckets, 4)
+        assert result == database.intersect(query)
+
+    def test_timings_recorded(self, backend):
+        rng = random.Random(5)
+        database = random_database(rng, 200)
+        query = random_query(rng, database, 80)
+        timings = PhaseTimings(backend=backend)
+        result = get_backend(backend).intersect(database, query, 4, timings)
+        assert timings.db_kmers_streamed == len(database)
+        assert timings.query_kmers_streamed == len(query)
+        assert timings.db_stream_passes == 1
+        assert sum(timings.channel_matches.values()) == len(result)
+
+    def test_channel_attribution_matches_python(self, backend):
+        """Striping attribution is identical across backends (§4.5)."""
+        rng = random.Random(6)
+        database = random_database(rng, 300)
+        query = random_query(rng, database, 150)
+        mine = PhaseTimings()
+        reference = PhaseTimings()
+        get_backend(backend).intersect(database, query, 3, mine)
+        get_backend("python").intersect(database, query, 3, reference)
+        assert mine.channel_matches == reference.channel_matches
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestMultiSampleBatching:
+    def _samples(self, rng, database, n_samples):
+        samples = []
+        for _ in range(n_samples):
+            query = random_query(rng, database, rng.randrange(40, 120))
+            edges = sorted(rng.sample(range(1, SPACE), rng.randrange(2, 6)))
+            samples.append(bucketize(query, edges))
+        return samples
+
+    @pytest.mark.parametrize("seed", [10, 11])
+    def test_batched_equals_individual(self, backend, seed):
+        rng = random.Random(seed)
+        database = random_database(rng, 350)
+        samples = self._samples(rng, database, 3)
+        engine = get_backend(backend)
+        batched = engine.intersect_bucketed_multi(database, samples, 4)
+        for got, buckets in zip(batched, samples):
+            assert got == engine.intersect_bucketed(database, buckets, 4)
+
+    def test_cross_backend_identical(self, backend, kss_tables, sorted_db, sample):
+        partitioner = KmerBucketPartitioner(k=SKETCH_K, n_buckets=8)
+        samples = [
+            [(b.lo, b.hi, b.kmers) for b in partitioner.partition(reads).buckets]
+            for reads in (sample.reads[:150], sample.reads[150:300])
+        ]
+        mine = get_backend(backend).intersect_bucketed_multi(sorted_db, samples, 4)
+        reference = get_backend("python").intersect_bucketed_multi(sorted_db, samples, 4)
+        assert mine == reference
+
+    def test_empty_sample_in_batch(self, backend):
+        rng = random.Random(12)
+        database = random_database(rng, 100)
+        query = random_query(rng, database, 40)
+        samples = [bucketize(query, [SPACE // 2]), bucketize([], [SPACE // 2])]
+        engine = get_backend(backend)
+        batched = engine.intersect_bucketed_multi(database, samples, 2)
+        assert batched[0] == database.intersect(query)
+        assert batched[1] == []
+
+    def test_no_samples(self, backend):
+        database = random_database(random.Random(13), 30)
+        assert get_backend(backend).intersect_bucketed_multi(database, [], 2) == []
+
+    def test_out_of_order_buckets_rejected(self, backend):
+        """Mis-ordered buckets would silently mis-slice; they must raise."""
+        rng = random.Random(15)
+        database = random_database(rng, 60)
+        query = random_query(rng, database, 30)
+        ordered = bucketize(query, [SPACE // 2])
+        with pytest.raises(ValueError):
+            get_backend(backend).intersect_bucketed_multi(
+                database, [list(reversed(ordered))], 2
+            )
+
+    def test_out_of_range_kmers_rejected(self, backend):
+        database = random_database(random.Random(16), 60)
+        samples = [[(0, 10, [3, 7]), (10, 20, [5, 12])]]  # 5 < lo of its bucket
+        with pytest.raises(ValueError):
+            get_backend(backend).intersect_bucketed_multi(database, samples, 2)
+
+    def test_database_streamed_once_per_batch(self, backend):
+        """The batch streams each database interval once, not once per sample."""
+        rng = random.Random(14)
+        database = random_database(rng, 200)
+        queries = [random_query(rng, database, 60) for _ in range(3)]
+        samples = [bucketize(q, [SPACE // 2]) for q in queries]
+        batched = PhaseTimings()
+        get_backend(backend).intersect_bucketed_multi(database, samples, 2, batched)
+        individual = PhaseTimings()
+        for buckets in samples:
+            get_backend(backend).intersect_bucketed(database, buckets, 2, individual)
+        assert batched.samples_batched == 3
+        assert batched.db_kmers_streamed == len(database)
+        assert individual.db_kmers_streamed == 3 * len(database)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRetrievalEquivalence:
+    def test_matches_reference(self, backend, kss_tables, sorted_db):
+        queries = sorted(set(sorted_db.kmers[::4]))
+        assert get_backend(backend).retrieve(kss_tables, queries) == kss_tables.retrieve(queries)
+
+    def test_random_queries_match_reference(self, backend, kss_tables):
+        rng = random.Random(20)
+        queries = sorted({rng.randrange(SPACE) for _ in range(200)})
+        assert get_backend(backend).retrieve(kss_tables, queries) == kss_tables.retrieve(queries)
+
+    def test_empty(self, backend, kss_tables):
+        assert get_backend(backend).retrieve(kss_tables, []) == {}
+
+    def test_unsorted_rejected(self, backend, kss_tables):
+        with pytest.raises(ValueError):
+            get_backend(backend).retrieve(kss_tables, [9, 1])
+
+    def test_kss_backend_param(self, backend, kss_tables, sorted_db):
+        queries = sorted(set(sorted_db.kmers[::6]))
+        assert kss_tables.retrieve(queries, backend=backend) == kss_tables.retrieve(queries)
+
+
+class TestDatabaseBackendParam:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_intersect_delegates(self, backend, sorted_db):
+        query = sorted(set(sorted_db.kmers[::3] + [0, SPACE - 1]))
+        assert sorted_db.intersect(query, backend=backend) == sorted_db.intersect(query)
+
+    def test_column_cached_and_sorted(self, sorted_db):
+        column = sorted_db.column()
+        assert sorted_db.column() is column
+        assert len(column) == len(sorted_db)
+        assert [int(x) for x in column] == sorted_db.kmers
+
+    def test_stripe_columns_partition(self, sorted_db):
+        column = sorted_db.column()
+        stripes = stripe_columns(column, 4)
+        assert sum(len(s) for s in stripes) == len(column)
+        merged = sorted(int(x) for s in stripes for x in s)
+        assert merged == sorted_db.kmers
+
+    def test_big_k_uses_object_dtype(self):
+        # k = 60 (the paper's choice) needs 120-bit k-mers; the columnar
+        # path must stay correct beyond uint64.
+        k = 60
+        kmers = sorted({(1 << 100) + i * 7 for i in range(50)})
+        database = SortedKmerDatabase(k, kmers, [frozenset({1})] * len(kmers))
+        assert database.column().dtype == object
+        query = kmers[::3] + [(1 << 119) + 1]
+        for backend in BACKENDS:
+            assert database.intersect(query, backend=backend) == database.intersect(query)
+
+    def test_as_column_empty(self, sorted_db):
+        assert len(as_column([], sorted_db.column().dtype)) == 0
+
+
+class TestPipelineEquivalence:
+    @pytest.fixture(scope="class")
+    def per_backend_results(self, sorted_db, sketch_db, sample):
+        results = {}
+        for backend in BACKENDS:
+            pipeline = MegisPipeline(
+                sorted_db, sketch_db, sample.references,
+                config=MegisConfig(backend=backend),
+            )
+            results[backend] = pipeline.analyze(sample.reads)
+        return results
+
+    def test_identical_outputs(self, per_backend_results):
+        python, numpy = (per_backend_results[b] for b in BACKENDS)
+        assert python.intersecting_kmers == numpy.intersecting_kmers
+        assert python.sketch_hits == numpy.sketch_hits
+        assert python.candidates == numpy.candidates
+        assert python.profile.fractions == numpy.profile.fractions
+
+    def test_timings_populated(self, per_backend_results):
+        for backend, result in per_backend_results.items():
+            assert result.timings.backend == backend
+            assert result.timings.db_kmers_streamed > 0
+            assert result.timings.query_kmers_streamed > 0
+            assert result.timings.total_ms > 0
+            assert result.timings.samples_batched == 1
+
+    def test_multi_sample_batched_matches_individual(self, sorted_db, sketch_db, sample):
+        pipeline = MegisPipeline(
+            sorted_db, sketch_db, sample.references,
+            config=MegisConfig(backend="numpy"),
+        )
+        halves = [sample.reads[:200], sample.reads[200:]]
+        batched = pipeline.analyze_multi(halves)
+        individual = [pipeline.analyze(reads) for reads in halves]
+        for got, want in zip(batched, individual):
+            assert got.intersecting_kmers == want.intersecting_kmers
+            assert got.candidates == want.candidates
+            assert got.profile.fractions == want.profile.fractions
+            assert got.timings.samples_batched == 2
+            # The batch streams the database once for both samples.
+            assert got.timings.db_kmers_streamed < (
+                individual[0].timings.db_kmers_streamed
+                + individual[1].timings.db_kmers_streamed
+            )
+
+    def test_multi_sample_empty(self, sorted_db, sketch_db, sample):
+        pipeline = MegisPipeline(sorted_db, sketch_db, sample.references)
+        assert pipeline.analyze_multi([]) == []

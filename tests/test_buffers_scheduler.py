@@ -3,8 +3,6 @@
 import pytest
 
 from repro.megis.buffers import (
-    BUFFERED_DESIGN_IN_BYTES,
-    DramBandwidthReport,
     buffered_design_bytes,
     dram_bandwidth_demand,
     plan_buffers,
@@ -14,7 +12,6 @@ from repro.megis.buffers import (
 from repro.ssd.config import NandGeometry, ssd_c, ssd_p
 from repro.ssd.dram import InternalDram
 from repro.ssd.scheduler import (
-    CompletedRequest,
     LatencyStats,
     OpType,
     Request,

@@ -1,16 +1,13 @@
 """Tests for the four database families."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.databases.kraken import KrakenDatabase
-from repro.databases.kss import KssTables
-from repro.databases.sketch import SketchDatabase, TernarySearchTree
+from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.sequences.encoding import kmer_prefix
 from repro.sequences.kmers import extract_kmers
-from repro.taxonomy.tree import Rank
 from tests.conftest import SKETCH_K, SMALLER_KS
 
 

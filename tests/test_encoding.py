@@ -1,6 +1,5 @@
 """Unit and property tests for the 2-bit nucleotide encoding."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.runner import REGISTRY, ExperimentResult, get_experiment, run_all
+from repro.experiments.runner import REGISTRY, ExperimentResult, get_experiment
 
 
 class TestRunnerInfrastructure:

@@ -9,7 +9,6 @@ the invariants against structural edge cases (single species, tiny genomes,
 dense/sparse sketches) that a fixed fixture would never hit.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.databases.kss import KssTables

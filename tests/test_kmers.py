@@ -1,6 +1,5 @@
 """Tests for k-mer extraction and counting (KMC stand-in)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for MegIS FTL: placement, streaming order, metadata accounting."""
 
-import itertools
 
 import pytest
 
@@ -58,7 +57,6 @@ class TestPlacement:
         pages = g.pages_per_block * g.channels + g.channels  # spill into slot 2
         layout = ftl.place_database("db", 4096 * pages)
         order = list(layout.read_order())
-        first_block = order[0].block_address() if hasattr(order[0], "block_address") else None
         blocks_seen = {(a.die, a.plane, a.block) for a in order[: g.pages_per_block * g.channels]}
         assert len(blocks_seen) == 1
 

@@ -5,7 +5,7 @@ import math
 import pytest
 
 from repro.perf.specs import baseline_system, cost_system, perf_system
-from repro.perf.timing import Phase, TimeBreakdown, TimingModel
+from repro.perf.timing import Phase, TimingModel
 from repro.ssd.config import GB, ssd_c, ssd_p
 from repro.workloads.datasets import cami_spec
 

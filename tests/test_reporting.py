@@ -30,7 +30,7 @@ class TestTextReport:
     def test_genus_rollup(self, world):
         taxonomy, profile = world
         report = text_report(profile, taxonomy)
-        alphabacter = next(l for l in report.splitlines() if "Alphabacter" in l)
+        alphabacter = next(ln for ln in report.splitlines() if "Alphabacter" in ln)
         assert alphabacter.strip().startswith("75.00%")
 
     def test_all_species_listed(self, world):
@@ -48,8 +48,8 @@ class TestTextReport:
     def test_indentation_by_rank(self, world):
         taxonomy, profile = world
         lines = text_report(profile, taxonomy).splitlines()
-        species_line = next(l for l in lines if "A. one" in l)
-        genus_line = next(l for l in lines if "Alphabacter" in l)
+        species_line = next(ln for ln in lines if "A. one" in ln)
+        genus_line = next(ln for ln in lines if "Alphabacter" in ln)
         assert species_line.index("A. one") > genus_line.index("Alphabacter")
 
 

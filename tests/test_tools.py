@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sequences.reads import Read, ReadSimulator
+from repro.sequences.reads import ReadSimulator
 from repro.taxonomy.metrics import f1_score
 from repro.taxonomy.tree import ROOT_TAXID, Rank
 from repro.tools.bracken import BrackenEstimator

@@ -5,7 +5,6 @@ import pytest
 from repro.workloads.cami import CamiDiversity, make_cami_sample, realized_profile
 from repro.workloads.datasets import (
     DIVERSITY_LOOKUP_FACTOR,
-    DatasetSpec,
     cami_spec,
     database_scale_points,
 )
