@@ -16,7 +16,14 @@ from __future__ import annotations
 import os
 from typing import Dict, Tuple, Union
 
-from repro.backends.base import BucketSlice, PhaseTimings, RetrievalResult, StepTwoBackend
+from repro.backends.base import (
+    BucketSlice,
+    PhaseTimings,
+    RetrievalResult,
+    ShardSlice,
+    StepTwoBackend,
+    column_to_list,
+)
 from repro.backends.numpy_backend import NumpyStepTwoBackend
 from repro.backends.python_backend import PythonStepTwoBackend
 
@@ -77,8 +84,10 @@ __all__ = [
     "PhaseTimings",
     "PythonStepTwoBackend",
     "RetrievalResult",
+    "ShardSlice",
     "StepTwoBackend",
     "available_backends",
+    "column_to_list",
     "default_backend",
     "get_backend",
     "set_default_backend",

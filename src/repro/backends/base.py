@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -40,6 +41,10 @@ BucketSlice = Tuple[Optional[int], Optional[int], Sequence[int]]
 
 #: Per-query retrieval result: query k-mer -> level k -> taxIDs.
 RetrievalResult = Dict[int, Dict[int, FrozenSet[int]]]
+
+#: One database shard: (lo, hi, database) covering the lexicographic range
+#: ``[lo, hi)`` — what :func:`repro.megis.multissd.split_database` produces.
+ShardSlice = Tuple[int, int, "object"]
 
 
 @dataclass
@@ -62,11 +67,21 @@ class PhaseTimings:
     buckets_processed: int = 0
     db_stream_passes: int = 0
     samples_batched: int = 1
+    #: Bucket-pipeline model (§4.2.1): Step-1 sorting + Step-2 streaming
+    #: time as a serial chain vs. with bucket *i*'s intersection overlapping
+    #: bucket *i+1*'s sort.  Zero until a pipeline models the overlap.
+    serialized_ms: float = 0.0
+    overlapped_ms: float = 0.0
     channel_matches: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total_ms(self) -> float:
         return self.extract_ms + self.intersect_ms + self.retrieve_ms + self.abundance_ms
+
+    @property
+    def overlap_saved_ms(self) -> float:
+        """Wall time hidden by the §4.2.1 sort/intersect bucket overlap."""
+        return max(0.0, self.serialized_ms - self.overlapped_ms)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -97,6 +112,8 @@ class PhaseTimings:
         self.query_kmers_streamed += other.query_kmers_streamed
         self.buckets_processed += other.buckets_processed
         self.db_stream_passes += other.db_stream_passes
+        self.serialized_ms += other.serialized_ms
+        self.overlapped_ms += other.overlapped_ms
         for channel, count in other.channel_matches.items():
             self.add_channel_matches(channel, count)
 
@@ -116,6 +133,9 @@ class PhaseTimings:
             "buckets_processed": self.buckets_processed,
             "db_stream_passes": self.db_stream_passes,
             "samples_batched": self.samples_batched,
+            "serialized_ms": self.serialized_ms,
+            "overlapped_ms": self.overlapped_ms,
+            "overlap_saved_ms": self.overlap_saved_ms,
         }
 
 
@@ -154,11 +174,116 @@ def interval_edges(samples: Sequence[Sequence[BucketSlice]]) -> List[int]:
     return sorted(edges)
 
 
+def column_to_list(column: Sequence[int]) -> List[int]:
+    """Plain-int copy of a k-mer column (Python list or ndarray).
+
+    ``tolist`` unboxes ndarray columns to Python ints in one pass; the
+    extra ``int()`` keeps object-dtype columns and exotic containers exact.
+    """
+    if hasattr(column, "tolist"):
+        return [int(x) for x in column.tolist()]
+    return [int(x) for x in column]
+
+
+def bisect_column(column: Sequence[int], value: int, lo: int = 0) -> int:
+    """``bisect_left`` that is safe for values beyond an ndarray's dtype.
+
+    Range edges reach the key-space bound ``1 << 2k``, which overflows a
+    ``uint64`` column's dtype for k = 32; NumPy 1.x would then compare via
+    ``float64`` and misplace the boundary.  Out-of-range values resolve
+    positionally instead: every representable element lies below them.
+    """
+    value = int(value)
+    dtype = getattr(column, "dtype", None)
+    if dtype is not None and getattr(dtype, "kind", "") in "ui":
+        bits = 8 * dtype.itemsize - (0 if dtype.kind == "u" else 1)
+        if value > (1 << bits) - 1:
+            return len(column)
+        if value < (0 if dtype.kind == "u" else -(1 << bits)):
+            return lo
+        # Same-dtype comparisons are exact; a bare Python int >= 2**63
+        # would coerce uint64 elements through float64 on NumPy 1.x.
+        value = dtype.type(value)
+    return bisect_left(column, value, lo=lo)
+
+
+def clip_buckets(
+    buckets: Sequence[BucketSlice], lo: int, hi: int
+) -> List[BucketSlice]:
+    """Restrict a sample's ascending buckets to the shard range ``[lo, hi)``.
+
+    Buckets crossing a shard boundary are split at it (range and k-mers
+    both), so each shard sees buckets that satisfy the
+    :func:`interval_edges` invariants; buckets with no overlap are dropped.
+    """
+    clipped: List[BucketSlice] = []
+    for blo, bhi, kmers in buckets:
+        if blo is None or bhi is None:
+            raise ValueError("sharded buckets must have explicit ranges")
+        new_lo, new_hi = max(int(blo), int(lo)), min(int(bhi), int(hi))
+        if new_hi <= new_lo:
+            continue
+        i = bisect_column(kmers, new_lo)
+        j = bisect_column(kmers, new_hi, lo=i)
+        clipped.append((new_lo, new_hi, kmers[i:j]))
+    return clipped
+
+
+def check_shards(shards: Sequence[ShardSlice]) -> None:
+    """Reject shard lists that are not in ascending, non-overlapping order.
+
+    Ascending disjoint ranges are what make per-shard results concatenate
+    into a globally sorted stream (§6.1) — violations would silently
+    produce unsorted output, so they raise instead.
+    """
+    prev_hi = None
+    for lo, hi, _ in shards:
+        lo, hi = int(lo), int(hi)
+        if hi < lo or (prev_hi is not None and lo < prev_hi):
+            raise ValueError(
+                "shards must cover ascending, non-overlapping ranges"
+            )
+        prev_hi = hi
+
+
 class StepTwoBackend(abc.ABC):
     """Execution engine for intersection and KSS retrieval kernels."""
 
     #: Registry name ("python", "numpy", ...).
     name: str = "abstract"
+
+    #: True when the backend's kernels consume ndarray columns natively.
+    #: Step 1 (:class:`~repro.megis.host.KmerBucketPartitioner`) uses this
+    #: to emit bucket columns the backend can stream with zero conversion.
+    columnar: bool = False
+
+    # -- query columns (Step-1 output containers) -----------------------------
+
+    def query_column(self, values: Sequence[int], k: int) -> Sequence[int]:
+        """Materialize sorted k-mers in this backend's native bucket container.
+
+        The reference backend keeps plain Python int lists; columnar
+        backends override this to return ndarray columns so no downstream
+        kernel ever converts per call.
+        """
+        return [int(v) for v in values]
+
+    def split_column(
+        self, column: Sequence[int], boundaries: Sequence[int], k: int
+    ) -> List[Sequence[int]]:
+        """Split a sorted column at ``boundaries`` into ``len + 1`` columns.
+
+        Used by Step 1 to carve the selected k-mer stream into lexicographic
+        buckets; every piece stays in the backend's native container.
+        """
+        pieces: List[Sequence[int]] = []
+        start = 0
+        for boundary in boundaries:
+            stop = bisect_column(column, int(boundary), lo=start)
+            pieces.append(column[start:stop])
+            start = stop
+        pieces.append(column[start:])
+        return pieces
 
     # -- intersection ---------------------------------------------------------
 
@@ -199,6 +324,65 @@ class StepTwoBackend(abc.ABC):
         intersection list per sample, each identical to what
         :meth:`intersect_bucketed` would produce for that sample alone.
         """
+
+    # -- sharded intersection (§6.1, multi-SSD) -------------------------------
+
+    def intersect_sharded(
+        self,
+        shards: Sequence[ShardSlice],
+        sorted_query: Sequence[int],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[List[int]]:
+        """Range-split the query at shard boundaries; intersect per shard.
+
+        ``shards`` are ``(lo, hi, database)`` triples in ascending disjoint
+        range order (one per SSD).  The range split happens here in the
+        backend — each shard only ever sees the query slice that can match
+        its range, and because shards ascend, the concatenation of the
+        returned per-shard intersections is globally sorted.
+        """
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        check_shards(shards)
+        results: List[List[int]] = []
+        start = 0
+        for lo, hi, database in shards:
+            i = bisect_column(sorted_query, int(lo), lo=start)
+            j = bisect_column(sorted_query, int(hi), lo=i)
+            start = j
+            results.append(
+                self.intersect_bucketed(
+                    database, [(int(lo), int(hi), sorted_query[i:j])],
+                    n_channels, timings,
+                )
+            )
+        return results
+
+    def intersect_sharded_multi(
+        self,
+        shards: Sequence[ShardSlice],
+        samples: Sequence[Sequence[BucketSlice]],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[List[int]]:
+        """Batched multi-sample Step 2 across shards (§4.7 x §6.1).
+
+        Each shard streams its database slice once for the whole batch
+        (every sample's clipped buckets share the stream); per-sample
+        results are the concatenation over shards, already sorted, and
+        identical to :meth:`intersect_bucketed_multi` on the whole database.
+        """
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        check_shards(shards)
+        results: List[List[int]] = [[] for _ in samples]
+        for lo, hi, database in shards:
+            clipped = [clip_buckets(buckets, lo, hi) for buckets in samples]
+            partial = self.intersect_bucketed_multi(
+                database, clipped, n_channels, timings
+            )
+            for out, part in zip(results, partial):
+                out.extend(part)
+        return results
 
     # -- retrieval ------------------------------------------------------------
 

@@ -31,7 +31,10 @@ from repro.backends.base import (
     BucketSlice,
     PhaseTimings,
     RetrievalResult,
+    ShardSlice,
     StepTwoBackend,
+    check_shards,
+    clip_buckets,
     interval_edges,
 )
 
@@ -72,10 +75,53 @@ def _searchsorted(column: np.ndarray, values) -> np.ndarray:
     return np.searchsorted(column, values, side="left")
 
 
+def _edge_cuts(column: np.ndarray, edges: Sequence[int]) -> List[int]:
+    """Vectorized ``searchsorted`` of range edges into a sorted column.
+
+    Edges beyond the column dtype's range (e.g. the key-space bound
+    ``1 << 2k`` of the last shard) would overflow the cast, so they resolve
+    to ``len(column)`` directly — every representable value lies below them.
+    """
+    if column.dtype == np.dtype(object):
+        arr = np.empty(len(edges), dtype=object)
+        for i, e in enumerate(edges):
+            arr[i] = int(e)
+        return [int(c) for c in _searchsorted(column, arr)]
+    limit = int(np.iinfo(column.dtype).max)
+    clamped = np.asarray([min(int(e), limit) for e in edges], dtype=column.dtype)
+    cuts = _searchsorted(column, clamped)
+    return [
+        len(column) if int(e) > limit else int(c) for e, c in zip(edges, cuts)
+    ]
+
+
 class NumpyStepTwoBackend(StepTwoBackend):
     """Columnar vectorized backend; bit-identical to the python reference."""
 
     name = "numpy"
+    columnar = True
+
+    # -- query columns --------------------------------------------------------
+
+    def query_column(self, values: Sequence[int], k: int) -> np.ndarray:
+        """Native bucket container: a sorted ndarray column.
+
+        Zero-copy when ``values`` is already an ndarray of the column dtype
+        — the partition→intersect hand-off then moves no data at all.
+        """
+        return as_column(values, column_dtype(k))
+
+    def split_column(
+        self, column: Sequence[int], boundaries: Sequence[int], k: int
+    ) -> List[np.ndarray]:
+        """Vectorized bucket split: one ``searchsorted`` over all edges."""
+        col = as_column(column, column_dtype(k))
+        if not len(boundaries):
+            return [col]
+        cuts = _edge_cuts(col, [int(b) for b in boundaries])
+        starts = [0, *cuts]
+        stops = [*cuts, len(col)]
+        return [col[i:j] for i, j in zip(starts, stops)]
 
     # -- intersection ---------------------------------------------------------
 
@@ -119,11 +165,10 @@ class NumpyStepTwoBackend(StepTwoBackend):
         timings = timings if timings is not None else PhaseTimings(backend=self.name)
         timings.samples_batched = max(timings.samples_batched, len(samples))
         column = database.column()
+        # Bucket concatenation in range order is globally sorted; native
+        # ndarray bucket columns concatenate without per-element conversion.
         merged = [
-            as_column(
-                [int(x) for _, _, kmers in buckets for x in kmers], column.dtype
-            )
-            for buckets in samples
+            self._merged_query(buckets, column.dtype) for buckets in samples
         ]
         parts: List[List[np.ndarray]] = [[] for _ in samples]
         edges = interval_edges(samples)
@@ -148,6 +193,70 @@ class NumpyStepTwoBackend(StepTwoBackend):
         return [
             list(np.concatenate(p).tolist()) if p else [] for p in parts
         ]
+
+    @staticmethod
+    def _merged_query(buckets: Sequence[BucketSlice], dtype: np.dtype) -> np.ndarray:
+        columns = [as_column(kmers, dtype) for _, _, kmers in buckets]
+        if not columns:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(columns)
+
+    # -- sharded intersection (§6.1) ------------------------------------------
+
+    def intersect_sharded(
+        self,
+        shards: Sequence[ShardSlice],
+        sorted_query: Sequence[int],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[List[int]]:
+        """Vectorized range split: one ``searchsorted`` over every shard edge."""
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        check_shards(shards)
+        if not shards:
+            return []
+        query = as_column(sorted_query, column_dtype(shards[0][2].k))
+        edges = [int(e) for lo, hi, _ in shards for e in (lo, hi)]
+        cuts = _edge_cuts(query, edges)
+        results: List[List[int]] = []
+        for (lo, hi, database), i, j in zip(shards, cuts[::2], cuts[1::2]):
+            results.append(
+                self.intersect_bucketed(
+                    database, [(int(lo), int(hi), query[i:j])],
+                    n_channels, timings,
+                )
+            )
+        return results
+
+    def intersect_sharded_multi(
+        self,
+        shards: Sequence[ShardSlice],
+        samples: Sequence[Sequence[BucketSlice]],
+        n_channels: int = 8,
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[List[int]]:
+        timings = timings if timings is not None else PhaseTimings(backend=self.name)
+        check_shards(shards)
+        results: List[List[int]] = [[] for _ in samples]
+        if not shards:
+            return results
+        # Columnar bucket k-mers up front: boundary clipping then slices
+        # ndarray views and the per-shard batch concatenates them natively.
+        dtype = column_dtype(shards[0][2].k)
+        columnar_samples = [
+            [(lo, hi, as_column(kmers, dtype)) for lo, hi, kmers in buckets]
+            for buckets in samples
+        ]
+        for lo, hi, database in shards:
+            clipped = [
+                clip_buckets(buckets, lo, hi) for buckets in columnar_samples
+            ]
+            partial = self.intersect_bucketed_multi(
+                database, clipped, n_channels, timings
+            )
+            for out, part in zip(results, partial):
+                out.extend(part)
+        return results
 
     def _intersect_slice(
         self,

@@ -31,6 +31,7 @@ from repro.backends.base import (
     PhaseTimings,
     RetrievalResult,
     StepTwoBackend,
+    column_to_list,
     interval_edges,
 )
 from repro.sequences.encoding import kmer_prefix
@@ -78,6 +79,8 @@ def _next_or_none(iterator: Iterator[int]) -> Optional[int]:
         return int(next(iterator))
     except StopIteration:
         return None
+
+
 
 
 def stripe_database(kmers: Sequence[int], n_channels: int) -> List[List[int]]:
@@ -195,7 +198,7 @@ class PythonStepTwoBackend(StepTwoBackend):
         with timings.phase("intersect"):
             for lo, hi, kmers in buckets:
                 db_slice = self._db_slice(database, lo, hi)
-                query = [int(x) for x in kmers]
+                query = column_to_list(kmers)
                 timings.db_kmers_streamed += len(db_slice)
                 timings.query_kmers_streamed += len(query)
                 timings.buckets_processed += 1
@@ -218,9 +221,12 @@ class PythonStepTwoBackend(StepTwoBackend):
         timings.samples_batched = max(timings.samples_batched, len(samples))
         # Bucket concatenation in range order is globally sorted, so each
         # sample's query slice for an interval is a contiguous run.
-        merged: List[List[int]] = [
-            [int(x) for _, _, kmers in buckets for x in kmers] for buckets in samples
-        ]
+        merged: List[List[int]] = []
+        for buckets in samples:
+            flat: List[int] = []
+            for _, _, kmers in buckets:
+                flat.extend(column_to_list(kmers))
+            merged.append(flat)
         results: List[List[int]] = [[] for _ in samples]
         units = [IntersectUnit(channel=c) for c in range(n_channels)]
         edges = interval_edges(samples)

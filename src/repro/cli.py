@@ -67,7 +67,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             references, k_max=args.k, smaller_ks=(args.k - 8, args.k - 12)
         )
         if args.tool == "megis":
-            config = MegisConfig(abundance_method=args.abundance, backend=args.backend)
+            config = MegisConfig(abundance_method=args.abundance,
+                                 backend=args.backend, n_ssds=args.ssds)
             result = MegisPipeline(database, sketch, references, config=config).analyze(reads)
             if args.timings:
                 _print_timings(result.timings)
@@ -96,6 +97,10 @@ def _print_timings(timings) -> None:
     print(f"  db k-mers streamed: {timings.db_kmers_streamed}   "
           f"query k-mers: {timings.query_kmers_streamed}   "
           f"buckets: {timings.buckets_processed}")
+    if timings.serialized_ms:
+        print(f"  bucket pipeline (S4.2.1): {timings.overlapped_ms:.2f} ms "
+              f"overlapped vs {timings.serialized_ms:.2f} ms serialized "
+              f"({timings.overlap_saved_ms:.2f} ms hidden)")
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -149,6 +154,9 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--backend", choices=available_backends(), default=None,
                          help="Step-2 execution backend for megis "
                               "(default: REPRO_BACKEND env var or 'python')")
+    analyze.add_argument("--ssds", type=int, default=1,
+                         help="shard the sorted database across N SSDs for "
+                              "Step 2 (megis only, §6.1; results identical)")
     analyze.add_argument("--timings", action="store_true",
                          help="print the per-phase timing breakdown (megis only)")
     analyze.set_defaults(func=_cmd_analyze)

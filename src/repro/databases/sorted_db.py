@@ -96,6 +96,28 @@ class SortedKmerDatabase:
         stop = bisect.bisect_left(self._kmers, int(hi))
         return iter(self._kmers[start:stop])
 
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of database k-mers in ``[lo, hi)``, without materializing."""
+        return bisect.bisect_left(self._kmers, int(hi)) - bisect.bisect_left(
+            self._kmers, int(lo)
+        )
+
+    def slice(self, start: int, stop: int) -> "SortedKmerDatabase":
+        """Contiguous positional shard sharing this database's columns.
+
+        The k-mer and owner columns are sliced directly — no per-element
+        ``owners_of`` lookups, no re-validation (a slice of a strictly
+        increasing sequence is strictly increasing) — and an already-built
+        ndarray column is shared as a zero-copy view, so multi-SSD shards
+        reuse the parent's columnar cache.
+        """
+        shard = self.__class__.__new__(self.__class__)
+        shard.k = self.k
+        shard._kmers = self._kmers[start:stop]
+        shard._owners = self._owners[start:stop]
+        shard._column = None if self._column is None else self._column[start:stop]
+        return shard
+
     def intersect(
         self, sorted_query: Sequence[int], backend: Optional[str] = None
     ) -> List[int]:

@@ -41,7 +41,7 @@ def run() -> ExperimentResult:
     for n_buckets in BUCKET_COUNTS:
         partitioner = KmerBucketPartitioner(k=20, n_buckets=n_buckets)
         buckets = partitioner.partition(sample.reads)
-        sizes = [len(b.kmers) for b in buckets.buckets if b.kmers]
+        sizes = [len(b.kmers) for b in buckets.buckets if len(b.kmers)]
         mean = sum(sizes) / len(sizes)
         balance = max(sizes) / mean
         exposed = 1.0 / n_buckets

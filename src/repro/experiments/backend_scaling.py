@@ -1,0 +1,70 @@
+"""Backend scaling sweep: Step-2 wall time per backend vs database scale.
+
+The register-level ``python`` backend pays interpreter overhead per k-mer,
+so its wall time grows linearly with the streamed volume; the columnar
+``numpy`` backend amortizes that overhead into vectorized kernels.  This
+sweep charts the regime where the interpreter overhead dominates — the
+motivation for the columnar dataflow — on synthetic sorted databases of
+growing size, using native bucket columns for the numpy side (the
+partition→intersect hand-off measured by the PR benchmarks).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.backends import get_backend
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.experiments.runner import ExperimentResult
+
+K = 20
+SCALES = (2_000, 10_000, 50_000, 150_000)
+
+
+def _synthetic_database(n: int) -> SortedKmerDatabase:
+    kmers = list(range(1, 3 * n, 3))
+    return SortedKmerDatabase(K, kmers, [frozenset({1})] * len(kmers))
+
+
+def _timed_ms(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def run() -> ExperimentResult:
+    result = ExperimentResult(
+        experiment="backend_scaling",
+        title="Step-2 intersect wall time vs database scale per backend",
+        columns=["db_kmers", "query_kmers", "python_ms", "numpy_ms", "speedup"],
+        paper_reference="§4.3 data path; ROADMAP interpreter-overhead regime",
+        notes="synthetic sorted database; best-of-N wall times, bit-identical results",
+    )
+    python, numpy_ = get_backend("python"), get_backend("numpy")
+    for n in SCALES:
+        database = _synthetic_database(n)
+        # Each backend consumes its native query container, mirroring the
+        # backend-aware Step-1 output.
+        query_list = database.kmers[::2]
+        query_column = database.column()[::2]
+        expected = numpy_.intersect(database, query_column, n_channels=8)
+        assert expected == python.intersect(database, query_list, n_channels=8)
+        python_ms = _timed_ms(
+            lambda: python.intersect(database, query_list, n_channels=8),
+            repeats=3,
+        )
+        numpy_ms = _timed_ms(
+            lambda: numpy_.intersect(database, query_column, n_channels=8),
+            repeats=3,
+        )
+        result.add_row(
+            db_kmers=len(database),
+            query_kmers=len(query_list),
+            python_ms=python_ms,
+            numpy_ms=numpy_ms,
+            speedup=python_ms / numpy_ms if numpy_ms else float("inf"),
+        )
+    return result

@@ -82,6 +82,7 @@ REGISTRY: Dict[str, str] = {
     "ftl_metadata": "repro.experiments.ftl_metadata",
     "ablation_buckets": "repro.experiments.ablation_buckets",
     "ablation_sketch": "repro.experiments.ablation_sketch",
+    "backend_scaling": "repro.experiments.backend_scaling",
     "isp_management": "repro.experiments.isp_management",
     "overprovisioning": "repro.experiments.overprovisioning",
     "qos_latency": "repro.experiments.qos_latency",

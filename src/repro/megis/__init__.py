@@ -24,11 +24,20 @@ from repro.megis.ftl import DatabaseLayout, MegisFtl
 from repro.megis.host import Bucket, BucketSet, KmerBucketPartitioner
 from repro.megis.isp import IntersectUnit, IspStepTwo, TaxIdRetriever
 from repro.megis.multissd import DatabaseShard, MultiSsdStepTwo, split_database
-from repro.megis.pipeline import MegisConfig, MegisPipeline, MegisResult
+from repro.megis.pipeline import (
+    BucketPipelineScheduler,
+    BucketSchedule,
+    MegisConfig,
+    MegisPipeline,
+    MegisResult,
+    ScheduledBucket,
+)
 
 __all__ = [
     "AcceleratorReport",
     "Bucket",
+    "BucketPipelineScheduler",
+    "BucketSchedule",
     "BucketSet",
     "CommandProcessor",
     "DatabaseLayout",
@@ -45,6 +54,7 @@ __all__ = [
     "MegisWrite",
     "MultiSsdStepTwo",
     "PhaseTimings",
+    "ScheduledBucket",
     "StepTwoBackend",
     "TaxIdRetriever",
     "accelerator_report",

@@ -7,6 +7,13 @@ overlap: as soon as bucket *i* is sorted it can be shipped to the SSD and
 intersected (the database is sorted too, so the matching range is known)
 while bucket *i+1* is still being sorted.
 
+Step 1 is *backend-aware*: buckets are emitted in the Step-2 backend's
+native container — plain Python int lists for the register-level
+``python`` reference, sorted ``np.ndarray`` columns for the ``numpy``
+columnar engine — so the partition→intersect hand-off never converts
+containers per call.  Both containers hold identical k-mer sequences; the
+cross-backend equivalence tests enforce it.
+
 When the extracted k-mers exceed host DRAM, MegIS pins as many buckets as
 fit and spills the rest to the SSD through dedicated sequential write
 buffers, avoiding the page-swap thrashing a flat k-mer array would suffer
@@ -18,10 +25,24 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
+import numpy as np
+
+from repro.backends import StepTwoBackend, column_to_list, get_backend
 from repro.sequences.kmers import extract_kmers
 from repro.sequences.reads import Read
+
+#: A bucket's sorted k-mers in the backend's native container.
+KmerColumn = Union[List[int], np.ndarray]
+
+__all__ = [
+    "Bucket",
+    "BucketSet",
+    "KmerBucketPartitioner",
+    "KmerColumn",
+    "column_to_list",
+]
 
 
 @dataclass
@@ -29,19 +50,24 @@ class Bucket:
     """One lexicographic k-mer bucket.
 
     ``lo`` is inclusive, ``hi`` exclusive; ``kmers`` is sorted ascending
-    after :meth:`KmerBucketPartitioner.partition` completes.
+    after :meth:`KmerBucketPartitioner.partition` completes, held in the
+    Step-2 backend's native column container.
     """
 
     index: int
     lo: int
     hi: int
-    kmers: List[int] = field(default_factory=list)
+    kmers: KmerColumn = field(default_factory=list)
     pinned: bool = True  # False -> spilled to the SSD during extraction
 
     def byte_size(self, kmer_bytes: int) -> int:
         return len(self.kmers) * kmer_bytes
 
     def is_sorted(self) -> bool:
+        if isinstance(self.kmers, np.ndarray):
+            return len(self.kmers) < 2 or bool(
+                np.all(np.asarray(self.kmers[:-1] <= self.kmers[1:], dtype=bool))
+            )
         return all(self.kmers[i] <= self.kmers[i + 1] for i in range(len(self.kmers) - 1))
 
 
@@ -57,8 +83,19 @@ class BucketSet:
         """Global sorted k-mer list (bucket concatenation in range order)."""
         merged: List[int] = []
         for bucket in self.buckets:
-            merged.extend(bucket.kmers)
+            merged.extend(column_to_list(bucket.kmers))
         return merged
+
+    def merged_column(self) -> KmerColumn:
+        """Bucket concatenation in the native container (globally sorted).
+
+        ndarray buckets concatenate into one ndarray column with no
+        per-element conversion; list buckets fall back to a flat int list.
+        """
+        columns = [b.kmers for b in self.buckets]
+        if columns and all(isinstance(c, np.ndarray) for c in columns):
+            return np.concatenate(columns)
+        return self.merged_sorted()
 
     def total_kmers(self) -> int:
         return sum(len(b.kmers) for b in self.buckets)
@@ -74,6 +111,12 @@ class KmerBucketPartitioner:
     512; tests use fewer).  Range boundaries come from a preliminary pass
     over a sample of the k-mers so bucket sizes stay balanced, mirroring the
     paper's preliminary-bucket-then-merge scheme.
+
+    ``backend`` selects the Step-2 engine whose native container the bucket
+    columns use ("python" lists, "numpy" ndarray columns; ``None`` resolves
+    the process default).  The numpy path also vectorizes the frequency
+    exclusion itself (one ``np.unique`` over the extracted stream instead of
+    a Python ``Counter``), producing bit-identical bucket contents.
     """
 
     def __init__(
@@ -84,6 +127,7 @@ class KmerBucketPartitioner:
         max_count: Optional[int] = None,
         host_dram_bytes: Optional[int] = None,
         preliminary_sample: int = 4096,
+        backend: Union[str, StepTwoBackend, None] = None,
     ):
         if n_buckets <= 0:
             raise ValueError(f"n_buckets must be positive, got {n_buckets}")
@@ -95,10 +139,15 @@ class KmerBucketPartitioner:
         self.max_count = max_count
         self.host_dram_bytes = host_dram_bytes
         self.preliminary_sample = preliminary_sample
+        self._backend = get_backend(backend)
 
     @property
     def kmer_bytes(self) -> int:
         return (2 * self.k + 7) // 8
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
 
     # -- boundary selection ----------------------------------------------------
 
@@ -120,47 +169,64 @@ class KmerBucketPartitioner:
 
     def partition(self, reads: Sequence[Read]) -> BucketSet:
         """Run Step 1 over a sample's reads."""
+        # The vectorized selection (columnar backend, k-mers fit uint64)
+        # buffers the extracted arrays for one np.unique pass; the Counter
+        # path folds each read in immediately so peak memory stays
+        # O(distinct k-mers), as before.
+        vectorized = self._backend.columnar and self.k <= 31
+        arrays: List[np.ndarray] = []
         counts: Counter = Counter()
         preliminary: List[int] = []
         for read in reads:
-            kmers = extract_kmers(read.sequence, self.k, canonical=False).tolist()
-            if len(preliminary) < self.preliminary_sample:
-                preliminary.extend(kmers[: self.preliminary_sample - len(preliminary)])
-            counts.update(kmers)
+            kmers = extract_kmers(read.sequence, self.k, canonical=False)
+            if vectorized:
+                arrays.append(kmers)
+            else:
+                counts.update(kmers.tolist())
+            remaining = self.preliminary_sample - len(preliminary)
+            if remaining > 0:
+                preliminary.extend(int(x) for x in kmers[:remaining].tolist())
 
+        selected = (
+            self._select_vectorized(arrays) if vectorized else self._select(counts)
+        )
         boundaries = self._boundaries(preliminary)
         space = 1 << (2 * self.k)
         edges = [0] + boundaries + [space]
+        columns = self._backend.split_column(selected, boundaries, self.k)
         buckets = [
-            Bucket(index=i, lo=edges[i], hi=edges[i + 1])
-            for i in range(len(edges) - 1)
+            Bucket(index=i, lo=edges[i], hi=edges[i + 1], kmers=column)
+            for i, column in enumerate(columns)
         ]
-
-        selected = [
-            kmer
-            for kmer, count in counts.items()
-            if count >= self.min_count
-            and (self.max_count is None or count <= self.max_count)
-        ]
-        for kmer in selected:
-            buckets[self._bucket_index(kmer, edges)].kmers.append(int(kmer))
-        for bucket in buckets:
-            bucket.kmers.sort()
 
         bucket_set = BucketSet(k=self.k, buckets=buckets)
         self._assign_pinning(bucket_set)
         return bucket_set
 
-    @staticmethod
-    def _bucket_index(kmer: int, edges: List[int]) -> int:
-        lo, hi = 0, len(edges) - 2
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if kmer < edges[mid + 1]:
-                hi = mid
-            else:
-                lo = mid + 1
-        return lo
+    def _select_vectorized(self, arrays: Sequence[np.ndarray]) -> KmerColumn:
+        """Frequency exclusion in one ``np.unique`` pass (sorted output).
+
+        Produces the identical sorted k-mer sequence as :meth:`_select`,
+        wrapped by the backend's
+        :meth:`~repro.backends.StepTwoBackend.query_column` (a no-op for
+        the ndarray it already holds).
+        """
+        merged = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.uint64)
+        unique, counts = np.unique(merged, return_counts=True)
+        mask = counts >= self.min_count
+        if self.max_count is not None:
+            mask &= counts <= self.max_count
+        return self._backend.query_column(unique[mask], self.k)
+
+    def _select(self, counts: Counter) -> KmerColumn:
+        """Frequency exclusion over accumulated counts, sorted, columnar."""
+        selected = sorted(
+            kmer
+            for kmer, count in counts.items()
+            if count >= self.min_count
+            and (self.max_count is None or count <= self.max_count)
+        )
+        return self._backend.query_column(selected, self.k)
 
     def _assign_pinning(self, bucket_set: BucketSet) -> None:
         """Pin buckets to host DRAM until capacity runs out (Fig 5)."""

@@ -24,9 +24,14 @@ test suite enforces this.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.backends import PhaseTimings, StepTwoBackend, get_backend
+from repro.backends import (
+    PhaseTimings,
+    RetrievalResult as Retrieved,
+    StepTwoBackend,
+    get_backend,
+)
 from repro.backends.python_backend import (  # noqa: F401 - compat re-exports
     IntersectUnit,
     TaxIdRetriever,
@@ -34,9 +39,6 @@ from repro.backends.python_backend import (  # noqa: F401 - compat re-exports
 )
 from repro.databases.kss import KssTables
 from repro.databases.sorted_db import SortedKmerDatabase
-
-#: Per-query retrieval mapping: query k-mer -> level -> taxIDs.
-Retrieved = Dict[int, Dict[int, FrozenSet[int]]]
 
 
 @dataclass
@@ -74,6 +76,19 @@ class IspStepTwo:
         retrieved = self._backend.retrieve(self.kss, intersecting, t)
         self._record(t, timings)
         return intersecting, retrieved
+
+    def run_bucket_set(
+        self, bucket_set, timings: Optional[PhaseTimings] = None
+    ) -> Tuple[List[int], Retrieved]:
+        """Step 2 over a partitioned sample's native bucket columns.
+
+        The :class:`~repro.megis.host.BucketSet` carries its k-mers in the
+        backend's native container (ndarray columns for ``numpy``), so this
+        hand-off streams Step-1 output into the kernels with no conversion.
+        """
+        return self.run_bucketed(
+            ((b.lo, b.hi, b.kmers) for b in bucket_set.buckets), timings=timings
+        )
 
     def run_bucketed(
         self,

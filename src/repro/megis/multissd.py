@@ -6,16 +6,30 @@ independently on its shard and the host concatenates the (still sorted)
 per-shard results.  This module implements that split functionally so the
 Fig 15 scaling experiment has a correctness counterpart: the sharded
 pipeline must produce exactly the single-SSD result.
+
+The range split itself lives in the Step-2 backend
+(:meth:`~repro.backends.StepTwoBackend.intersect_sharded`): the numpy
+engine splits the query column against every shard edge with one
+vectorized ``searchsorted``, and shard databases are positional column
+slices of the parent (sharing its ndarray cache as zero-copy views), so
+sharding adds no host-side per-element work.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.backends import (
+    BucketSlice,
+    PhaseTimings,
+    RetrievalResult as Retrieved,
+    ShardSlice,
+    StepTwoBackend,
+    get_backend,
+)
 from repro.databases.kss import KssTables
 from repro.databases.sorted_db import SortedKmerDatabase
-from repro.megis.isp import IspStepTwo
 
 
 @dataclass
@@ -32,65 +46,117 @@ def split_database(database: SortedKmerDatabase, n_shards: int) -> List[Database
     """Split a sorted database into ``n_shards`` contiguous ranges.
 
     Boundaries are chosen at equal k-mer counts, so shards are balanced
-    regardless of how k-mers cluster in the key space.
+    regardless of how k-mers cluster in the key space.  Each shard database
+    is a positional :meth:`~repro.databases.sorted_db.SortedKmerDatabase.slice`
+    — the k-mer and owner columns are sliced directly, with no per-element
+    ``owners_of`` lookups — and shards stay contiguous even when the
+    database has fewer k-mers than shards (the extras are empty ranges).
     """
     if n_shards <= 0:
         raise ValueError(f"n_shards must be positive, got {n_shards}")
     kmers = database.kmers
     space = 1 << (2 * database.k)
     shards: List[DatabaseShard] = []
+    prev_hi = 0
     for i in range(n_shards):
         start = len(kmers) * i // n_shards
         stop = len(kmers) * (i + 1) // n_shards
-        lo = 0 if i == 0 else kmers[start]
-        hi = space if i == n_shards - 1 else kmers[stop]
-        shard_kmers = kmers[start:stop]
-        owners = [database.owners_of(x) for x in shard_kmers]
+        if i == n_shards - 1 or stop >= len(kmers):
+            hi = space
+        else:
+            hi = kmers[stop]
         shards.append(
             DatabaseShard(
-                index=i,
-                lo=lo,
-                hi=hi,
-                database=SortedKmerDatabase(database.k, shard_kmers, owners),
+                index=i, lo=prev_hi, hi=hi, database=database.slice(start, stop)
             )
         )
+        prev_hi = hi
     return shards
 
 
 class MultiSsdStepTwo:
-    """Step 2 fanned out over database shards, one ISP engine per SSD."""
+    """Step 2 fanned out over database shards, one SSD per shard.
+
+    The query range split runs inside the Step-2 backend
+    (:meth:`~repro.backends.StepTwoBackend.intersect_sharded`); the host
+    only concatenates the already-sorted per-shard results and retrieves
+    taxIDs once.  ``self.timings`` accumulates per-phase wall time and
+    streaming counters across calls, exactly like
+    :class:`~repro.megis.isp.IspStepTwo`.
+    """
 
     def __init__(self, database: SortedKmerDatabase, kss: KssTables,
                  n_ssds: int, channels_per_ssd: int = 8,
-                 backend: Optional[str] = None):
+                 backend: Union[str, StepTwoBackend, None] = None):
+        self._backend = get_backend(backend)
+        if self._backend.columnar:
+            # Build the parent column first so every shard shares it as a
+            # zero-copy view instead of materializing its own.
+            database.column()
         self.shards = split_database(database, n_ssds)
         self.kss = kss
         self.backend = backend
-        self.engines = [
-            IspStepTwo(shard.database, kss, n_channels=channels_per_ssd,
-                       backend=backend)
-            for shard in self.shards
-        ]
+        self.channels_per_ssd = channels_per_ssd
+        self.timings = PhaseTimings(backend=self._backend.name)
+
+    @property
+    def backend_name(self) -> str:
+        return self._backend.name
+
+    @property
+    def n_ssds(self) -> int:
+        return len(self.shards)
+
+    def _shard_slices(self) -> List[ShardSlice]:
+        return [(s.lo, s.hi, s.database) for s in self.shards]
 
     def run(
-        self, sorted_query: Sequence[int]
-    ) -> Tuple[List[int], Dict[int, Dict[int, FrozenSet[int]]]]:
+        self,
+        sorted_query: Sequence[int],
+        timings: Optional[PhaseTimings] = None,
+    ) -> Tuple[List[int], Retrieved]:
         """Intersect per shard, concatenate, retrieve taxIDs once.
 
         Each shard only sees the query slice that can match its range —
         the same range-pruning the bucket scheme exploits (§4.2.1).
         """
-        query = [int(q) for q in sorted_query]
-        intersecting: List[int] = []
-        for shard, engine in zip(self.shards, self.engines):
-            slice_ = [q for q in query if shard.lo <= q < shard.hi]
-            partial, _ = engine.run(slice_)
-            intersecting.extend(partial)
+        t = PhaseTimings(backend=self._backend.name)
+        per_shard = self._backend.intersect_sharded(
+            self._shard_slices(), sorted_query, self.channels_per_ssd, t
+        )
         # Shards are contiguous ranges in ascending order, so the
         # concatenation is already sorted.
-        retrieved = self.kss.retrieve(intersecting, backend=self.backend)
+        intersecting = [kmer for partial in per_shard for kmer in partial]
+        retrieved = self._backend.retrieve(self.kss, intersecting, t)
+        self._record(t, timings)
         return intersecting, retrieved
 
-    @property
-    def n_ssds(self) -> int:
-        return len(self.shards)
+    def run_multi(
+        self,
+        samples: Sequence[Sequence[BucketSlice]],
+        timings: Optional[PhaseTimings] = None,
+    ) -> List[Tuple[List[int], Retrieved]]:
+        """Batched multi-sample Step 2 across shards (§4.7 x §6.1).
+
+        Each shard streams its database slice once for the whole batch;
+        per-sample results are identical to a single-SSD
+        :meth:`~repro.megis.isp.IspStepTwo.run_bucketed_multi`.
+        """
+        t = PhaseTimings(
+            backend=self._backend.name, samples_batched=max(1, len(samples))
+        )
+        per_sample = self._backend.intersect_sharded_multi(
+            self._shard_slices(), [list(buckets) for buckets in samples],
+            self.channels_per_ssd, t,
+        )
+        results = [
+            (intersecting, self._backend.retrieve(self.kss, intersecting, t))
+            for intersecting in per_sample
+        ]
+        self._record(t, timings)
+        return results
+
+    def _record(self, t: PhaseTimings, timings: Optional[PhaseTimings]) -> None:
+        self.timings.merge(t)
+        if timings is not None:
+            timings.merge(t)

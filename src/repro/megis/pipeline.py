@@ -21,7 +21,9 @@ independent analysis.
 
 from __future__ import annotations
 
-from collections import Counter
+import heapq
+import itertools
+from collections import Counter, deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
@@ -35,6 +37,8 @@ from repro.megis.commands import CommandProcessor, HostStep, MegisInit, MegisSte
 from repro.megis.ftl import MegisFtl
 from repro.megis.host import BucketSet, KmerBucketPartitioner
 from repro.megis.isp import IspStepTwo
+from repro.megis.multissd import MultiSsdStepTwo
+from repro.megis.sorting import sort_cost_weights
 from repro.sequences.generator import ReferenceCollection
 from repro.sequences.reads import Read
 from repro.ssd.device import SSD
@@ -60,6 +64,10 @@ class MegisConfig:
     #: Step-2 execution backend ("python" register-level reference or
     #: "numpy" columnar kernels); ``None`` uses the process default.
     backend: Optional[str] = None
+    #: Shard the sorted database across this many SSDs for Step 2 (§6.1);
+    #: 1 keeps the single-SSD bucketed path.  Results are bit-identical
+    #: either way — shards are disjoint lexicographic ranges.
+    n_ssds: int = 1
 
     def __post_init__(self):
         if self.abundance_method not in {"mapping", "statistical"}:
@@ -72,6 +80,8 @@ class MegisConfig:
                 f"backend must be one of {available_backends()}, "
                 f"got {self.backend!r}"
             )
+        if self.n_ssds < 1:
+            raise ValueError(f"n_ssds must be >= 1, got {self.n_ssds}")
 
 
 @dataclass
@@ -95,6 +105,102 @@ class MegisResult:
 
     def present(self, threshold: float = 0.0) -> Set[int]:
         return self.profile.present(threshold)
+
+
+@dataclass(frozen=True)
+class ScheduledBucket:
+    """One bucket's placement on the sort/intersect timeline."""
+
+    index: int
+    sort_start_ms: float
+    sort_end_ms: float
+    intersect_start_ms: float
+    intersect_end_ms: float
+
+
+@dataclass
+class BucketSchedule:
+    """Outcome of the §4.2.1 bucket-pipeline simulation."""
+
+    buckets: List[ScheduledBucket]
+    #: Total time with no overlap: every sort, then every intersection.
+    serialized_ms: float
+    #: Makespan with bucket *i*'s intersection overlapping bucket *i+1*'s
+    #: sort — the §4.2.1 pipeline.
+    overlapped_ms: float
+
+    @property
+    def saved_ms(self) -> float:
+        return max(0.0, self.serialized_ms - self.overlapped_ms)
+
+
+class BucketPipelineScheduler:
+    """Event-queue model of the §4.2.1 sort/intersect bucket pipeline.
+
+    Two resources contend: the host sorter (strictly serial — buckets are
+    sorted in range order) and a pool of ``n_engines`` in-storage intersect
+    engines (one per SSD).  Bucket *i*'s intersection starts as soon as its
+    sort completes *and* an engine frees up, which is exactly the overlap
+    that hides Step-1 sorting behind Step-2 streaming; with one bucket (or
+    one of the two phases empty) the schedule degenerates to the serial
+    MS-NOL behaviour.
+    """
+
+    def __init__(self, n_engines: int = 1):
+        if n_engines < 1:
+            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+        self.n_engines = n_engines
+
+    def schedule(
+        self,
+        sort_ms: Sequence[float],
+        intersect_ms: Sequence[float],
+        lead_ms: float = 0.0,
+    ) -> BucketSchedule:
+        """Simulate the pipeline over per-bucket sort/intersect durations.
+
+        ``lead_ms`` is serial head work (k-mer extraction and frequency
+        selection) that must finish before any bucket sort can start — it
+        delays the whole pipeline and is never hidden by the overlap.
+        """
+        if len(sort_ms) != len(intersect_ms):
+            raise ValueError(
+                f"per-bucket duration lists must match: "
+                f"{len(sort_ms)} sorts vs {len(intersect_ms)} intersects"
+            )
+        n = len(sort_ms)
+        serialized = float(lead_ms) + float(sum(sort_ms)) + float(sum(intersect_ms))
+        events: List = []  # (time, seq, kind, bucket) min-heap
+        seq = itertools.count()
+        sort_windows: List = []
+        clock = float(lead_ms)
+        for i, duration in enumerate(sort_ms):
+            start, clock = clock, clock + float(duration)
+            sort_windows.append((start, clock))
+            heapq.heappush(events, (clock, next(seq), "sorted", i))
+        ready: deque = deque()
+        free_engines = self.n_engines
+        placed: Dict[int, tuple] = {}
+        makespan = float(lead_ms)
+        while events:
+            now, _, kind, index = heapq.heappop(events)
+            makespan = max(makespan, now)
+            if kind == "sorted":
+                ready.append(index)
+            else:  # "intersected": an engine frees up
+                free_engines += 1
+            while free_engines and ready:
+                bucket = ready.popleft()
+                free_engines -= 1
+                end = now + float(intersect_ms[bucket])
+                placed[bucket] = (now, end)
+                heapq.heappush(events, (end, next(seq), "intersected", bucket))
+        scheduled = [
+            ScheduledBucket(i, *sort_windows[i], *placed[i]) for i in range(n)
+        ]
+        return BucketSchedule(
+            buckets=scheduled, serialized_ms=serialized, overlapped_ms=makespan
+        )
 
 
 class MegisPipeline:
@@ -123,6 +229,16 @@ class MegisPipeline:
         self.isp = IspStepTwo(
             database, self.kss, n_channels=n_channels, backend=self.config.backend
         )
+        #: With n_ssds > 1, Step 2 runs sharded across SSDs (§6.1) through
+        #: the backend's intersect_sharded kernels — bit-identical results.
+        self.multissd: Optional[MultiSsdStepTwo] = (
+            MultiSsdStepTwo(
+                database, self.kss, n_ssds=self.config.n_ssds,
+                channels_per_ssd=n_channels, backend=self.config.backend,
+            )
+            if self.config.n_ssds > 1
+            else None
+        )
         self._processor: Optional[CommandProcessor] = None
         if ssd is not None:
             self._processor = CommandProcessor(ssd, MegisFtl(ssd.config.geometry))
@@ -149,11 +265,16 @@ class MegisPipeline:
         self._step_marker(HostStep.SORTING)
         self._step_marker(HostStep.SORTING)
         with self._isp_buffers():
-            intersecting, retrieved = self.isp.run_bucketed(
-                ((b.lo, b.hi, b.kmers) for b in buckets.buckets),
-                timings=result.timings,
-            )
+            if self.multissd is not None:
+                intersecting, retrieved = self.multissd.run(
+                    buckets.merged_column(), timings=result.timings
+                )
+            else:
+                intersecting, retrieved = self.isp.run_bucket_set(
+                    buckets, timings=result.timings
+                )
         self._finish_step_two(result, intersecting, retrieved)
+        self._model_overlap(result.timings, buckets)
 
         # Step 3: abundance estimation (mapping or lightweight statistics).
         if with_abundance:
@@ -199,19 +320,31 @@ class MegisPipeline:
         self._step_marker(HostStep.SORTING)
         self._step_marker(HostStep.SORTING)
         batch_timings = PhaseTimings(backend=backend, samples_batched=len(samples))
+        sample_buckets = [
+            [(b.lo, b.hi, b.kmers) for b in buckets.buckets]
+            for buckets in bucket_sets
+        ]
         with self._isp_buffers():
-            step_two = self.isp.run_bucketed_multi(
-                [
-                    [(b.lo, b.hi, b.kmers) for b in buckets.buckets]
-                    for buckets in bucket_sets
-                ],
-                timings=batch_timings,
-            )
+            if self.multissd is not None:
+                step_two = self.multissd.run_multi(
+                    sample_buckets, timings=batch_timings
+                )
+            else:
+                step_two = self.isp.run_bucketed_multi(
+                    sample_buckets, timings=batch_timings
+                )
 
-        # Step 3 per sample.
-        for result, reads, (intersecting, retrieved) in zip(results, samples, step_two):
+        # Step 3 per sample.  Each sample's overlap model charges it the
+        # batch's intersect time in proportion to its share of the query
+        # stream (the database stream is shared across the batch).
+        total_query = sum(buckets.total_kmers() for buckets in bucket_sets)
+        for result, reads, buckets, (intersecting, retrieved) in zip(
+            results, samples, bucket_sets, step_two
+        ):
             result.timings.merge(batch_timings)
             self._finish_step_two(result, intersecting, retrieved)
+            share = buckets.total_kmers() / total_query if total_query else 0.0
+            self._model_overlap(result.timings, buckets, intersect_share=share)
             if with_abundance:
                 with result.timings.phase("abundance"):
                     self._estimate_abundance(result, reads, retrieved)
@@ -230,6 +363,7 @@ class MegisPipeline:
             min_count=self.config.min_count,
             max_count=self.config.max_count,
             host_dram_bytes=self.config.host_dram_bytes,
+            backend=self.config.backend,
         )
         buckets = partitioner.partition(reads)
         result.n_buckets = len(buckets)
@@ -252,6 +386,42 @@ class MegisPipeline:
         finally:
             if buffer_plan is not None:
                 buffer_plan.release(self.ssd.dram)
+
+    def _model_overlap(
+        self,
+        timings: PhaseTimings,
+        bucket_set: BucketSet,
+        intersect_share: float = 1.0,
+    ) -> None:
+        """Model the §4.2.1 bucket pipeline over the measured phase times.
+
+        The measured Step-1 (extract) wall time splits into a serial head
+        (the linear extraction/selection scan, one comparison per k-mer —
+        it precedes every bucket and is never hidden) plus per-bucket sort
+        components weighted by comparison count (``n log n``); the Step-2
+        (intersect) time is apportioned by streamed volume (database range
+        plus query bucket).  Replaying those through the event-queue
+        scheduler, ``serialized_ms``/``overlapped_ms`` expose how much of
+        the serial chain the bucket overlap can hide.
+        """
+        sizes = [len(b.kmers) for b in bucket_set.buckets]
+        intersect_total = timings.intersect_ms * intersect_share
+        if not sizes or sum(sizes) == 0 or intersect_total <= 0:
+            return
+        db_lens = [
+            self.database.count_range(b.lo, b.hi) for b in bucket_set.buckets
+        ]
+        step_one = _apportion(
+            [float(sum(sizes))] + sort_cost_weights(sizes), timings.extract_ms
+        )
+        lead_ms, sort_ms = step_one[0], step_one[1:]
+        intersect_ms = _apportion(
+            [db + q for db, q in zip(db_lens, sizes)], intersect_total
+        )
+        scheduler = BucketPipelineScheduler(n_engines=max(1, self.config.n_ssds))
+        schedule = scheduler.schedule(sort_ms, intersect_ms, lead_ms=lead_ms)
+        timings.serialized_ms += schedule.serialized_ms
+        timings.overlapped_ms += schedule.overlapped_ms
 
     def _finish_step_two(self, result: MegisResult, intersecting, retrieved) -> None:
         result.intersecting_kmers = intersecting
@@ -289,7 +459,8 @@ class MegisPipeline:
         total = 0
         for bucket in buckets.buckets:
             size = bucket.byte_size(kmer_bytes)
-            total += max(1, -(-size // self.config.batch_bytes)) if bucket.kmers else 0
+            if len(bucket.kmers):
+                total += max(1, -(-size // self.config.batch_bytes))
         return total
 
     @staticmethod
@@ -301,3 +472,15 @@ class MegisPipeline:
                 for taxid in taxids:
                     hit_counts.setdefault(taxid, Counter())[level] += 1
         return {t: dict(c) for t, c in hit_counts.items()}
+
+
+def _apportion(weights: Sequence[float], total_ms: float) -> List[float]:
+    """Split a measured wall time across buckets proportionally to weights.
+
+    Degenerate weight vectors (all zero) split evenly so the scheduler
+    still sees one slot per bucket.
+    """
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        return [total_ms / len(weights)] * len(weights) if weights else []
+    return [total_ms * float(w) / weight_sum for w in weights]

@@ -12,6 +12,7 @@ charges for, and serves as the reference for the bucket partitioner's
 from __future__ import annotations
 
 import heapq
+import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence
 
@@ -83,3 +84,18 @@ def merge_sorted_runs(runs: Sequence[Sequence[int]]) -> Iterator[int]:
         if any(run[i] > run[i + 1] for i in range(len(run) - 1)):
             raise ValueError("runs must be sorted")
     return heapq.merge(*runs)
+
+
+def sort_cost_weights(sizes: Sequence[int]) -> List[float]:
+    """Comparison-model weights (``n log2 n``) for per-bucket in-DRAM sorts.
+
+    MegIS sorts each bucket independently in host DRAM (§4.2.1), so a
+    bucket's share of the measured Step-1 wall time scales with its
+    comparison count.  The bucket-pipeline scheduler uses these weights to
+    apportion measured sort time across buckets when modelling the
+    sort/intersect overlap.
+    """
+    return [
+        float(n) * math.log2(n) if n > 1 else float(n)
+        for n in (int(s) for s in sizes)
+    ]

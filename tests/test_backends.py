@@ -229,6 +229,59 @@ class TestMultiSampleBatching:
 
 
 @pytest.mark.parametrize("backend", BACKENDS)
+class TestShardedKernels:
+    """Backend-level sharded Step 2 (§6.1): range split inside the backend."""
+
+    @pytest.mark.parametrize("seed", [30, 31, 32])
+    def test_sharded_matches_reference(self, backend, seed):
+        from repro.megis.multissd import split_database
+
+        rng = random.Random(seed)
+        database = random_database(rng, 400)
+        query = random_query(rng, database, 150)
+        shards = split_database(database, rng.randrange(1, 6))
+        per_shard = get_backend(backend).intersect_sharded(
+            [(s.lo, s.hi, s.database) for s in shards], query, 4
+        )
+        assert len(per_shard) == len(shards)
+        flat = [x for partial in per_shard for x in partial]
+        assert flat == database.intersect(query)
+
+    @pytest.mark.parametrize("seed", [40, 41])
+    def test_sharded_multi_matches_whole_db_batch(self, backend, seed):
+        from repro.megis.multissd import split_database
+
+        rng = random.Random(seed)
+        database = random_database(rng, 350)
+        samples = []
+        for _ in range(3):
+            query = random_query(rng, database, rng.randrange(40, 120))
+            edges = sorted(rng.sample(range(1, SPACE), rng.randrange(2, 6)))
+            samples.append(bucketize(query, edges))
+        shards = split_database(database, 3)
+        engine = get_backend(backend)
+        sharded = engine.intersect_sharded_multi(
+            [(s.lo, s.hi, s.database) for s in shards], samples, 4
+        )
+        assert sharded == engine.intersect_bucketed_multi(database, samples, 4)
+
+    def test_sharded_cross_backend(self, backend):
+        from repro.megis.multissd import split_database
+
+        rng = random.Random(50)
+        database = random_database(rng, 300)
+        query = random_query(rng, database, 120)
+        shards = [(s.lo, s.hi, s.database) for s in split_database(database, 4)]
+        mine = get_backend(backend).intersect_sharded(shards, query, 4)
+        reference = get_backend("python").intersect_sharded(shards, query, 4)
+        assert mine == reference
+
+    def test_no_shards(self, backend):
+        assert get_backend(backend).intersect_sharded([], [1, 2, 3], 2) == []
+        assert get_backend(backend).intersect_sharded_multi([], [], 2) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestRetrievalEquivalence:
     def test_matches_reference(self, backend, kss_tables, sorted_db):
         queries = sorted(set(sorted_db.kmers[::4]))
@@ -334,3 +387,19 @@ class TestPipelineEquivalence:
     def test_multi_sample_empty(self, sorted_db, sketch_db, sample):
         pipeline = MegisPipeline(sorted_db, sketch_db, sample.references)
         assert pipeline.analyze_multi([]) == []
+
+    def test_sharded_pipeline_bit_identical(self, sorted_db, sketch_db, sample,
+                                            per_backend_results):
+        """n_ssds > 1 changes nothing observable: same intersections,
+        candidates, and abundance profile as the single-SSD python run."""
+        reference = per_backend_results["python"]
+        for backend in BACKENDS:
+            pipeline = MegisPipeline(
+                sorted_db, sketch_db, sample.references,
+                config=MegisConfig(backend=backend, n_ssds=3),
+            )
+            result = pipeline.analyze(sample.reads)
+            assert result.intersecting_kmers == reference.intersecting_kmers
+            assert result.sketch_hits == reference.sketch_hits
+            assert result.candidates == reference.candidates
+            assert result.profile.fractions == reference.profile.fractions

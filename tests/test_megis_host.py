@@ -1,9 +1,11 @@
 """Tests for MegIS Step 1: k-mer bucket partitioning on the host."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.megis.host import KmerBucketPartitioner
+from repro.backends.numpy_backend import as_column
+from repro.megis.host import KmerBucketPartitioner, column_to_list
 from repro.sequences.kmers import KmerCounter
 from repro.sequences.reads import Read
 
@@ -78,6 +80,87 @@ class TestPartitioning:
         counter = KmerCounter(12, canonical=False)
         counter.add_sequences(seqs)
         assert bucket_set.merged_sorted() == counter.selected().tolist()
+
+
+class TestColumnarPartitioner:
+    """Backend-aware Step 1: ndarray bucket columns, bit-identical contents."""
+
+    @pytest.fixture(scope="class")
+    def per_backend(self, sample):
+        return {
+            backend: KmerBucketPartitioner(
+                k=20, n_buckets=8, backend=backend
+            ).partition(sample.reads)
+            for backend in ("python", "numpy")
+        }
+
+    def test_native_containers(self, per_backend):
+        assert all(isinstance(b.kmers, list) for b in per_backend["python"].buckets)
+        assert all(
+            isinstance(b.kmers, np.ndarray) for b in per_backend["numpy"].buckets
+        )
+
+    def test_identical_contents(self, per_backend):
+        python, numpy_ = per_backend["python"], per_backend["numpy"]
+        assert python.merged_sorted() == numpy_.merged_sorted()
+        assert [(b.lo, b.hi) for b in python.buckets] == [
+            (b.lo, b.hi) for b in numpy_.buckets
+        ]
+        for a, b in zip(python.buckets, numpy_.buckets):
+            assert a.kmers == column_to_list(b.kmers)
+
+    def test_columns_sorted_and_in_range(self, per_backend):
+        for bucket in per_backend["numpy"].buckets:
+            assert bucket.is_sorted()
+            assert all(bucket.lo <= int(x) < bucket.hi for x in bucket.kmers)
+
+    def test_zero_copy_handoff(self, per_backend):
+        # as_column on a native column is the identity: the numpy backend
+        # streams Step-1 output without any per-call conversion.
+        bucket = max(per_backend["numpy"].buckets, key=lambda b: len(b.kmers))
+        assert as_column(bucket.kmers, bucket.kmers.dtype) is bucket.kmers
+
+    def test_merged_column(self, per_backend):
+        merged = per_backend["numpy"].merged_column()
+        assert isinstance(merged, np.ndarray)
+        assert merged.tolist() == per_backend["numpy"].merged_sorted()
+        assert isinstance(per_backend["python"].merged_column(), list)
+
+    @pytest.mark.parametrize("thresholds", [
+        {"min_count": 2}, {"max_count": 3}, {"min_count": 2, "max_count": 5},
+    ])
+    def test_exclusion_parity(self, sample, thresholds):
+        python = KmerBucketPartitioner(
+            k=20, n_buckets=4, backend="python", **thresholds
+        ).partition(sample.reads)
+        numpy_ = KmerBucketPartitioner(
+            k=20, n_buckets=4, backend="numpy", **thresholds
+        ).partition(sample.reads)
+        assert python.merged_sorted() == numpy_.merged_sorted()
+
+    def test_pinning_parity(self, sample):
+        kwargs = dict(k=20, n_buckets=8, host_dram_bytes=50_000)
+        python = KmerBucketPartitioner(backend="python", **kwargs).partition(
+            sample.reads
+        )
+        numpy_ = KmerBucketPartitioner(backend="numpy", **kwargs).partition(
+            sample.reads
+        )
+        assert python.spilled_bytes == numpy_.spilled_bytes
+        assert [b.pinned for b in python.buckets] == [
+            b.pinned for b in numpy_.buckets
+        ]
+
+    def test_empty_reads_columnar(self):
+        bucket_set = KmerBucketPartitioner(
+            k=10, n_buckets=4, backend="numpy"
+        ).partition([])
+        assert bucket_set.total_kmers() == 0
+        assert all(isinstance(b.kmers, np.ndarray) for b in bucket_set.buckets)
+
+    def test_backend_name(self):
+        assert KmerBucketPartitioner(k=10, backend="numpy").backend_name == "numpy"
+        assert KmerBucketPartitioner(k=10).backend_name in {"python", "numpy"}
 
 
 class TestPinning:

@@ -1,10 +1,24 @@
-"""Tests for functional multi-SSD database partitioning (Fig 15's premise)."""
+"""Tests for functional multi-SSD database partitioning (Fig 15's premise).
 
+The range split now lives in the Step-2 backends
+(``intersect_sharded``/``intersect_sharded_multi``); these tests pin the
+§6.1 claim — sharded Step 2 is bit-identical to single-SSD Step 2 — across
+both backends, batched multi-sample mode, and the boundary edge cases
+(empty shards, duplicated boundary k-mers, databases smaller than the
+shard count).
+"""
+
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.backends import PhaseTimings, get_backend
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.host import KmerBucketPartitioner
 from repro.megis.isp import IspStepTwo
 from repro.megis.multissd import MultiSsdStepTwo, split_database
+
+BACKENDS = ("python", "numpy")
 
 
 class TestSplitDatabase:
@@ -43,19 +57,81 @@ class TestSplitDatabase:
             for kmer in shard.database.kmers[:10]:
                 assert shard.database.owners_of(kmer) == sorted_db.owners_of(kmer)
 
+    def test_more_shards_than_kmers(self):
+        database = SortedKmerDatabase(10, [5, 9], [frozenset({1}), frozenset({2})])
+        shards = split_database(database, 5)
+        assert [x for s in shards for x in s.database.kmers] == [5, 9]
+        assert shards[0].lo == 0 and shards[-1].hi == 1 << 20
+        for a, b in zip(shards, shards[1:]):
+            assert a.hi == b.lo
+
+    def test_empty_database(self):
+        shards = split_database(SortedKmerDatabase(10, [], []), 3)
+        assert all(len(s.database) == 0 for s in shards)
+        assert shards[0].lo == 0 and shards[-1].hi == 1 << 20
+        for a, b in zip(shards, shards[1:]):
+            assert a.hi == b.lo
+
+    def test_shards_share_parent_column(self, sorted_db):
+        column = sorted_db.column()
+        for shard in split_database(sorted_db, 4):
+            shard_column = shard.database.column()
+            assert shard_column.base is column or len(shard_column) == 0
+
 
 class TestMultiSsdStepTwo:
+    @pytest.mark.parametrize("backend", BACKENDS)
     @pytest.mark.parametrize("n_ssds", [1, 2, 4, 8])
-    def test_sharded_equals_single(self, sorted_db, kss_tables, sample, n_ssds):
-        from repro.megis.host import KmerBucketPartitioner
-
+    def test_sharded_equals_single(self, sorted_db, kss_tables, sample,
+                                   backend, n_ssds):
         query = KmerBucketPartitioner(k=20, n_buckets=4).partition(
             sample.reads
         ).merged_sorted()
-        single = IspStepTwo(sorted_db, kss_tables, n_channels=8).run(query)
-        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=n_ssds).run(query)
+        single = IspStepTwo(sorted_db, kss_tables, n_channels=8,
+                            backend=backend).run(query)
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=n_ssds,
+                                backend=backend).run(query)
         assert multi[0] == single[0]
         assert multi[1] == single[1]
+
+    def test_cross_backend_identical(self, sorted_db, kss_tables):
+        query = sorted_db.kmers[::5]
+        results = {
+            backend: MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3,
+                                     backend=backend).run(query)
+            for backend in BACKENDS
+        }
+        assert results["python"] == results["numpy"]
+
+    def test_ndarray_query_accepted(self, sorted_db, kss_tables):
+        query = sorted_db.kmers[::7]
+        engine = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3, backend="numpy")
+        from_list = engine.run(query)
+        from_column = engine.run(np.asarray(query, dtype=np.uint64))
+        assert from_list == from_column
+
+    def test_duplicate_boundary_kmers(self, sorted_db, kss_tables):
+        # A query repeating the exact shard-boundary k-mer must intersect it
+        # exactly once, like the single-SSD register merge does.
+        shards = split_database(sorted_db, 3)
+        boundary = shards[1].lo
+        query = sorted(sorted_db.kmers[::6] + [boundary, boundary])
+        expected = sorted_db.intersect(sorted(set(query)))
+        for backend in BACKENDS:
+            multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3,
+                                    backend=backend)
+            assert multi.run(query)[0] == expected
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_more_ssds_than_kmers(self, kss_tables, sorted_db, backend):
+        small = SortedKmerDatabase(
+            20, sorted_db.kmers[:3],
+            [sorted_db.owners_of(x) for x in sorted_db.kmers[:3]],
+        )
+        query = sorted_db.kmers[:50:2]
+        expected = small.intersect(query)
+        multi = MultiSsdStepTwo(small, kss_tables, n_ssds=8, backend=backend)
+        assert multi.run(query)[0] == expected
 
     def test_empty_query(self, sorted_db, kss_tables):
         multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=2)
@@ -66,6 +142,23 @@ class TestMultiSsdStepTwo:
     def test_n_ssds_property(self, sorted_db, kss_tables):
         assert MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=4).n_ssds == 4
 
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_timings_threaded(self, sorted_db, kss_tables, backend):
+        query = sorted_db.kmers[::4]
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3, backend=backend)
+        timings = PhaseTimings(backend=backend)
+        intersecting, _ = multi.run(query, timings=timings)
+        assert multi.timings.backend == backend
+        assert timings.db_kmers_streamed > 0
+        assert timings.query_kmers_streamed > 0
+        assert timings.intersect_ms > 0
+        assert timings.retrieve_ms > 0
+        assert sum(timings.channel_matches.values()) == len(intersecting)
+        # The engine accumulates across calls like IspStepTwo does.
+        assert multi.timings.db_kmers_streamed == timings.db_kmers_streamed
+        multi.run(query)
+        assert multi.timings.db_kmers_streamed == 2 * timings.db_kmers_streamed
+
     @given(st.integers(min_value=1, max_value=6))
     @settings(max_examples=6, deadline=None)
     def test_result_invariant_in_shard_count(self, sorted_db, kss_tables, n):
@@ -73,3 +166,97 @@ class TestMultiSsdStepTwo:
         expected = sorted_db.intersect(query)
         multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=n)
         assert multi.run(query)[0] == expected
+
+
+class TestMultiSsdBatchedMultiSample:
+    def _samples(self, sample, backend):
+        partitioner = KmerBucketPartitioner(k=20, n_buckets=6, backend=backend)
+        return [
+            [(b.lo, b.hi, b.kmers) for b in partitioner.partition(reads).buckets]
+            for reads in (sample.reads[:150], sample.reads[150:300])
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("n_ssds", [1, 3])
+    def test_batched_equals_single_ssd_batch(self, sorted_db, kss_tables,
+                                             sample, backend, n_ssds):
+        samples = self._samples(sample, backend)
+        single = IspStepTwo(sorted_db, kss_tables,
+                            backend=backend).run_bucketed_multi(samples)
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=n_ssds,
+                                backend=backend).run_multi(samples)
+        assert multi == single
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_batch_streams_each_shard_once(self, sorted_db, kss_tables,
+                                           sample, backend):
+        samples = self._samples(sample, backend)
+        timings = PhaseTimings()
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3, backend=backend)
+        multi.run_multi(samples, timings=timings)
+        assert timings.samples_batched == 2
+        # Each database k-mer streams at most once per batch regardless of
+        # the batch width (shards are disjoint).
+        assert timings.db_kmers_streamed <= len(sorted_db)
+
+    def test_empty_batch(self, sorted_db, kss_tables):
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=2)
+        assert multi.run_multi([]) == []
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_sample_in_batch(self, sorted_db, kss_tables, sample, backend):
+        samples = self._samples(sample, backend)
+        space = 1 << 40
+        samples.append([(0, space, [])])
+        multi = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3, backend=backend)
+        results = multi.run_multi(samples)
+        assert results[-1][0] == []
+        assert results[-1][1] == {}
+
+
+class TestUint64BoundaryOverflow:
+    """k = 32 puts the key-space bound (1 << 64) beyond the uint64 dtype;
+    range edges must resolve positionally instead of overflowing the cast
+    (NumPy 1.x would compare via float64 and drop the all-T k-mer)."""
+
+    def test_bisect_column_beyond_dtype(self):
+        from repro.backends.base import bisect_column
+
+        column = np.array([1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert bisect_column(column, 1 << 64) == 3
+        assert bisect_column(column, 2**64 - 1) == 2
+        assert bisect_column(column, 0) == 0
+
+    def test_clip_buckets_keeps_top_kmer(self):
+        from repro.backends.base import clip_buckets
+
+        column = np.array([1, 2**63, 2**64 - 1], dtype=np.uint64)
+        clipped = clip_buckets([(0, 1 << 64, column)], 2**63, 1 << 64)
+        assert len(clipped) == 1
+        lo, hi, kmers = clipped[0]
+        assert (lo, hi) == (2**63, 1 << 64)
+        assert [int(x) for x in kmers] == [2**63, 2**64 - 1]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_sharded_k32_keeps_top_kmer(self, kss_tables, backend):
+        k = 32
+        kmers = [7, 2**40, 2**63, 2**64 - 1]
+        database = SortedKmerDatabase(k, kmers, [frozenset({1})] * len(kmers))
+        assert database.column().dtype == np.uint64
+        query = kmers[:]
+        multi = MultiSsdStepTwo(database, kss_tables, n_ssds=3, backend=backend)
+        intersecting, _ = multi.run(query)
+        assert intersecting == kmers
+        batched = multi.run_multi([[(0, 1 << (2 * k), query)]])
+        assert batched[0][0] == kmers
+
+
+class TestShardValidation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_misordered_shards_rejected(self, sorted_db, backend):
+        shards = split_database(sorted_db, 3)
+        triples = [(s.lo, s.hi, s.database) for s in reversed(shards)]
+        with pytest.raises(ValueError):
+            get_backend(backend).intersect_sharded(triples, sorted_db.kmers[:10])
+        with pytest.raises(ValueError):
+            get_backend(backend).intersect_sharded_multi(triples, [[]])
