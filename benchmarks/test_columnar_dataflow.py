@@ -8,9 +8,14 @@ Pins the structural wins of the columnar refactor:
   received (which re-converted every bucket on every call);
 - sharded (multi-SSD) Step 2 runs through the backend's
   ``intersect_sharded`` kernels, benchmarked for both backends against the
-  single-SSD result it must reproduce bit for bit.
+  single-SSD result it must reproduce bit for bit;
+- KSS retrieval emits CSR owner columns and hit accumulation + containment
+  run as ``np.unique``/array expressions — enforced as a hard >=3x
+  retrieval+accumulate floor for the numpy engine over the register-level
+  reference on the same inputs (typical margin: >10x).
 """
 
+import random
 import time
 from bisect import bisect_left
 
@@ -19,10 +24,13 @@ import pytest
 
 from repro.backends import get_backend
 from repro.backends.numpy_backend import as_column
+from repro.databases.kss import KssTables
 from repro.databases.sorted_db import SortedKmerDatabase
+from repro.experiments.backend_scaling import synthetic_sketch
 from repro.megis.host import KmerBucketPartitioner
 from repro.megis.isp import IspStepTwo
 from repro.megis.multissd import MultiSsdStepTwo
+from repro.tools.metalign import accumulate_hits, select_candidates
 from benchmarks.conftest import BENCH_K
 
 N_BUCKETS = 16
@@ -116,6 +124,73 @@ def test_columnar_partition_intersect(benchmark, bench_sorted_db, bench_sample,
 
     result = benchmark(partition_then_intersect)
     assert result
+
+
+def _retrieval_world(n_db=80_000, n_query=40_000, seed=5):
+    """A synthetic KSS + sketch + sorted query hitting every database k-mer.
+
+    Owners are realistic multi-taxID sets (1-4 of 64 species) over k-mers
+    spread across the whole key space, so prefix groups stay small and
+    duplicate taxIDs recur across queries — the regime the CSR retrieval
+    and ``np.unique`` accumulation kernels target.
+    """
+    rng = random.Random(seed)
+    kmers = sorted(rng.sample(range(1 << (2 * BENCH_K)), n_db))
+    owners = [
+        frozenset(rng.sample(range(1000, 1064), rng.randint(1, 4)))
+        for _ in kmers
+    ]
+    sketch = synthetic_sketch(kmers, owners, k_max=BENCH_K)
+    kss = KssTables(sketch)
+    kss.columns()
+    queries = kmers[:: max(1, n_db // n_query)]
+    return sketch, kss, queries
+
+
+def _retrieve_accumulate(backend, sketch, kss, queries):
+    """The full owner path: KSS retrieval -> hit accumulation -> candidates."""
+    retrieved = get_backend(backend).retrieve(kss, queries)
+    hits = accumulate_hits(retrieved)
+    return hits.as_dict(), select_candidates(sketch, hits, 0.15)
+
+
+def test_retrieval_accumulate_speedup_floor():
+    """CSR retrieval + vectorized accumulation must be >=3x the reference.
+
+    Same queries, same KSS; the numpy engine answers each level with one
+    searchsorted + CSR gather and folds hits with one np.unique pass per
+    level, where the register-level reference walks every (query, taxID)
+    pair in the interpreter.  Results must stay bit-identical.
+    """
+    sketch, kss, queries = _retrieval_world()
+    expected = _retrieve_accumulate("python", sketch, kss, queries)
+    assert _retrieve_accumulate("numpy", sketch, kss, queries) == expected
+    assert expected[1], "candidate set empty - the world is degenerate"
+
+    # Best-of-N on both sides so a noisy-neighbor pause in any single run
+    # cannot flip the verdict on shared CI runners.
+    python_s = min(
+        _timed(lambda: _retrieve_accumulate("python", sketch, kss, queries))
+        for _ in range(3)
+    )
+    numpy_s = min(
+        _timed(lambda: _retrieve_accumulate("numpy", sketch, kss, queries))
+        for _ in range(5)
+    )
+    speedup = python_s / numpy_s
+    assert speedup >= 3.0, (
+        f"columnar retrieval+accumulate only {speedup:.2f}x over the reference"
+    )
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_retrieval_accumulate_scaling(benchmark, backend):
+    """Retrieval+accumulate wall time per backend on the synthetic world."""
+    sketch, kss, queries = _retrieval_world(n_db=30_000, n_query=15_000)
+    sketch_hits, candidates = benchmark(
+        lambda: _retrieve_accumulate(backend, sketch, kss, queries)
+    )
+    assert sketch_hits and candidates
 
 
 @pytest.mark.parametrize("backend", ["python", "numpy"])

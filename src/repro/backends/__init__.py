@@ -19,13 +19,13 @@ from typing import Dict, Tuple, Union
 from repro.backends.base import (
     BucketSlice,
     PhaseTimings,
-    RetrievalResult,
     ShardSlice,
     StepTwoBackend,
     column_to_list,
 )
 from repro.backends.numpy_backend import NumpyStepTwoBackend
 from repro.backends.python_backend import PythonStepTwoBackend
+from repro.backends.retrieval import LevelHits, RetrievalResult, csr_gather
 
 _BACKEND_CLASSES = {
     PythonStepTwoBackend.name: PythonStepTwoBackend,
@@ -80,6 +80,7 @@ def get_backend(backend: Union[str, StepTwoBackend, None] = None) -> StepTwoBack
 
 __all__ = [
     "BucketSlice",
+    "LevelHits",
     "NumpyStepTwoBackend",
     "PhaseTimings",
     "PythonStepTwoBackend",
@@ -88,6 +89,7 @@ __all__ = [
     "StepTwoBackend",
     "available_backends",
     "column_to_list",
+    "csr_gather",
     "default_backend",
     "get_backend",
     "set_default_backend",

@@ -27,7 +27,6 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import (
     Dict,
-    FrozenSet,
     Iterator,
     List,
     Optional,
@@ -35,12 +34,11 @@ from typing import (
     Tuple,
 )
 
+from repro.backends.retrieval import LevelHits, RetrievalResult  # noqa: F401
+
 #: One query bucket: (lo, hi, sorted k-mers).  ``lo``/``hi`` may be ``None``
 #: to denote the full key space (used by the un-bucketed ``intersect``).
 BucketSlice = Tuple[Optional[int], Optional[int], Sequence[int]]
-
-#: Per-query retrieval result: query k-mer -> level k -> taxIDs.
-RetrievalResult = Dict[int, Dict[int, FrozenSet[int]]]
 
 #: One database shard: (lo, hi, database) covering the lexicographic range
 #: ``[lo, hi)`` — what :func:`repro.megis.multissd.split_database` produces.

@@ -30,13 +30,13 @@ import numpy as np
 from repro.backends.base import (
     BucketSlice,
     PhaseTimings,
-    RetrievalResult,
     ShardSlice,
     StepTwoBackend,
     check_shards,
     clip_buckets,
     interval_edges,
 )
+from repro.backends.retrieval import LevelHits, RetrievalResult, csr_gather
 
 
 def column_dtype(k: int) -> np.dtype:
@@ -310,39 +310,70 @@ class NumpyStepTwoBackend(StepTwoBackend):
         sorted_intersecting: Sequence[int],
         timings: Optional[PhaseTimings] = None,
     ) -> RetrievalResult:
+        """KSS retrieval into CSR owner columns with zero per-hit loops.
+
+        Each level is one ``searchsorted`` membership test plus one
+        vectorized CSR row gather (:func:`~repro.backends.retrieval.csr_gather`)
+        out of the precomputed :meth:`KssTables.columns` owner columns; no
+        Python code runs per query or per taxID.
+        """
         timings = timings if timings is not None else PhaseTimings(backend=self.name)
-        queries = [int(q) for q in sorted_intersecting]
-        if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
-            raise ValueError("intersecting k-mers must be sorted")
-        results: RetrievalResult = {q: {} for q in queries}
-        if not queries:
-            return results
+        level_keys = (kss.k_max, *kss.smaller_ks)
+        if not len(sorted_intersecting):
+            zero = np.zeros(1, dtype=np.int64)
+            return RetrievalResult(
+                queries=[],
+                levels={
+                    k: LevelHits(np.empty(0, dtype=np.int64), zero)
+                    for k in level_keys
+                },
+            )
+        # Plain int lists (what the intersect kernels emit) pass through
+        # without a per-element copy; the sortedness check is vectorized.
+        queries = (
+            sorted_intersecting
+            if isinstance(sorted_intersecting, list)
+            else [int(x) for x in sorted_intersecting]
+        )
+        levels: dict = {}
         with timings.phase("retrieve"):
             cols = kss.columns()
             q = as_column(queries, cols.kmers.dtype)
+            if np.any(np.asarray(q[1:] < q[:-1], dtype=bool)):
+                raise ValueError("intersecting k-mers must be sorted")
 
-            # Level k_max: vectorized membership against the sorted column.
-            pos = _searchsorted(cols.kmers, q)
-            hits = np.nonzero(pos < len(cols.kmers))[0]
-            if len(hits):
-                exact = np.asarray(cols.kmers[pos[hits]] == q[hits], dtype=bool)
-                hits = hits[exact]
-            for qi in hits.tolist():
-                results[queries[qi]][kss.k_max] = cols.owners[int(pos[qi])]
+            # Level k_max: vectorized membership against the sorted column,
+            # then one CSR gather of the matched rows' owner slices.
+            levels[kss.k_max] = self._gather_level(
+                cols.kmers, cols.taxids, cols.offsets, q
+            )
 
             # Smaller levels: prefix-group membership per level.
             for k in kss.smaller_ks:
                 level = cols.levels[k]
                 prefixes = _rshift(q, 2 * (kss.k_max - k))
-                pos = _searchsorted(level.prefixes, prefixes)
-                hits = np.nonzero(pos < len(level.prefixes))[0]
-                if len(hits):
-                    exact = np.asarray(
-                        level.prefixes[pos[hits]] == prefixes[hits], dtype=bool
-                    )
-                    hits = hits[exact]
-                for qi in hits.tolist():
-                    full = level.full_sets[int(pos[qi])]
-                    if full:
-                        results[queries[qi]][k] = full
-        return results
+                levels[k] = self._gather_level(
+                    level.prefixes, level.taxids, level.offsets, prefixes
+                )
+        return RetrievalResult(queries=queries, levels=levels)
+
+    @staticmethod
+    def _gather_level(
+        keys: np.ndarray,
+        taxids: np.ndarray,
+        offsets: np.ndarray,
+        q: np.ndarray,
+    ) -> LevelHits:
+        """One level's CSR block: membership test + vectorized row gather."""
+        pos = _searchsorted(keys, q)
+        hit_idx = np.nonzero(pos < len(keys))[0]
+        if len(hit_idx):
+            exact = np.asarray(keys[pos[hit_idx]] == q[hit_idx], dtype=bool)
+            hit_idx = hit_idx[exact]
+        rows = pos[hit_idx].astype(np.int64)
+        flat, lengths = csr_gather(taxids, offsets, rows)
+        counts = np.zeros(len(q), dtype=np.int64)
+        counts[hit_idx] = lengths
+        out_offsets = np.zeros(len(q) + 1, dtype=np.int64)
+        np.cumsum(counts, out=out_offsets[1:])
+        return LevelHits(taxids=flat, offsets=out_offsets)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import (
+    Dict,
     FrozenSet,
     Iterable,
     Iterator,
@@ -29,11 +30,11 @@ from typing import (
 from repro.backends.base import (
     BucketSlice,
     PhaseTimings,
-    RetrievalResult,
     StepTwoBackend,
     column_to_list,
     interval_edges,
 )
+from repro.backends.retrieval import LevelHits, RetrievalResult
 from repro.sequences.encoding import kmer_prefix
 
 
@@ -106,6 +107,11 @@ class TaxIdRetriever:
     chasing.  The Index Generator's work shows up as ``prefix transition``
     events: it compares the k-prefixes of consecutive k_max entries and,
     when they differ, advances to the next row of the smaller-k table.
+
+    Each merge appends matched owners to one flat taxID column per level
+    with per-query offsets — the CSR
+    :class:`~repro.backends.retrieval.RetrievalResult` layout — while the
+    register-level stream semantics stay exactly as before.
     """
 
     kss: "KssTables"  # noqa: F821 - annotation only; resolved by the caller
@@ -116,28 +122,27 @@ class TaxIdRetriever:
         queries = [int(q) for q in sorted_intersecting]
         if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
             raise ValueError("intersecting k-mers must be sorted")
-        results: RetrievalResult = {q: {} for q in queries}
-        if not queries:
-            return results
-        self._merge_kmax(queries, results)
+        levels: Dict[int, LevelHits] = {self.kss.k_max: self._merge_kmax(queries)}
         for k in self.kss.smaller_ks:
-            self._merge_level(k, queries, results)
-        return results
+            levels[k] = self._merge_level(k, queries)
+        return RetrievalResult(queries=queries, levels=levels)
 
-    def _merge_kmax(self, queries: List[int], results) -> None:
+    def _merge_kmax(self, queries: List[int]) -> LevelHits:
         """Sorted merge of queries against the k_max (k-mer, taxIDs) table."""
         entries = self.kss.entries
-        i = q = 0
-        while i < len(entries) and q < len(queries):
-            self.comparisons += 1
-            kmer, owners = entries[i]
-            if kmer == queries[q]:
-                results[queries[q]][self.kss.k_max] = owners
-                q += 1
-            elif kmer < queries[q]:
+        taxids: List[int] = []
+        offsets: List[int] = [0]
+        i = 0
+        for q in queries:
+            while i < len(entries) and entries[i][0] < q:
+                self.comparisons += 1
                 i += 1
-            else:
-                q += 1
+            if i < len(entries):
+                self.comparisons += 1
+                if entries[i][0] == q:
+                    taxids.extend(sorted(entries[i][1]))
+            offsets.append(len(taxids))
+        return LevelHits(taxids=taxids, offsets=offsets)
 
     def _prefix_groups(self, k: int) -> Iterator[Tuple[int, FrozenSet[int], FrozenSet[int]]]:
         """Yield (prefix, stored_row, covered_owners) in ascending order.
@@ -162,22 +167,30 @@ class TaxIdRetriever:
         if current is not None:
             yield current, rows[row_index].stored, frozenset(covered)
 
-    def _merge_level(self, k: int, queries: List[int], results) -> None:
+    def _merge_level(self, k: int, queries: List[int]) -> LevelHits:
         """Merge query prefixes against the level-k prefix groups."""
+        taxids: List[int] = []
+        offsets: List[int] = [0]
         q = 0
         for prefix, stored, covered in self._prefix_groups(k):
-            full = frozenset(stored | covered)
+            full = sorted(stored | covered)
             while q < len(queries) and kmer_prefix(queries[q], self.kss.k_max, k) < prefix:
                 self.comparisons += 1
+                offsets.append(len(taxids))
                 q += 1
             start = q
             while q < len(queries) and kmer_prefix(queries[q], self.kss.k_max, k) == prefix:
                 self.comparisons += 1
-                if full:
-                    results[queries[q]][k] = full
+                taxids.extend(full)
+                offsets.append(len(taxids))
                 q += 1
             if q == start and q >= len(queries):
                 break
+        # Queries past the last prefix group (or beyond the early exit)
+        # miss this level: empty rows.
+        while len(offsets) < len(queries) + 1:
+            offsets.append(len(taxids))
+        return LevelHits(taxids=taxids, offsets=offsets)
 
 
 class PythonStepTwoBackend(StepTwoBackend):

@@ -1,0 +1,274 @@
+"""Columnar CSR owner layout for KSS taxID retrieval results.
+
+Step 2's retrieval phase (paper §4.3.2) answers, for every intersecting
+k-mer, the taxID set at each sketch level.  The historical representation —
+``Dict[query -> Dict[level -> frozenset]]`` — forces every downstream
+consumer (hit accumulation, containment scoring, the statistical
+estimator) back into per-taxID Python loops, re-boxing each taxID once per
+query.  This module replaces it with a CSR-style columnar layout:
+
+- ``queries``: the sorted intersecting k-mers (one row per query);
+- per level ``k``, a :class:`LevelHits` block holding one flat ``taxids``
+  owner column plus an ``offsets`` column of length ``len(queries) + 1`` —
+  query ``i``'s level-``k`` taxIDs are ``taxids[offsets[i]:offsets[i+1]]``
+  (an empty slice when the query has no hit at that level).
+
+Both Step-2 backends emit this layout natively: the ``python`` reference
+appends to flat lists while running its register-level merges, the
+``numpy`` backend materializes ndarray columns with vectorized gathers.
+Because ranges of sorted queries concatenate, per-shard and per-sample
+retrieval results concatenate column-wise too (:meth:`RetrievalResult.concatenate`),
+which is what lets the multi-SSD path keep retrieval sharded.
+
+:meth:`RetrievalResult.to_query_dicts` reconstructs the historical
+per-query dict view (levels with no taxIDs omitted), and the class exposes
+the read-only ``Mapping`` protocol over that view so existing callers and
+tests keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: The historical per-query view: query k-mer -> level k -> taxIDs.
+QueryDicts = Dict[int, Dict[int, FrozenSet[int]]]
+
+
+def as_int_list(column: Sequence[int]) -> List[int]:
+    if hasattr(column, "tolist"):
+        return [int(x) for x in column.tolist()]
+    return [int(x) for x in column]
+
+
+def pack_sets_csr(sets: Sequence[FrozenSet[int]]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pack per-row taxID sets into CSR ``(taxids, offsets)`` int64 columns.
+
+    Each row's taxIDs are sorted ascending.  This is the one definition of
+    the owner-column layout — the KSS tables, the sorted database's owner
+    cache, and (through it) the serialization format all share it.
+    """
+    offsets = np.zeros(len(sets) + 1, dtype=np.int64)
+    for i, owners in enumerate(sets):
+        offsets[i + 1] = offsets[i] + len(owners)
+    taxids = np.empty(int(offsets[-1]), dtype=np.int64)
+    for i, owners in enumerate(sets):
+        taxids[offsets[i] : offsets[i + 1]] = sorted(owners)
+    return taxids, offsets
+
+
+@dataclass(frozen=True)
+class LevelHits:
+    """One level's CSR owner block: flat taxID column + per-query offsets.
+
+    ``taxids`` holds the concatenation of every query's level-``k`` owner
+    list (each list sorted ascending); ``offsets`` has one entry per query
+    plus a trailing total, so ``offsets[i+1] - offsets[i]`` is query ``i``'s
+    hit count at this level.  Columns are plain int lists on the ``python``
+    backend and ndarrays on the ``numpy`` backend — consumers pick the
+    vectorized or reference kernel accordingly.
+    """
+
+    taxids: Sequence[int]
+    offsets: Sequence[int]
+
+    def counts(self) -> Sequence[int]:
+        """Per-query owner counts (``offsets`` first difference)."""
+        if isinstance(self.offsets, np.ndarray):
+            return np.diff(self.offsets)
+        return [
+            self.offsets[i + 1] - self.offsets[i]
+            for i in range(len(self.offsets) - 1)
+        ]
+
+    def slice_of(self, i: int) -> Sequence[int]:
+        """Query ``i``'s taxIDs at this level (empty when no hit)."""
+        return self.taxids[int(self.offsets[i]) : int(self.offsets[i + 1])]
+
+    def total(self) -> int:
+        """Total taxID hits across all queries at this level."""
+        return int(self.offsets[-1]) if len(self.offsets) else 0
+
+
+@dataclass
+class RetrievalResult:
+    """Columnar Step-2 retrieval output: queries + per-level CSR owner blocks.
+
+    ``levels`` carries one :class:`LevelHits` per KSS level (``k_max`` and
+    every smaller ``k``), even when the level has no hits — canonical keys
+    make column-wise concatenation across shards/samples trivial.  Semantic
+    equality (and the ``Mapping`` protocol) goes through
+    :meth:`to_query_dicts`, so results compare equal across backends and
+    against hand-written dicts regardless of container type.
+    """
+
+    queries: List[int]
+    levels: Dict[int, LevelHits] = field(default_factory=dict)
+    _dict_view: Optional[QueryDicts] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_query_dicts(
+        cls, retrieved: Mapping[int, Mapping[int, FrozenSet[int]]],
+        level_keys: Optional[Sequence[int]] = None,
+    ) -> "RetrievalResult":
+        """Build CSR columns from the historical per-query dict view.
+
+        ``level_keys`` fixes the canonical level set (defaults to the union
+        of levels present); queries are taken in sorted order.
+        """
+        queries = sorted(int(q) for q in retrieved)
+        if level_keys is None:
+            level_keys = sorted(
+                {k for levels in retrieved.values() for k in levels}, reverse=True
+            )
+        levels: Dict[int, LevelHits] = {}
+        for k in level_keys:
+            taxids: List[int] = []
+            offsets: List[int] = [0]
+            for q in queries:
+                owners = retrieved[q].get(k)
+                if owners:
+                    taxids.extend(sorted(owners))
+                offsets.append(len(taxids))
+            levels[int(k)] = LevelHits(taxids=taxids, offsets=offsets)
+        return cls(queries=queries, levels=levels)
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["RetrievalResult"]) -> "RetrievalResult":
+        """Column-wise concatenation of retrieval results.
+
+        ``parts`` must cover ascending disjoint query ranges (what sharded
+        Step 2 produces: one result per SSD, shards in range order), so the
+        concatenated ``queries`` stay sorted and each level's owner column
+        is the flat concatenation with shifted offsets.  ndarray columns
+        concatenate natively; list columns extend.
+        """
+        parts = [p for p in parts if p is not None]
+        if not parts:
+            return cls(queries=[], levels={})
+        if len(parts) == 1:
+            return parts[0]
+        queries: List[int] = []
+        for part in parts:
+            if queries and part.queries and part.queries[0] < queries[-1]:
+                raise ValueError(
+                    "retrieval results must cover ascending query ranges"
+                )
+            queries.extend(part.queries)
+        level_keys = sorted({k for part in parts for k in part.levels}, reverse=True)
+        levels: Dict[int, LevelHits] = {}
+        for k in level_keys:
+            blocks = [
+                part.levels.get(k, LevelHits([], [0] * (len(part.queries) + 1)))
+                for part in parts
+            ]
+            if all(isinstance(b.taxids, np.ndarray) for b in blocks):
+                taxids = np.concatenate([b.taxids for b in blocks])
+                shifted = [np.asarray(blocks[0].offsets)]
+                base = int(blocks[0].offsets[-1]) if len(blocks[0].offsets) else 0
+                for b in blocks[1:]:
+                    shifted.append(np.asarray(b.offsets)[1:] + base)
+                    base += b.total()
+                levels[k] = LevelHits(taxids=taxids, offsets=np.concatenate(shifted))
+            else:
+                flat: List[int] = []
+                offsets: List[int] = [0]
+                for b in blocks:
+                    base = len(flat)
+                    flat.extend(as_int_list(b.taxids))
+                    offsets.extend(base + int(o) for o in list(b.offsets)[1:])
+                levels[k] = LevelHits(taxids=flat, offsets=offsets)
+        return cls(queries=queries, levels=levels)
+
+    # -- adapters -------------------------------------------------------------
+
+    def to_query_dicts(self) -> QueryDicts:
+        """The historical view: query -> level -> frozenset (empties omitted).
+
+        Built once and cached; every ``Mapping``-protocol access and
+        equality check funnels through it, so columnar construction stays
+        the single source of truth.
+        """
+        if self._dict_view is None:
+            view: QueryDicts = {int(q): {} for q in self.queries}
+            for k, block in sorted(self.levels.items(), reverse=True):
+                offsets = block.offsets
+                taxids = block.taxids
+                for i, q in enumerate(self.queries):
+                    lo, hi = int(offsets[i]), int(offsets[i + 1])
+                    if hi > lo:
+                        view[int(q)][k] = frozenset(as_int_list(taxids[lo:hi]))
+            self._dict_view = view
+        return self._dict_view
+
+    # -- Mapping protocol (read-only view over to_query_dicts) ----------------
+
+    def __getitem__(self, query: int) -> Dict[int, FrozenSet[int]]:
+        return self.to_query_dicts()[query]
+
+    def __contains__(self, query: object) -> bool:
+        return query in self.to_query_dicts()
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.to_query_dicts())
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __bool__(self) -> bool:
+        return bool(self.queries)
+
+    def get(self, query: int, default=None):
+        return self.to_query_dicts().get(query, default)
+
+    def keys(self):
+        return self.to_query_dicts().keys()
+
+    def values(self):
+        return self.to_query_dicts().values()
+
+    def items(self):
+        return self.to_query_dicts().items()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RetrievalResult):
+            return self.to_query_dicts() == other.to_query_dicts()
+        if isinstance(other, Mapping):
+            return self.to_query_dicts() == dict(other)
+        return NotImplemented
+
+    __hash__ = None  # mutable mapping-like; never used as a dict key
+
+
+def csr_gather(
+    taxids: np.ndarray,
+    offsets: np.ndarray,
+    rows: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized CSR row gather: concatenate ``taxids`` slices for ``rows``.
+
+    Returns ``(flat, lengths)`` where ``flat`` is the concatenation of
+    ``taxids[offsets[r]:offsets[r+1]]`` over ``rows`` in order and
+    ``lengths`` the per-row slice lengths — the kernel behind the numpy
+    backend's zero-loop retrieval.
+    """
+    if not len(rows):
+        return taxids[:0], np.zeros(0, dtype=np.int64)
+    starts = np.asarray(offsets, dtype=np.int64)[rows]
+    lengths = np.asarray(offsets, dtype=np.int64)[rows + 1] - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return taxids[:0], lengths
+    # Position within the output minus the start of each row's output run
+    # gives the offset into that row's source slice.
+    out_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    indices = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - out_starts, lengths
+    )
+    return taxids[indices], lengths

@@ -17,6 +17,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends.retrieval import LevelHits, RetrievalResult, pack_sets_csr
 from repro.databases.sketch import SketchDatabase
 from repro.sequences.encoding import kmer_prefix
 
@@ -36,25 +37,34 @@ class KssSubEntry:
 
 @dataclass(frozen=True)
 class KssLevelColumns:
-    """Columnar view of one smaller-k table: sorted prefixes + full sets.
+    """CSR view of one smaller-k table: sorted prefixes + owner columns.
 
-    ``full_sets[i]`` is the reconstructed level-k taxID set for row ``i``
-    (``stored UNION covered-owners``) — precomputing the union preserves the
-    reference retrieval's semantics exactly while letting the NumPy backend
-    answer a prefix lookup with one ``searchsorted``.
+    ``taxids[offsets[i]:offsets[i+1]]`` is the reconstructed *full* level-k
+    taxID set for row ``i`` (``stored UNION covered-owners``, sorted
+    ascending) — precomputing the union preserves the reference retrieval's
+    semantics exactly while letting the NumPy backend answer a prefix
+    lookup with one ``searchsorted`` plus a vectorized CSR gather.
     """
 
     prefixes: np.ndarray
-    full_sets: Tuple[FrozenSet[int], ...]
+    taxids: np.ndarray
+    offsets: np.ndarray
 
 
 @dataclass(frozen=True)
 class KssColumns:
-    """Columnar view of the whole KSS structure for the NumPy backend."""
+    """CSR columnar view of the whole KSS structure for the NumPy backend.
+
+    The k_max owner lists live in one flat ``taxids`` column addressed by
+    ``offsets`` (row ``i`` of the sorted ``kmers`` column owns
+    ``taxids[offsets[i]:offsets[i+1]]``); every smaller level carries the
+    same layout keyed by prefix rows.
+    """
 
     k_max: int
     kmers: np.ndarray
-    owners: Tuple[FrozenSet[int], ...]
+    taxids: np.ndarray
+    offsets: np.ndarray
     levels: Dict[int, KssLevelColumns]
 
 
@@ -72,6 +82,7 @@ class KssTables:
         for k in self.smaller_ks:
             self.sub_tables[k] = self._build_sub_table(k, sketch)
         self._columns: Optional[KssColumns] = None
+        self._covered_cache: Dict[int, Dict[int, FrozenSet[int]]] = {}
 
     def _build_sub_table(self, k: int, sketch: SketchDatabase) -> List[KssSubEntry]:
         """Walk the sorted k_max table; emit one row per distinct k-prefix."""
@@ -99,7 +110,7 @@ class KssTables:
     # -- columnar view ---------------------------------------------------------
 
     def columns(self) -> KssColumns:
-        """Columnar ndarray view for the NumPy backend (built once, cached)."""
+        """CSR ndarray view for the NumPy backend (built once, cached)."""
         if self._columns is None:
             from repro.backends.numpy_backend import column_dtype
 
@@ -108,16 +119,20 @@ class KssTables:
             for k in self.smaller_ks:
                 covered = self._covered_by_prefix(k)
                 rows = self.sub_tables[k]
+                taxids, offsets = pack_sets_csr(
+                    [row.stored | covered[row.prefix] for row in rows]
+                )
                 levels[k] = KssLevelColumns(
                     prefixes=np.array([row.prefix for row in rows], dtype=dtype),
-                    full_sets=tuple(
-                        frozenset(row.stored | covered[row.prefix]) for row in rows
-                    ),
+                    taxids=taxids,
+                    offsets=offsets,
                 )
+            taxids, offsets = pack_sets_csr([owners for _, owners in self.entries])
             self._columns = KssColumns(
                 k_max=self.k_max,
                 kmers=np.array([kmer for kmer, _ in self.entries], dtype=dtype),
-                owners=tuple(owners for _, owners in self.entries),
+                taxids=taxids,
+                offsets=offsets,
                 levels=levels,
             )
         return self._columns
@@ -126,15 +141,18 @@ class KssTables:
 
     def retrieve(
         self, sorted_intersecting: Sequence[int], backend: Optional[str] = None
-    ) -> Dict[int, Dict[int, FrozenSet[int]]]:
-        """Reference single-pass retrieval: query k-mer -> level -> taxIDs.
+    ) -> RetrievalResult:
+        """Reference single-pass retrieval into CSR owner columns.
 
         Streams the sorted query k-mers against the sorted k_max table and
         the prefix-aligned sub-tables simultaneously, reconstructing the
         full level sets as ``stored UNION covered-owners`` while the covered
-        owners accumulate naturally during the pass.  The hardware-flavoured
-        implementation lives in :mod:`repro.megis.isp`; tests require both
-        to match :meth:`SketchDatabase.lookup` exactly.
+        owners accumulate naturally during the pass.  Owners append to one
+        flat taxID column per level with per-query offsets — the
+        :class:`~repro.backends.retrieval.RetrievalResult` CSR layout; its
+        ``Mapping`` view reproduces the historical per-query dicts.  The
+        hardware-flavoured implementation lives in :mod:`repro.megis.isp`;
+        tests require both to match :meth:`SketchDatabase.lookup` exactly.
 
         Passing ``backend`` ("python", "numpy") delegates to that
         :class:`~repro.backends.StepTwoBackend`'s retrieval kernel instead
@@ -147,41 +165,50 @@ class KssTables:
         queries = [int(q) for q in sorted_intersecting]
         if any(queries[i] > queries[i + 1] for i in range(len(queries) - 1)):
             raise ValueError("intersecting k-mers must be sorted")
-        results: Dict[int, Dict[int, FrozenSet[int]]] = {q: {} for q in queries}
+        levels: Dict[int, LevelHits] = {}
 
-        # Level k_max: plain sorted merge.
-        i = j = 0
-        while i < len(self.entries) and j < len(queries):
-            kmer, owners = self.entries[i]
-            if kmer == queries[j]:
-                results[queries[j]][self.k_max] = owners
-                j += 1
-            elif kmer < queries[j]:
+        # Level k_max: plain sorted merge appending to the flat owner column.
+        taxids: List[int] = []
+        offsets: List[int] = [0]
+        i = 0
+        for q in queries:
+            while i < len(self.entries) and self.entries[i][0] < q:
                 i += 1
-            else:
-                j += 1
+            if i < len(self.entries) and self.entries[i][0] == q:
+                taxids.extend(sorted(self.entries[i][1]))
+            offsets.append(len(taxids))
+        levels[self.k_max] = LevelHits(taxids=taxids, offsets=offsets)
 
         # Smaller levels: one pass per level over (query prefixes, sub rows).
         for k in self.smaller_ks:
             rows = self.sub_tables[k]
             covered = self._covered_by_prefix(k)
+            taxids, offsets = [], [0]
             row_index = 0
             for q in queries:
                 prefix = kmer_prefix(q, self.k_max, k)
                 while row_index < len(rows) and rows[row_index].prefix < prefix:
                     row_index += 1
                 if row_index < len(rows) and rows[row_index].prefix == prefix:
-                    full = rows[row_index].stored | covered[prefix]
-                    if full:
-                        results[q][k] = frozenset(full)
-        return results
+                    taxids.extend(sorted(rows[row_index].stored | covered[prefix]))
+                offsets.append(len(taxids))
+            levels[k] = LevelHits(taxids=taxids, offsets=offsets)
+        return RetrievalResult(queries=queries, levels=levels)
 
     def _covered_by_prefix(self, k: int) -> Dict[int, FrozenSet[int]]:
-        covered: Dict[int, set] = {}
-        for kmer, owners in self.entries:
-            prefix = kmer_prefix(kmer, self.k_max, k)
-            covered.setdefault(prefix, set()).update(owners)
-        return {p: frozenset(s) for p, s in covered.items()}
+        """Per-prefix covered-owner unions for level ``k`` (built once, cached).
+
+        The reference retrieval and the columnar view both consult this on
+        every call — and the sharded path retrieves once per shard — so the
+        k_max stream is folded a single time per level.
+        """
+        if k not in self._covered_cache:
+            covered: Dict[int, set] = {}
+            for kmer, owners in self.entries:
+                prefix = kmer_prefix(kmer, self.k_max, k)
+                covered.setdefault(prefix, set()).update(owners)
+            self._covered_cache[k] = {p: frozenset(s) for p, s in covered.items()}
+        return self._covered_cache[k]
 
     # -- size accounting ---------------------------------------------------------
 

@@ -13,8 +13,16 @@ Format (little-endian):
 - ``count`` k-mer records of ``ceil(2k / 8)`` bytes each, big-endian packed
   (so byte-wise lexicographic order equals k-mer order, the property the
   streaming comparators rely on);
-- optionally (flag bit 0), per-record owner lists: ``u8 n`` followed by
-  ``n`` u32 taxIDs.
+- owners, in one of two layouts:
+
+  - **CSR columns** (flag bits 0+1, the default): ``count + 1`` u64 row
+    offsets followed by one flat u32 taxID column — exactly the
+    :meth:`SortedKmerDatabase.owner_columns` arrays, so serialization is
+    two bulk packs and deserialization two ``np.frombuffer`` views (the
+    parsed columns are attached to the loaded database's CSR cache);
+  - **interleaved records** (flag bit 0 only, the legacy layout, still
+    readable and writable): per k-mer record, ``u8 n`` followed by ``n``
+    u32 taxIDs.
 """
 
 from __future__ import annotations
@@ -22,11 +30,14 @@ from __future__ import annotations
 import struct
 from typing import List, Tuple
 
+import numpy as np
+
 from repro.databases.sorted_db import SortedKmerDatabase
 
 MAGIC = b"MEGISKDB"
 _HEADER = struct.Struct("<8sHHI")
 FLAG_OWNERS = 1
+FLAG_CSR = 2
 
 
 class SerializationError(ValueError):
@@ -50,10 +61,32 @@ def _unpack_kmer(raw: bytes, k: int) -> int:
     return int.from_bytes(raw, "big") >> shift
 
 
-def serialize_database(db: SortedKmerDatabase, with_owners: bool = True) -> bytes:
-    """Serialize to the on-flash byte format."""
-    flags = FLAG_OWNERS if with_owners else 0
+def serialize_database(
+    db: SortedKmerDatabase, with_owners: bool = True, layout: str = "csr"
+) -> bytes:
+    """Serialize to the on-flash byte format.
+
+    ``layout="csr"`` (the default) persists the owner CSR columns directly
+    — two bulk packs over :meth:`SortedKmerDatabase.owner_columns`, no
+    per-record Python loop over taxIDs and no u8 cap on owners per k-mer;
+    ``layout="interleaved"`` writes the legacy per-record owner lists.
+    """
+    if layout not in {"csr", "interleaved"}:
+        raise ValueError(f"layout must be 'csr' or 'interleaved', got {layout!r}")
+    csr = layout == "csr"
+    flags = (FLAG_OWNERS | (FLAG_CSR if csr else 0)) if with_owners else 0
     out = [_HEADER.pack(MAGIC, db.k, flags, len(db))]
+    if with_owners and csr:
+        for kmer in db.kmers:
+            out.append(_pack_kmer(kmer, db.k))
+        taxids, offsets = db.owner_columns()
+        if len(taxids) and (
+            int(taxids.min()) < 0 or int(taxids.max()) > 0xFFFFFFFF
+        ):
+            raise SerializationError("taxIDs must fit u32 to serialize")
+        out.append(offsets.astype("<u8").tobytes())
+        out.append(taxids.astype("<u4").tobytes())
+        return b"".join(out)
     for kmer in db.kmers:
         out.append(_pack_kmer(kmer, db.k))
         if with_owners:
@@ -66,16 +99,52 @@ def serialize_database(db: SortedKmerDatabase, with_owners: bool = True) -> byte
 
 
 def deserialize_database(payload: bytes) -> SortedKmerDatabase:
-    """Parse the on-flash byte format back into a database."""
+    """Parse the on-flash byte format back into a database.
+
+    Both owner layouts parse; for the CSR layout the offsets/taxID columns
+    are read as ``np.frombuffer`` views and attached to the loaded
+    database's :meth:`~SortedKmerDatabase.owner_columns` cache, so a
+    round-trip never rebuilds them.
+    """
     if len(payload) < _HEADER.size:
         raise SerializationError("payload shorter than header")
     magic, k, flags, count = _HEADER.unpack_from(payload, 0)
     if magic != MAGIC:
         raise SerializationError(f"bad magic {magic!r}")
+    if flags & FLAG_CSR and not flags & FLAG_OWNERS:
+        raise SerializationError("CSR flag requires the owners flag")
     offset = _HEADER.size
     width = kmer_record_bytes(k)
     kmers: List[int] = []
     owners: List[frozenset] = []
+    if flags & FLAG_CSR:
+        if offset + count * width > len(payload):
+            raise SerializationError("truncated k-mer column")
+        for _ in range(count):
+            kmers.append(_unpack_kmer(payload[offset : offset + width], k))
+            offset += width
+        if offset + 8 * (count + 1) > len(payload):
+            raise SerializationError("truncated owner offsets column")
+        offsets = np.frombuffer(payload, dtype="<u8", count=count + 1, offset=offset)
+        offset += 8 * (count + 1)
+        offsets = offsets.astype(np.int64)
+        if np.any(offsets[1:] < offsets[:-1]) or (count and offsets[0] != 0):
+            raise SerializationError("owner offsets must ascend from zero")
+        total = int(offsets[-1]) if count else 0
+        if offset + 4 * total > len(payload):
+            raise SerializationError("truncated owner taxID column")
+        taxids = np.frombuffer(payload, dtype="<u4", count=total, offset=offset)
+        offset += 4 * total
+        taxids = taxids.astype(np.int64)
+        if offset != len(payload):
+            raise SerializationError(f"{len(payload) - offset} trailing bytes")
+        owners = [
+            frozenset(taxids[offsets[i] : offsets[i + 1]].tolist())
+            for i in range(count)
+        ]
+        db = SortedKmerDatabase(k, kmers, owners)
+        db._owner_columns = (taxids, np.asarray(offsets, dtype=np.int64))
+        return db
     for _ in range(count):
         if offset + width > len(payload):
             raise SerializationError("truncated k-mer record")

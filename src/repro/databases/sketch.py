@@ -105,6 +105,33 @@ class SketchDatabase:
 
     # -- queries -------------------------------------------------------------
 
+    def size_column(self, taxids: "np.ndarray") -> "np.ndarray":
+        """Vectorized ``max(1, sketch_sizes.get(taxid, 1))`` lookup.
+
+        ``taxids`` must be ascending (what ``np.unique`` produces); the
+        sorted key/size columns are built once and cached, so batch
+        containment scoring never touches the Python dict per taxID.
+        """
+        import numpy as np
+
+        cached = getattr(self, "_size_columns", None)
+        if cached is None:
+            keys = np.asarray(sorted(self.sketch_sizes), dtype=np.int64)
+            sizes = np.asarray(
+                [max(1, int(self.sketch_sizes[t])) for t in keys.tolist()],
+                dtype=np.int64,
+            )
+            cached = (keys, sizes)
+            self._size_columns = cached
+        keys, sizes = cached
+        out = np.ones(len(taxids), dtype=np.int64)
+        if len(keys) and len(taxids):
+            idx = np.searchsorted(keys, taxids)
+            idx_clipped = np.minimum(idx, len(keys) - 1)
+            found = keys[idx_clipped] == np.asarray(taxids, dtype=np.int64)
+            out[found] = sizes[idx_clipped[found]]
+        return out
+
     def lookup(self, kmer: int) -> Dict[int, FrozenSet[int]]:
         """TaxIDs per level for a ``k_max``-mer query and its prefixes."""
         result: Dict[int, FrozenSet[int]] = {}

@@ -10,7 +10,7 @@ and for tests, though the intersection step itself only uses the k-mers.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -30,6 +30,7 @@ class SortedKmerDatabase:
         self._kmers: List[int] = [int(x) for x in kmers]
         self._owners: List[frozenset] = list(owners)
         self._column: Optional[np.ndarray] = None
+        self._owner_columns: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     @classmethod
     def build(
@@ -76,6 +77,23 @@ class SortedKmerDatabase:
             self._column = np.array(self._kmers, dtype=column_dtype(self.k))
         return self._column
 
+    def owner_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR owner columns ``(taxids, offsets)`` (built once, cached).
+
+        ``taxids`` is the flat concatenation of every k-mer's taxID set
+        (each row sorted ascending, ``int64``); ``offsets`` has one entry
+        per k-mer plus a trailing total, so row ``i`` owns
+        ``taxids[offsets[i]:offsets[i+1]]``.  This is the layout the
+        serialization format persists directly and the columnar consumers
+        (sharding, retrieval preprocessing) slice without per-element
+        ``owners_of`` lookups.  Treat the returned arrays as read-only.
+        """
+        if self._owner_columns is None:
+            from repro.backends.retrieval import pack_sets_csr
+
+            self._owner_columns = pack_sets_csr(self._owners)
+        return self._owner_columns
+
     def owners_of(self, kmer: int) -> frozenset:
         i = bisect.bisect_left(self._kmers, int(kmer))
         if i == len(self._kmers) or self._kmers[i] != int(kmer):
@@ -116,6 +134,15 @@ class SortedKmerDatabase:
         shard._kmers = self._kmers[start:stop]
         shard._owners = self._owners[start:stop]
         shard._column = None if self._column is None else self._column[start:stop]
+        if self._owner_columns is None:
+            shard._owner_columns = None
+        else:
+            # The flat taxID slice is a zero-copy view; offsets re-base to 0.
+            taxids, offsets = self._owner_columns
+            shard._owner_columns = (
+                taxids[int(offsets[start]) : int(offsets[stop])],
+                offsets[start : stop + 1] - offsets[start],
+            )
         return shard
 
     def intersect(

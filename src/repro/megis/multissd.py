@@ -17,13 +17,14 @@ sharding adds no host-side per-element work.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.backends import (
     BucketSlice,
     PhaseTimings,
-    RetrievalResult as Retrieved,
+    RetrievalResult,
     ShardSlice,
     StepTwoBackend,
     get_backend,
@@ -78,9 +79,10 @@ class MultiSsdStepTwo:
     """Step 2 fanned out over database shards, one SSD per shard.
 
     The query range split runs inside the Step-2 backend
-    (:meth:`~repro.backends.StepTwoBackend.intersect_sharded`); the host
-    only concatenates the already-sorted per-shard results and retrieves
-    taxIDs once.  ``self.timings`` accumulates per-phase wall time and
+    (:meth:`~repro.backends.StepTwoBackend.intersect_sharded`); each shard
+    also runs KSS retrieval over its own intersections, and the host only
+    concatenates the already-sorted per-shard intersections and CSR owner
+    columns.  ``self.timings`` accumulates per-phase wall time and
     streaming counters across calls, exactly like
     :class:`~repro.megis.isp.IspStepTwo`.
     """
@@ -114,11 +116,21 @@ class MultiSsdStepTwo:
         self,
         sorted_query: Sequence[int],
         timings: Optional[PhaseTimings] = None,
-    ) -> Tuple[List[int], Retrieved]:
-        """Intersect per shard, concatenate, retrieve taxIDs once.
+    ) -> Tuple[List[int], RetrievalResult]:
+        """Intersect and retrieve per shard, concatenate owner columns.
 
         Each shard only sees the query slice that can match its range —
-        the same range-pruning the bucket scheme exploits (§4.2.1).
+        the same range-pruning the bucket scheme exploits (§4.2.1) — and
+        runs KSS retrieval over its own intersections.  Because shards
+        cover ascending disjoint ranges, the per-shard CSR owner columns
+        concatenate (:meth:`RetrievalResult.concatenate`) into exactly the
+        single-SSD retrieval result; no per-element host work.
+
+        Per-shard retrieval models each SSD streaming its own KSS copy, so
+        the ``retrieve`` counters scale with the shard count on the
+        register-level backend (the KSS itself is not range-sharded yet —
+        see the ROADMAP item); the numpy backend's ``searchsorted`` kernels
+        make the repeat cost negligible.
         """
         t = PhaseTimings(backend=self._backend.name)
         per_shard = self._backend.intersect_sharded(
@@ -127,7 +139,9 @@ class MultiSsdStepTwo:
         # Shards are contiguous ranges in ascending order, so the
         # concatenation is already sorted.
         intersecting = [kmer for partial in per_shard for kmer in partial]
-        retrieved = self._backend.retrieve(self.kss, intersecting, t)
+        retrieved = RetrievalResult.concatenate(
+            [self._backend.retrieve(self.kss, partial, t) for partial in per_shard]
+        )
         self._record(t, timings)
         return intersecting, retrieved
 
@@ -135,12 +149,14 @@ class MultiSsdStepTwo:
         self,
         samples: Sequence[Sequence[BucketSlice]],
         timings: Optional[PhaseTimings] = None,
-    ) -> List[Tuple[List[int], Retrieved]]:
+    ) -> List[Tuple[List[int], RetrievalResult]]:
         """Batched multi-sample Step 2 across shards (§4.7 x §6.1).
 
         Each shard streams its database slice once for the whole batch;
         per-sample results are identical to a single-SSD
-        :meth:`~repro.megis.isp.IspStepTwo.run_bucketed_multi`.
+        :meth:`~repro.megis.isp.IspStepTwo.run_bucketed_multi`.  Retrieval
+        runs per (sample, shard) slice and each sample's owner columns are
+        the concatenation over shards, mirroring :meth:`run`.
         """
         t = PhaseTimings(
             backend=self._backend.name, samples_batched=max(1, len(samples))
@@ -149,12 +165,28 @@ class MultiSsdStepTwo:
             self._shard_slices(), [list(buckets) for buckets in samples],
             self.channels_per_ssd, t,
         )
-        results = [
-            (intersecting, self._backend.retrieve(self.kss, intersecting, t))
-            for intersecting in per_sample
-        ]
+        results = []
+        for intersecting in per_sample:
+            retrieved = RetrievalResult.concatenate(
+                [
+                    self._backend.retrieve(self.kss, shard_slice, t)
+                    for shard_slice in self._split_at_shards(intersecting)
+                ]
+            )
+            results.append((intersecting, retrieved))
         self._record(t, timings)
         return results
+
+    def _split_at_shards(self, intersecting: List[int]) -> List[List[int]]:
+        """Slice a sorted intersection list at the shard range boundaries."""
+        slices: List[List[int]] = []
+        start = 0
+        for shard in self.shards:
+            i = bisect_left(intersecting, shard.lo, start)
+            j = bisect_left(intersecting, shard.hi, i)
+            slices.append(intersecting[i:j])
+            start = j
+        return slices
 
     def _record(self, t: PhaseTimings, timings: Optional[PhaseTimings]) -> None:
         self.timings.merge(t)

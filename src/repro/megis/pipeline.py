@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from collections import Counter, deque
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set
@@ -44,7 +44,7 @@ from repro.sequences.reads import Read
 from repro.ssd.device import SSD
 from repro.taxonomy.profiles import AbundanceProfile
 from repro.tools.mapping import ReadMapper
-from repro.tools.metalign import containment_score
+from repro.tools.metalign import accumulate_hits, select_candidates
 
 
 @dataclass
@@ -424,14 +424,21 @@ class MegisPipeline:
         timings.overlapped_ms += schedule.overlapped_ms
 
     def _finish_step_two(self, result: MegisResult, intersecting, retrieved) -> None:
+        """Fold retrieval columns into hit counts and call candidates.
+
+        ``retrieved`` carries the CSR owner columns
+        (:class:`~repro.backends.retrieval.RetrievalResult`); accumulation
+        is one ``np.unique`` pass per level over the flat taxID column and
+        containment is the vectorized batch score — no per-taxID Python
+        loops on the numpy backend, identical results on the reference
+        backend (the cross-backend tests enforce bit-equality).
+        """
         result.intersecting_kmers = intersecting
-        result.sketch_hits = self._accumulate_hits(retrieved)
-        result.candidates = {
-            taxid
-            for taxid, levels in result.sketch_hits.items()
-            if containment_score(self.sketch, taxid, levels)
-            >= self.config.min_containment
-        }
+        hits = accumulate_hits(retrieved)
+        result.sketch_hits = hits.as_dict()
+        result.candidates = select_candidates(
+            self.sketch, hits, self.config.min_containment
+        )
 
     def _estimate_abundance(self, result: MegisResult, reads, retrieved) -> None:
         if not result.candidates:
@@ -462,17 +469,6 @@ class MegisPipeline:
             if len(bucket.kmers):
                 total += max(1, -(-size // self.config.batch_bytes))
         return total
-
-    @staticmethod
-    def _accumulate_hits(retrieved) -> Dict[int, Dict[int, int]]:
-        """Fold per-query level sets into per-taxid level hit counts."""
-        hit_counts: Dict[int, Counter] = {}
-        for levels in retrieved.values():
-            for level, taxids in levels.items():
-                for taxid in taxids:
-                    hit_counts.setdefault(taxid, Counter())[level] += 1
-        return {t: dict(c) for t, c in hit_counts.items()}
-
 
 def _apportion(weights: Sequence[float], total_ms: float) -> List[float]:
     """Split a measured wall time across buckets proportionally to weights.

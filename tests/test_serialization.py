@@ -79,6 +79,89 @@ class TestSerialization:
         assert loaded.kmers == kmers
 
 
+class TestCsrOwnerLayout:
+    """The CSR owner columns are the persisted format and the cached view."""
+
+    def test_flags_mark_csr(self, sorted_db):
+        import struct
+
+        payload = serialize_database(sorted_db)
+        _, _, flags, _ = struct.unpack_from("<8sHHI", payload, 0)
+        assert flags == 3  # FLAG_OWNERS | FLAG_CSR
+
+    def test_interleaved_layout_roundtrips(self, sorted_db):
+        payload = serialize_database(sorted_db, layout="interleaved")
+        loaded = deserialize_database(payload)
+        assert loaded.kmers == sorted_db.kmers
+        for kmer in sorted_db.kmers[:50]:
+            assert loaded.owners_of(kmer) == sorted_db.owners_of(kmer)
+
+    def test_layouts_agree(self, sorted_db):
+        csr = deserialize_database(serialize_database(sorted_db, layout="csr"))
+        inter = deserialize_database(
+            serialize_database(sorted_db, layout="interleaved")
+        )
+        assert csr.kmers == inter.kmers
+        assert all(
+            csr.owners_of(x) == inter.owners_of(x) for x in sorted_db.kmers[:50]
+        )
+
+    def test_unknown_layout_rejected(self, sorted_db):
+        with pytest.raises(ValueError):
+            serialize_database(sorted_db, layout="columnar")
+
+    def test_deserialized_csr_cache_attached(self, sorted_db):
+        loaded = deserialize_database(serialize_database(sorted_db))
+        assert loaded._owner_columns is not None
+        taxids, offsets = loaded.owner_columns()
+        want_taxids, want_offsets = sorted_db.owner_columns()
+        assert taxids.tolist() == want_taxids.tolist()
+        assert offsets.tolist() == want_offsets.tolist()
+
+    def test_owner_columns_match_owners_of(self, sorted_db):
+        taxids, offsets = sorted_db.owner_columns()
+        assert len(offsets) == len(sorted_db) + 1
+        for i, kmer in enumerate(sorted_db.kmers[:80]):
+            row = taxids[offsets[i] : offsets[i + 1]].tolist()
+            assert row == sorted(sorted_db.owners_of(kmer))
+            assert frozenset(row) == sorted_db.owners_of(kmer)
+
+    def test_slice_shares_owner_columns(self, sorted_db):
+        parent_taxids, parent_offsets = sorted_db.owner_columns()
+        shard = sorted_db.slice(10, 40)
+        taxids, offsets = shard.owner_columns()
+        assert int(offsets[0]) == 0
+        assert taxids.base is not None  # zero-copy view of the parent column
+        for i, kmer in enumerate(shard.kmers):
+            assert taxids[offsets[i] : offsets[i + 1]].tolist() == sorted(
+                sorted_db.owners_of(kmer)
+            )
+
+    def test_csr_roundtrip_beyond_255_owners(self):
+        # The legacy interleaved layout caps owners per k-mer at u8; the
+        # CSR offsets column removes the cap.
+        owners = [frozenset(range(1, 300))]
+        db = SortedKmerDatabase(12, [7], owners)
+        with pytest.raises(SerializationError):
+            serialize_database(db, layout="interleaved")
+        loaded = deserialize_database(serialize_database(db))
+        assert loaded.owners_of(7) == owners[0]
+
+    def test_csr_rejects_taxids_beyond_u32(self):
+        # A taxID that does not fit u32 must fail loudly, not wrap modulo
+        # 2**32 into a different species.
+        db = SortedKmerDatabase(12, [7], [frozenset({1 << 33})])
+        with pytest.raises(SerializationError):
+            serialize_database(db)
+
+    def test_csr_truncated_offsets(self, sorted_db):
+        payload = serialize_database(sorted_db)
+        # Cut inside the offsets column: header + kmer records + a few bytes.
+        cut = 16 + kmer_record_bytes(sorted_db.k) * len(sorted_db) + 4
+        with pytest.raises(SerializationError):
+            deserialize_database(payload[:cut])
+
+
 class TestDatabaseBuilder:
     @pytest.fixture(scope="class")
     def bundle(self, references):
