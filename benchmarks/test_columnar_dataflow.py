@@ -12,7 +12,10 @@ Pins the structural wins of the columnar refactor:
 - KSS retrieval emits CSR owner columns and hit accumulation + containment
   run as ``np.unique``/array expressions — enforced as a hard >=3x
   retrieval+accumulate floor for the numpy engine over the register-level
-  reference on the same inputs (typical margin: >10x).
+  reference on the same inputs (typical margin: >10x);
+- a cold-opened ``MegisIndex`` serves its first query straight off the
+  persisted CSR sections — zero column rebuilds and zero ``KssTables``
+  row-object materializations, asserted via the cache-build counters.
 """
 
 import random
@@ -205,6 +208,77 @@ def test_sharded_step2(benchmark, bench_sorted_db, bench_kss, backend):
     result = benchmark(lambda: engine.run(query))
     assert result[0] == single[0]
     assert result[1] == single[1]
+
+
+def test_index_cold_open_serves_without_rebuild(bench_sample):
+    """Open + first query must not rebuild CSR columns or touch KSS rows.
+
+    The persisted sections become the live caches: the sorted database's
+    k-mer/owner columns, the KSS per-level CSR blocks, and the shard
+    handles (zero-copy slices of the stitched parent) all come straight
+    from the file, so the first — and every following — ``analyze()`` on
+    the numpy backend runs without a single cache (re)construction or
+    ``KssTables`` row-object materialization.
+    """
+    from repro.megis.index import IndexBuilder, MegisIndex
+    from repro.megis.session import AnalysisSession, MegisConfig
+
+    index = IndexBuilder(k=BENCH_K, smaller_ks=(12, 8), sketch_fraction=0.3).build(
+        bench_sample.references
+    )
+    payload = index.to_bytes(n_shards=2)
+
+    opened = MegisIndex.from_bytes(payload)
+    assert opened.database.column_builds == 0
+    assert opened.database.owner_column_builds == 0
+    assert opened.kss.column_builds == 0
+    assert opened.kss.row_materializations == 0
+
+    session = AnalysisSession(
+        opened,
+        MegisConfig(backend="numpy", abundance_method="statistical", n_ssds=2),
+    )
+    first = session.analyze(bench_sample.reads)
+    second = session.analyze(bench_sample.reads)
+    assert first.candidates
+    assert first.candidates == second.candidates
+    assert first.profile.fractions == second.profile.fractions
+
+    # Zero reconstruction: not at open, not at first query, not between
+    # consecutive queries — on the parent or on any shard handle.
+    assert opened.database.column_builds == 0
+    assert opened.database.owner_column_builds == 0
+    assert opened.kss.column_builds == 0
+    assert opened.kss.row_materializations == 0
+    for shard in opened.shards(2):
+        assert shard.database.column_builds == 0
+        assert shard.database.owner_column_builds == 0
+        assert shard.kss.column_builds == 0
+        assert shard.kss.row_materializations == 0
+
+
+def test_index_cold_open_beats_rebuild(bench_sample):
+    """Cold-opening the persisted index must beat rebuilding the databases.
+
+    Generous 2x floor (typical margin: >10x) — the point is structural:
+    open attaches columns, rebuild re-derives the sketch, the KSS rows,
+    and every CSR block from the references.
+    """
+    from repro.megis.index import IndexBuilder, MegisIndex
+
+    builder = IndexBuilder(k=BENCH_K, smaller_ks=(12, 8), sketch_fraction=0.3)
+    index = builder.build(bench_sample.references)
+    payload = index.to_bytes(n_shards=2)
+
+    def rebuild():
+        fresh = builder.build(bench_sample.references)
+        fresh.kss.store()  # the columnar state open() gets for free
+        return fresh
+
+    rebuild_s = min(_timed(rebuild) for _ in range(3))
+    open_s = min(_timed(lambda: MegisIndex.from_bytes(payload)) for _ in range(5))
+    speedup = rebuild_s / open_s
+    assert speedup >= 2.0, f"cold open only {speedup:.2f}x over rebuilding"
 
 
 @pytest.mark.parametrize("backend", ["python", "numpy"])

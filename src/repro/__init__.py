@@ -21,7 +21,13 @@ or see ``examples/quickstart.py``.
 """
 
 from repro.databases import KrakenDatabase, KssTables, SketchDatabase, SortedKmerDatabase
-from repro.megis import MegisConfig, MegisPipeline
+from repro.megis import (
+    AnalysisSession,
+    IndexBuilder,
+    MegisConfig,
+    MegisIndex,
+    MegisPipeline,
+)
 from repro.taxonomy import AbundanceProfile, Taxonomy, f1_score, l1_norm_error
 from repro.tools import Kraken2Classifier, MetalignPipeline
 from repro.workloads import CamiDiversity, make_cami_sample
@@ -30,11 +36,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbundanceProfile",
+    "AnalysisSession",
     "CamiDiversity",
+    "IndexBuilder",
     "Kraken2Classifier",
     "KrakenDatabase",
     "KssTables",
     "MegisConfig",
+    "MegisIndex",
     "MegisPipeline",
     "MetalignPipeline",
     "SketchDatabase",
@@ -48,12 +57,11 @@ __all__ = [
 
 
 def quick_analysis(n_reads: int = 400, seed: int = 7) -> str:
-    """One-call demo: build a sample and databases, run MegIS, report."""
+    """One-call demo: build a sample, build an index, serve MegIS, report."""
     sample = make_cami_sample(CamiDiversity.MEDIUM, n_reads=n_reads, seed=seed)
-    database = SortedKmerDatabase.build(sample.references, k=20)
-    sketch = SketchDatabase.build(sample.references, k_max=20, smaller_ks=(12, 8))
-    pipeline = MegisPipeline(database, sketch, sample.references)
-    result = pipeline.analyze(sample.reads)
+    index = IndexBuilder(k=20, smaller_ks=(12, 8)).build(sample.references)
+    session = AnalysisSession(index)
+    result = session.analyze(sample.reads)
     truth = sample.present_species()
     lines = [
         f"sample: {sample.name} ({sample.n_reads} reads, "

@@ -147,25 +147,26 @@ class TaxIdRetriever:
     def _prefix_groups(self, k: int) -> Iterator[Tuple[int, FrozenSet[int], FrozenSet[int]]]:
         """Yield (prefix, stored_row, covered_owners) in ascending order.
 
-        Groups are produced by streaming the k_max table once; the prefix
-        transition detection is exactly the Index Generator's job.
+        Covered owners are accumulated by streaming the k_max table in step
+        with the smaller-k rows; the prefix transition detection is exactly
+        the Index Generator's job.  The walk is row-driven (not entry-
+        driven) because a range-sharded KSS slice may carry a boundary
+        prefix row whose covering k_max-mers live entirely on another shard
+        — such a row contributes an empty covered set here, its full taxIDs
+        being held in ``stored`` instead.
         """
-        rows = self.kss.sub_tables[k]
-        row_index = 0
-        current: Optional[int] = None
-        covered: set = set()
-        for kmer, owners in self.kss.entries:
-            prefix = kmer_prefix(kmer, self.kss.k_max, k)
-            if prefix != current:
-                if current is not None:
-                    yield current, rows[row_index].stored, frozenset(covered)
-                    row_index += 1
-                    self.index_generator_advances += 1
-                current = prefix
-                covered = set()
-            covered.update(owners)
-        if current is not None:
-            yield current, rows[row_index].stored, frozenset(covered)
+        entries = self.kss.entries
+        e = 0
+        for row_index, row in enumerate(self.kss.sub_tables[k]):
+            if row_index:
+                self.index_generator_advances += 1
+            covered: set = set()
+            while e < len(entries) and kmer_prefix(
+                entries[e][0], self.kss.k_max, k
+            ) == row.prefix:
+                covered.update(entries[e][1])
+                e += 1
+            yield row.prefix, row.stored, frozenset(covered)
 
     def _merge_level(self, k: int, queries: List[int]) -> LevelHits:
         """Merge query prefixes against the level-k prefix groups."""

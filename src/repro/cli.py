@@ -1,11 +1,15 @@
 """Command-line interface: ``python -m repro.cli <command>``.
 
-Three commands cover the library's main entry points:
+The commands cover the library's main entry points:
 
 - ``simulate`` — generate a synthetic CAMI-like dataset and write the
   references (FASTA), the reads (FASTQ), and the ground-truth profile;
+- ``index build`` — build a persistable MegIS index (sorted database, KSS
+  CSR columns, sketch sizes, references) from a reference FASTA, optionally
+  pre-sharded for a multi-SSD deployment;
 - ``analyze`` — run a pipeline (megis / metalign / kraken2) over a
-  FASTA+FASTQ pair and print the abundance report;
+  FASTA+FASTQ pair, or serve the sample from a prebuilt index
+  (``--index PATH``) without rebuilding any database;
 - ``model`` — query the paper-scale performance model (per-configuration
   seconds and speedups for a chosen SSD and sample).
 """
@@ -21,7 +25,8 @@ from repro.backends import available_backends
 from repro.databases.kraken import KrakenDatabase
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
-from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.megis.index import IndexBuilder, MegisIndex
+from repro.megis.session import AnalysisSession, MegisConfig
 from repro.perf.specs import baseline_system
 from repro.perf.timing import TimingModel
 from repro.sequences.io import (
@@ -34,7 +39,6 @@ from repro.ssd.config import ssd_c, ssd_p
 from repro.taxonomy.tree import Taxonomy
 from repro.tools.bracken import BrackenEstimator
 from repro.tools.kraken2 import Kraken2Classifier
-from repro.tools.metalign import MetalignPipeline
 from repro.workloads.cami import CamiDiversity, make_cami_sample
 from repro.workloads.datasets import cami_spec
 
@@ -58,29 +62,86 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    builder = IndexBuilder(
+        k=args.k,
+        smaller_ks=None,
+        sketch_fraction=args.sketch_fraction,
+        seed=args.seed,
+    )
+    index = builder.build_from_fasta(Path(args.references).read_text())
+    path = index.save(
+        args.output, n_shards=args.shards,
+        include_references=not args.no_references,
+    )
+    size = path.stat().st_size
+    print(f"wrote {path} ({size} bytes, {args.shards} shard"
+          f"{'s' if args.shards != 1 else ''})")
+    print(f"  k={index.k}  db k-mers={len(index.database)}  "
+          f"kss rows={len(index.kss)}  "
+          f"references={'yes' if not args.no_references else 'no'}")
+    return 0
+
+
+def _open_session(args: argparse.Namespace) -> AnalysisSession:
+    """An AnalysisSession over the prebuilt index named by ``--index``."""
+    index = MegisIndex.open(args.index)
+    config = MegisConfig(abundance_method=args.abundance,
+                         backend=args.backend, n_ssds=args.ssds)
+    return AnalysisSession(index, config)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    references = references_from_fasta(Path(args.references).read_text())
-    reads = reads_from_fastq(Path(args.reads).read_text())
-    if args.tool in {"megis", "metalign"}:
-        database = SortedKmerDatabase.build(references, k=args.k)
-        sketch = SketchDatabase.build(
-            references, k_max=args.k, smaller_ks=(args.k - 8, args.k - 12)
-        )
+    if args.index is not None:
+        if args.tool not in {"megis", "metalign"}:
+            print(f"--index only serves megis/metalign, not {args.tool}",
+                  file=sys.stderr)
+            return 2
+        # With a prebuilt index the references positional holds the reads.
+        reads_path = args.reads if args.reads is not None else args.references
+        reads = reads_from_fastq(Path(reads_path).read_text())
+        session = _open_session(args)
+        needs_references = args.tool == "metalign" or args.abundance == "mapping"
+        if needs_references and session.references is None:
+            print("index was built with --no-references; mapping-based "
+                  "abundance is unavailable (use --abundance statistical)",
+                  file=sys.stderr)
+            return 2
         if args.tool == "megis":
-            config = MegisConfig(abundance_method=args.abundance,
-                                 backend=args.backend, n_ssds=args.ssds)
-            result = MegisPipeline(database, sketch, references, config=config).analyze(reads)
+            result = session.analyze(reads)
             if args.timings:
                 _print_timings(result.timings)
         else:
-            result = MetalignPipeline(database, sketch, references).analyze(reads)
+            result = session.analyze_metalign(reads)
         profile = result.profile
-    else:  # kraken2
-        taxonomy = Taxonomy.from_reference_collection(references)
-        kraken_db = KrakenDatabase.build(references, taxonomy, k=args.k + 1)
-        classifier = Kraken2Classifier(kraken_db)
-        kraken_out = classifier.analyze(reads)
-        profile = BrackenEstimator(kraken_db).estimate(kraken_out)
+    else:
+        if args.reads is None:
+            print("analyze needs REFERENCES and READS (or --index PATH READS)",
+                  file=sys.stderr)
+            return 2
+        references = references_from_fasta(Path(args.references).read_text())
+        reads = reads_from_fastq(Path(args.reads).read_text())
+        if args.tool in {"megis", "metalign"}:
+            database = SortedKmerDatabase.build(references, k=args.k)
+            sketch = SketchDatabase.build(
+                references, k_max=args.k, smaller_ks=(args.k - 8, args.k - 12)
+            )
+            index = MegisIndex(database, sketch, references)
+            if args.tool == "megis":
+                config = MegisConfig(abundance_method=args.abundance,
+                                     backend=args.backend, n_ssds=args.ssds)
+                result = AnalysisSession(index, config).analyze(reads)
+                if args.timings:
+                    _print_timings(result.timings)
+            else:
+                result = AnalysisSession(index).analyze_metalign(reads)
+            profile = result.profile
+        else:  # kraken2
+            taxonomy = Taxonomy.from_reference_collection(references)
+            kraken_db = KrakenDatabase.build(references, taxonomy, k=args.k + 1)
+            classifier = Kraken2Classifier(kraken_db)
+            kraken_out = classifier.analyze(reads)
+            profile = BrackenEstimator(kraken_db).estimate(kraken_out)
     print(f"tool: {args.tool}   reads: {len(reads)}   species called: {len(profile)}")
     for taxid, fraction in sorted(
         profile.items(), key=lambda item: -item[1]
@@ -143,11 +204,34 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
     simulate.set_defaults(func=_cmd_simulate)
 
+    index = sub.add_parser("index", help="build / manage persistable indexes")
+    index_sub = index.add_subparsers(dest="index_command", required=True)
+    index_build = index_sub.add_parser(
+        "build", help="build and save a MegIS index from a reference FASTA"
+    )
+    index_build.add_argument("references", help="reference FASTA (from `simulate`)")
+    index_build.add_argument("output", help="where to write the .megis index")
+    index_build.add_argument("--k", type=int, default=20)
+    index_build.add_argument("--sketch-fraction", type=float, default=0.25)
+    index_build.add_argument("--seed", type=int, default=0)
+    index_build.add_argument("--shards", type=int, default=1,
+                             help="per-SSD database sections to persist "
+                                  "(each loadable independently, §6.1)")
+    index_build.add_argument("--no-references", action="store_true",
+                             help="omit the reference sequences (disables "
+                                  "mapping-based Step 3 on the served index)")
+    index_build.set_defaults(func=_cmd_index_build)
+
     analyze = sub.add_parser("analyze", help="analyze a FASTA+FASTQ pair")
-    analyze.add_argument("references", help="reference FASTA (from `simulate`)")
-    analyze.add_argument("reads", help="read set FASTQ")
+    analyze.add_argument("references",
+                         help="reference FASTA (from `simulate`); with "
+                              "--index, the reads FASTQ instead")
+    analyze.add_argument("reads", nargs="?", default=None, help="read set FASTQ")
     analyze.add_argument("--tool", choices=("megis", "metalign", "kraken2"),
                          default="megis")
+    analyze.add_argument("--index", default=None, metavar="PATH",
+                         help="serve from a prebuilt index (`repro index "
+                              "build`) instead of rebuilding databases")
     analyze.add_argument("--k", type=int, default=20)
     analyze.add_argument("--abundance", choices=("mapping", "statistical"),
                          default="mapping")

@@ -8,6 +8,23 @@ no k-mer text at all (prefixes of the k_max stream identify the rows).
 TaxID retrieval then needs a single sequential pass over the intersecting
 k-mers and the tables, with no pointer chasing.  The paper measures KSS at
 7.5x smaller than flat tables and 2.1x larger than the ternary tree.
+
+Two representations coexist:
+
+- **rows** (``entries`` / ``sub_tables``) — the per-row Python objects the
+  register-level reference backend streams;
+- the **store** (:class:`KssStore`) — flat CSR columns per level (sorted
+  prefixes, the *stored* taxID CSR the paper persists, and the
+  reconstructed *full*-set CSR the NumPy backend gathers from).
+
+A :class:`KssTables` built from a sketch materializes rows eagerly (that is
+the offline build path); one loaded from a persisted store materializes
+rows only if a reference code path asks for them — ``row_materializations``
+counts those events and ``column_builds`` counts CSR reconstructions, so
+tests can assert that serving queries from an opened index never rebuilds
+anything.  :meth:`slice_range` cuts the store at shard boundaries
+(prefix-aligned) so each SSD of a multi-SSD deployment carries only its own
+KSS range.
 """
 
 from __future__ import annotations
@@ -17,6 +34,7 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends.base import bisect_column
 from repro.backends.retrieval import LevelHits, RetrievalResult, pack_sets_csr
 from repro.databases.sketch import SketchDatabase
 from repro.sequences.encoding import kmer_prefix
@@ -68,28 +86,76 @@ class KssColumns:
     levels: Dict[int, KssLevelColumns]
 
 
+@dataclass(frozen=True)
+class KssLevelStore:
+    """One smaller-k level's persisted columns.
+
+    ``stored_*`` is the CSR of what the KSS physically keeps per row (the
+    taxIDs not covered by the row's k_max-mers — the paper's space saving);
+    ``full_*`` is the CSR of the reconstructed full sets the retrieval
+    kernels answer with.  ``full - stored`` per row is exactly the
+    covered-owner union, so neither the rows nor the k_max stream need
+    re-walking after a load.
+    """
+
+    prefixes: np.ndarray
+    stored_taxids: np.ndarray
+    stored_offsets: np.ndarray
+    full_taxids: np.ndarray
+    full_offsets: np.ndarray
+
+
+@dataclass(frozen=True)
+class KssStore:
+    """The complete columnar KSS: what the index format persists."""
+
+    k_max: int
+    smaller_ks: Tuple[int, ...]
+    kmers: np.ndarray
+    taxids: np.ndarray
+    offsets: np.ndarray
+    levels: Dict[int, KssLevelStore]
+
+
 class KssTables:
     """Sorted k_max table plus prefix-aligned reduced tables per smaller k."""
 
     def __init__(self, sketch: SketchDatabase):
         self.k_max = sketch.k_max
         self.smaller_ks: Tuple[int, ...] = sketch.smaller_ks
-        self.entries: List[Tuple[int, FrozenSet[int]]] = sketch.sorted_kmax_entries()
-        self.sub_tables: Dict[int, List[KssSubEntry]] = {}
-        self._full_level_sets: Dict[int, Dict[int, FrozenSet[int]]] = {
-            k: dict(sketch.tables[k]) for k in self.smaller_ks
+        self._init_caches()
+        self._entries = sketch.sorted_kmax_entries()
+        self._sub_tables = {
+            k: self._build_sub_table(k, sketch) for k in self.smaller_ks
         }
-        for k in self.smaller_ks:
-            self.sub_tables[k] = self._build_sub_table(k, sketch)
+
+    def _init_caches(self) -> None:
+        self._entries: Optional[List[Tuple[int, FrozenSet[int]]]] = None
+        self._sub_tables: Optional[Dict[int, List[KssSubEntry]]] = None
+        self._store: Optional[KssStore] = None
         self._columns: Optional[KssColumns] = None
         self._covered_cache: Dict[int, Dict[int, FrozenSet[int]]] = {}
+        #: Reconstruction counters (see the module docstring): CSR column
+        #: rebuilds and lazy row materializations since construction.
+        self.column_builds = 0
+        self.row_materializations = 0
+
+    @classmethod
+    def from_store(cls, store: KssStore) -> "KssTables":
+        """Wrap persisted CSR columns; rows stay unmaterialized until asked."""
+        tables = cls.__new__(cls)
+        tables.k_max = store.k_max
+        tables.smaller_ks = tuple(store.smaller_ks)
+        tables._init_caches()
+        tables._store = store
+        return tables
 
     def _build_sub_table(self, k: int, sketch: SketchDatabase) -> List[KssSubEntry]:
         """Walk the sorted k_max table; emit one row per distinct k-prefix."""
         rows: List[KssSubEntry] = []
         current_prefix = None
         covered: set = set()
-        for kmer, owners in self.entries:
+        for kmer, owners in self._entries:
             prefix = kmer_prefix(kmer, self.k_max, k)
             if prefix != current_prefix:
                 if current_prefix is not None:
@@ -107,35 +173,251 @@ class KssTables:
         full = sketch.tables[k][prefix]
         return KssSubEntry(prefix=prefix, stored=frozenset(full - covered))
 
-    # -- columnar view ---------------------------------------------------------
+    # -- row views (lazy when store-backed) ------------------------------------
+
+    @property
+    def entries(self) -> List[Tuple[int, FrozenSet[int]]]:
+        """The sorted k_max (k-mer, owners) rows, materialized on demand."""
+        if self._entries is None:
+            store = self._store
+            self._entries = [
+                (int(kmer), frozenset(
+                    store.taxids[store.offsets[i]:store.offsets[i + 1]].tolist()
+                ))
+                for i, kmer in enumerate(store.kmers.tolist())
+            ]
+            self.row_materializations += 1
+        return self._entries
+
+    @property
+    def sub_tables(self) -> Dict[int, List[KssSubEntry]]:
+        """Per smaller-k row objects, materialized on demand."""
+        if self._sub_tables is None:
+            store = self._store
+            tables: Dict[int, List[KssSubEntry]] = {}
+            for k in self.smaller_ks:
+                level = store.levels[k]
+                so = level.stored_offsets
+                tables[k] = [
+                    KssSubEntry(
+                        prefix=int(prefix),
+                        stored=frozenset(
+                            level.stored_taxids[so[i]:so[i + 1]].tolist()
+                        ),
+                    )
+                    for i, prefix in enumerate(level.prefixes.tolist())
+                ]
+            self._sub_tables = tables
+            self.row_materializations += 1
+        return self._sub_tables
+
+    # -- columnar views --------------------------------------------------------
 
     def columns(self) -> KssColumns:
-        """CSR ndarray view for the NumPy backend (built once, cached)."""
-        if self._columns is None:
-            from repro.backends.numpy_backend import column_dtype
+        """CSR ndarray view for the NumPy backend (built once, cached).
 
-            dtype = column_dtype(self.k_max)
-            levels: Dict[int, KssLevelColumns] = {}
-            for k in self.smaller_ks:
-                covered = self._covered_by_prefix(k)
-                rows = self.sub_tables[k]
-                taxids, offsets = pack_sets_csr(
-                    [row.stored | covered[row.prefix] for row in rows]
+        Store-backed tables answer with zero-copy views of the persisted
+        columns; sketch-built tables construct the columns from the rows on
+        first use (counted in ``column_builds``).
+        """
+        if self._columns is None:
+            if self._store is not None:
+                store = self._store
+                self._columns = KssColumns(
+                    k_max=store.k_max,
+                    kmers=store.kmers,
+                    taxids=store.taxids,
+                    offsets=store.offsets,
+                    levels={
+                        k: KssLevelColumns(
+                            prefixes=level.prefixes,
+                            taxids=level.full_taxids,
+                            offsets=level.full_offsets,
+                        )
+                        for k, level in store.levels.items()
+                    },
                 )
-                levels[k] = KssLevelColumns(
-                    prefixes=np.array([row.prefix for row in rows], dtype=dtype),
-                    taxids=taxids,
-                    offsets=offsets,
-                )
-            taxids, offsets = pack_sets_csr([owners for _, owners in self.entries])
-            self._columns = KssColumns(
-                k_max=self.k_max,
-                kmers=np.array([kmer for kmer, _ in self.entries], dtype=dtype),
+            else:
+                self._columns = self._build_columns()
+                self.column_builds += 1
+        return self._columns
+
+    def _build_columns(self) -> KssColumns:
+        from repro.backends.numpy_backend import column_dtype
+
+        dtype = column_dtype(self.k_max)
+        levels: Dict[int, KssLevelColumns] = {}
+        for k in self.smaller_ks:
+            covered = self._covered_by_prefix(k)
+            rows = self.sub_tables[k]
+            taxids, offsets = pack_sets_csr(
+                [row.stored | covered[row.prefix] for row in rows]
+            )
+            levels[k] = KssLevelColumns(
+                prefixes=np.array([row.prefix for row in rows], dtype=dtype),
                 taxids=taxids,
                 offsets=offsets,
+            )
+        taxids, offsets = pack_sets_csr([owners for _, owners in self.entries])
+        return KssColumns(
+            k_max=self.k_max,
+            kmers=np.array([kmer for kmer, _ in self.entries], dtype=dtype),
+            taxids=taxids,
+            offsets=offsets,
+            levels=levels,
+        )
+
+    def store(self) -> KssStore:
+        """The persistable columnar form (built once from the rows, cached).
+
+        Store-backed tables return the store they were loaded from; slicing
+        and serialization both operate on this representation.
+        """
+        if self._store is None:
+            cols = self.columns()
+            levels: Dict[int, KssLevelStore] = {}
+            for k in self.smaller_ks:
+                stored_taxids, stored_offsets = pack_sets_csr(
+                    [row.stored for row in self.sub_tables[k]]
+                )
+                level_cols = cols.levels[k]
+                levels[k] = KssLevelStore(
+                    prefixes=level_cols.prefixes,
+                    stored_taxids=stored_taxids,
+                    stored_offsets=stored_offsets,
+                    full_taxids=level_cols.taxids,
+                    full_offsets=level_cols.offsets,
+                )
+            self._store = KssStore(
+                k_max=self.k_max,
+                smaller_ks=self.smaller_ks,
+                kmers=cols.kmers,
+                taxids=cols.taxids,
+                offsets=cols.offsets,
                 levels=levels,
             )
-        return self._columns
+        return self._store
+
+    # -- range sharding (§6.1) -------------------------------------------------
+
+    def slice_range(self, lo: int, hi: int) -> "KssTables":
+        """The KSS restricted to queries in ``[lo, hi)`` — one shard's range.
+
+        k_max rows are the plain column slice; each smaller level keeps the
+        prefix rows any query in the range can reach (``[lo >> s,
+        (hi-1) >> s]`` inclusive — prefix-aligned, so boundary prefixes are
+        carried by both adjacent shards).  Full per-row sets are preserved
+        exactly, which is what makes sharded retrieval bit-identical to the
+        single-SSD pass; the *stored* sets of boundary rows are recomputed
+        against the slice's own k_max range (owners covered only by another
+        shard's k-mers must be stored locally), exactly as a per-shard KSS
+        build would emit them.  All unaffected columns are zero-copy views.
+        """
+        if hi < lo:
+            raise ValueError(f"inverted KSS range [{lo}, {hi})")
+        store = self.store()
+        i = bisect_column(store.kmers, int(lo))
+        j = bisect_column(store.kmers, int(hi), lo=i)
+        levels: Dict[int, KssLevelStore] = {}
+        for k in self.smaller_ks:
+            levels[k] = self._slice_level(store, k, int(lo), int(hi), i, j)
+        return self.from_store(KssStore(
+            k_max=self.k_max,
+            smaller_ks=self.smaller_ks,
+            kmers=store.kmers[i:j],
+            taxids=store.taxids[int(store.offsets[i]):int(store.offsets[j])],
+            offsets=store.offsets[i:j + 1] - store.offsets[i],
+            levels=levels,
+        ))
+
+    def _slice_level(self, store: KssStore, k: int, lo: int, hi: int,
+                     i: int, j: int) -> KssLevelStore:
+        level = store.levels[k]
+        shift = 2 * (self.k_max - k)
+        a = bisect_column(level.prefixes, lo >> shift)
+        b = bisect_column(level.prefixes, ((hi - 1) >> shift) + 1, lo=a)
+        so, fo = level.stored_offsets, level.full_offsets
+        prefixes = level.prefixes[a:b]
+        full_taxids = level.full_taxids[int(fo[a]):int(fo[b])]
+        full_offsets = fo[a:b + 1] - fo[a]
+        stored_taxids, stored_offsets = self._slice_stored(
+            level, store, shift, a, b, i, j
+        )
+        return KssLevelStore(
+            prefixes=prefixes,
+            stored_taxids=stored_taxids,
+            stored_offsets=stored_offsets,
+            full_taxids=full_taxids,
+            full_offsets=full_offsets,
+        )
+
+    def _slice_stored(self, level: KssLevelStore, store: KssStore, shift: int,
+                      a: int, b: int, i: int, j: int
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored-CSR slice with the boundary rows re-based to ``[i, j)``.
+
+        Only the first and last prefix row of a slice can have covering
+        k_max-mers outside the shard's k-mer range; those rows' stored sets
+        are recomputed as ``full - covered-within-shard``.  Interior rows
+        (and non-straddling boundaries) stay zero-copy views.
+        """
+        so = level.stored_offsets
+        if a >= b:
+            return level.stored_taxids[:0], np.zeros(1, dtype=np.int64)
+        first = self._reslice_stored_row(level, store, shift, a, i, j)
+        last = (
+            self._reslice_stored_row(level, store, shift, b - 1, i, j)
+            if b - 1 > a else None
+        )
+        if first is None and last is None:
+            return (
+                level.stored_taxids[int(so[a]):int(so[b])],
+                so[a:b + 1] - so[a],
+            )
+        lengths = np.asarray(so[a + 1:b + 1] - so[a:b], dtype=np.int64).copy()
+        head = (
+            first if first is not None
+            else level.stored_taxids[int(so[a]):int(so[a + 1])]
+        )
+        lengths[0] = len(head)
+        parts = [head]
+        if b - 1 > a:
+            parts.append(level.stored_taxids[int(so[a + 1]):int(so[b - 1])])
+            tail = (
+                last if last is not None
+                else level.stored_taxids[int(so[b - 1]):int(so[b])]
+            )
+            lengths[-1] = len(tail)
+            parts.append(tail)
+        offsets = np.zeros(b - a + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        return np.concatenate(parts), offsets
+
+    def _reslice_stored_row(self, level: KssLevelStore, store: KssStore,
+                            shift: int, r: int, i: int, j: int
+                            ) -> Optional[np.ndarray]:
+        """Recomputed stored set for row ``r``, or ``None`` when the view holds.
+
+        ``None`` means every k_max-mer carrying this prefix lies inside the
+        shard's k-mer rows ``[i, j)``, so the persisted stored set is
+        already correct for the slice.
+        """
+        prefix = int(level.prefixes[r])
+        g0 = bisect_column(store.kmers, prefix << shift)
+        g1 = bisect_column(store.kmers, (prefix + 1) << shift, lo=g0)
+        if g0 >= i and g1 <= j:
+            return None
+        fo = level.full_offsets
+        full_row = np.asarray(
+            level.full_taxids[int(fo[r]):int(fo[r + 1])], dtype=np.int64
+        )
+        row_lo, row_hi = max(g0, i), min(g1, j)
+        if row_hi <= row_lo:
+            return full_row
+        covered = np.unique(
+            store.taxids[int(store.offsets[row_lo]):int(store.offsets[row_hi])]
+        )
+        return full_row[~np.isin(full_row, covered, assume_unique=True)]
 
     # -- retrieval -------------------------------------------------------------
 
@@ -168,14 +450,15 @@ class KssTables:
         levels: Dict[int, LevelHits] = {}
 
         # Level k_max: plain sorted merge appending to the flat owner column.
+        entries = self.entries
         taxids: List[int] = []
         offsets: List[int] = [0]
         i = 0
         for q in queries:
-            while i < len(self.entries) and self.entries[i][0] < q:
+            while i < len(entries) and entries[i][0] < q:
                 i += 1
-            if i < len(self.entries) and self.entries[i][0] == q:
-                taxids.extend(sorted(self.entries[i][1]))
+            if i < len(entries) and entries[i][0] == q:
+                taxids.extend(sorted(entries[i][1]))
             offsets.append(len(taxids))
         levels[self.k_max] = LevelHits(taxids=taxids, offsets=offsets)
 
@@ -200,14 +483,32 @@ class KssTables:
 
         The reference retrieval and the columnar view both consult this on
         every call — and the sharded path retrieves once per shard — so the
-        k_max stream is folded a single time per level.
+        k_max stream is folded a single time per level.  Store-backed tables
+        derive it columnarly as ``full - stored`` per row, never touching
+        the k_max rows.
         """
         if k not in self._covered_cache:
-            covered: Dict[int, set] = {}
-            for kmer, owners in self.entries:
-                prefix = kmer_prefix(kmer, self.k_max, k)
-                covered.setdefault(prefix, set()).update(owners)
-            self._covered_cache[k] = {p: frozenset(s) for p, s in covered.items()}
+            if self._store is not None:
+                level = self._store.levels[k]
+                so, fo = level.stored_offsets, level.full_offsets
+                covered: Dict[int, FrozenSet[int]] = {}
+                for r, prefix in enumerate(level.prefixes.tolist()):
+                    full = level.full_taxids[int(fo[r]):int(fo[r + 1])]
+                    stored = level.stored_taxids[int(so[r]):int(so[r + 1])]
+                    covered[int(prefix)] = frozenset(
+                        np.asarray(full)[
+                            ~np.isin(full, stored, assume_unique=True)
+                        ].tolist()
+                    )
+                self._covered_cache[k] = covered
+            else:
+                covered_sets: Dict[int, set] = {}
+                for kmer, owners in self.entries:
+                    prefix = kmer_prefix(kmer, self.k_max, k)
+                    covered_sets.setdefault(prefix, set()).update(owners)
+                self._covered_cache[k] = {
+                    p: frozenset(s) for p, s in covered_sets.items()
+                }
         return self._covered_cache[k]
 
     # -- size accounting ---------------------------------------------------------
@@ -217,11 +518,21 @@ class KssTables:
 
     def size_bytes(self) -> int:
         """On-flash size: k_max rows carry the k-mer; sub rows carry IDs only."""
+        if self._store is not None:
+            store = self._store
+            total = self._kmer_bytes() * len(store.kmers) + 4 * len(store.taxids)
+            for level in store.levels.values():
+                # 1 byte per row marks the boundary/row length; IDs are 4 B.
+                total += len(level.prefixes) + 4 * len(level.stored_taxids)
+            return total
         total = sum(self._kmer_bytes() + 4 * len(owners) for _, owners in self.entries)
         for rows in self.sub_tables.values():
-            # 1 byte per row marks the boundary/row length; IDs are 4 B each.
             total += sum(1 + 4 * len(row.stored) for row in rows)
         return total
 
     def __len__(self) -> int:
+        if self._entries is not None:
+            return len(self._entries)
+        if self._store is not None:
+            return len(self._store.kmers)
         return len(self.entries)

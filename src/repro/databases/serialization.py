@@ -1,4 +1,4 @@
-"""Binary serialization of the sorted k-mer database (2-bit packed).
+"""Binary serialization: the sorted k-mer database and the index container.
 
 The paper's databases are encoded with two bits per character during their
 offline generation (§4.2) and stored on flash in sorted order so the ISP
@@ -6,7 +6,7 @@ units can stream them.  This module defines that on-flash byte format and
 round-trips it, so the MegIS FTL placement and the ISP stream operate on a
 size that is *derived* from an actual encoding, not an estimate.
 
-Format (little-endian):
+Database payload format (little-endian):
 
 - 16-byte header: magic ``b"MEGISKDB"``, ``u16 k``, ``u16 flags``,
   ``u32 count``;
@@ -19,16 +19,27 @@ Format (little-endian):
     offsets followed by one flat u32 taxID column — exactly the
     :meth:`SortedKmerDatabase.owner_columns` arrays, so serialization is
     two bulk packs and deserialization two ``np.frombuffer`` views (the
-    parsed columns are attached to the loaded database's CSR cache);
+    parsed columns *are* the loaded database's CSR cache; per-row owner
+    sets materialize lazily);
   - **interleaved records** (flag bit 0 only, the legacy layout, still
     readable and writable): per k-mer record, ``u8 n`` followed by ``n``
     u32 taxIDs.
+
+Index container format (``MEGISIDX``): a named-section archive holding the
+database payloads (one section per SSD shard), the KSS CSR columns, the
+sketch sizes, and the reference FASTA — what :class:`repro.megis.index.MegisIndex`
+persists.  The container itself is format-agnostic: a 16-byte header
+(magic, ``u16 version``, ``u16 reserved``, ``u32 toc_length``), a JSON
+table of contents mapping section names to ``[offset, length]`` within the
+body, then the section bytes back to back.  Sections must tile the body
+exactly, so truncation or trailing garbage is always detected.
 """
 
 from __future__ import annotations
 
+import json
 import struct
-from typing import List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,9 +50,13 @@ _HEADER = struct.Struct("<8sHHI")
 FLAG_OWNERS = 1
 FLAG_CSR = 2
 
+INDEX_MAGIC = b"MEGISIDX"
+INDEX_VERSION = 1
+_INDEX_HEADER = struct.Struct("<8sHHI")
+
 
 class SerializationError(ValueError):
-    """Raised when a payload does not parse as a k-mer database."""
+    """Raised when a payload does not parse as a k-mer database or index."""
 
 
 def kmer_record_bytes(k: int) -> int:
@@ -61,6 +76,53 @@ def _unpack_kmer(raw: bytes, k: int) -> int:
     return int.from_bytes(raw, "big") >> shift
 
 
+def pack_kmer_column(values: Sequence[int], k: int) -> bytes:
+    """Pack a sorted k-mer column into big-endian records (one bulk blob)."""
+    return b"".join(_pack_kmer(int(v), k) for v in values)
+
+
+def parse_kmer_column(
+    buf, k: int, count: int
+) -> Tuple[List[int], Optional[np.ndarray]]:
+    """Parse ``count`` packed k-mer records into ``(ints, ndarray column)``.
+
+    For ``2k <= 64`` the parse is fully vectorized (one ``frombuffer`` +
+    shift) and the returned ``uint64`` column can be attached directly as a
+    database's ndarray cache; wider k-mers fall back to the per-record loop
+    and return ``None`` for the column (``object`` dtype is built on
+    demand).
+    """
+    width = kmer_record_bytes(k)
+    if len(buf) < count * width:
+        raise SerializationError("truncated k-mer column")
+    if 2 * k <= 64:
+        raw = np.frombuffer(buf, dtype=np.uint8, count=count * width).reshape(
+            count, width
+        )
+        padded = np.zeros((count, 8), dtype=np.uint8)
+        padded[:, 8 - width:] = raw
+        shift = np.uint64(width * 8 - 2 * k)
+        column = (padded.reshape(-1).view(">u8").astype(np.uint64)) >> shift
+        return column.tolist(), column
+    view = bytes(buf[: count * width])
+    kmers = [
+        _unpack_kmer(view[i * width : (i + 1) * width], k) for i in range(count)
+    ]
+    return kmers, None
+
+
+def pack_i64(values) -> bytes:
+    """One int64 column as little-endian bytes."""
+    return np.asarray(values, dtype="<i8").tobytes()
+
+
+def parse_i64(buf) -> np.ndarray:
+    """Parse a little-endian int64 column (length-checked, writable copy)."""
+    if len(buf) % 8:
+        raise SerializationError("int64 column length is not a multiple of 8")
+    return np.frombuffer(buf, dtype="<i8").astype(np.int64)
+
+
 def serialize_database(
     db: SortedKmerDatabase, with_owners: bool = True, layout: str = "csr"
 ) -> bytes:
@@ -77,8 +139,7 @@ def serialize_database(
     flags = (FLAG_OWNERS | (FLAG_CSR if csr else 0)) if with_owners else 0
     out = [_HEADER.pack(MAGIC, db.k, flags, len(db))]
     if with_owners and csr:
-        for kmer in db.kmers:
-            out.append(_pack_kmer(kmer, db.k))
+        out.append(pack_kmer_column(db.kmers, db.k))
         taxids, offsets = db.owner_columns()
         if len(taxids) and (
             int(taxids.min()) < 0 or int(taxids.max()) > 0xFFFFFFFF
@@ -101,10 +162,11 @@ def serialize_database(
 def deserialize_database(payload: bytes) -> SortedKmerDatabase:
     """Parse the on-flash byte format back into a database.
 
-    Both owner layouts parse; for the CSR layout the offsets/taxID columns
-    are read as ``np.frombuffer`` views and attached to the loaded
-    database's :meth:`~SortedKmerDatabase.owner_columns` cache, so a
-    round-trip never rebuilds them.
+    Both owner layouts parse; for the CSR layout the k-mer records parse
+    vectorized, the offsets/taxID columns are read as ``np.frombuffer``
+    views, and all three become the loaded database's column caches — a
+    round-trip never rebuilds them, and per-row owner sets materialize only
+    on demand.
     """
     if len(payload) < _HEADER.size:
         raise SerializationError("payload shorter than header")
@@ -120,9 +182,10 @@ def deserialize_database(payload: bytes) -> SortedKmerDatabase:
     if flags & FLAG_CSR:
         if offset + count * width > len(payload):
             raise SerializationError("truncated k-mer column")
-        for _ in range(count):
-            kmers.append(_unpack_kmer(payload[offset : offset + width], k))
-            offset += width
+        # Zero-copy view: slicing the bytes would copy the whole remaining
+        # payload (owner columns included) once per shard section.
+        kmers, column = parse_kmer_column(memoryview(payload)[offset:], k, count)
+        offset += count * width
         if offset + 8 * (count + 1) > len(payload):
             raise SerializationError("truncated owner offsets column")
         offsets = np.frombuffer(payload, dtype="<u8", count=count + 1, offset=offset)
@@ -138,13 +201,9 @@ def deserialize_database(payload: bytes) -> SortedKmerDatabase:
         taxids = taxids.astype(np.int64)
         if offset != len(payload):
             raise SerializationError(f"{len(payload) - offset} trailing bytes")
-        owners = [
-            frozenset(taxids[offsets[i] : offsets[i + 1]].tolist())
-            for i in range(count)
-        ]
-        db = SortedKmerDatabase(k, kmers, owners)
-        db._owner_columns = (taxids, np.asarray(offsets, dtype=np.int64))
-        return db
+        return SortedKmerDatabase.from_columns(
+            k, kmers, taxids, offsets, column=column
+        )
     for _ in range(count):
         if offset + width > len(payload):
             raise SerializationError("truncated k-mer record")
@@ -165,6 +224,77 @@ def deserialize_database(payload: bytes) -> SortedKmerDatabase:
     if offset != len(payload):
         raise SerializationError(f"{len(payload) - offset} trailing bytes")
     return SortedKmerDatabase(k, kmers, owners)
+
+
+# -- index section container -------------------------------------------------
+
+
+def pack_sections(sections: Dict[str, bytes]) -> bytes:
+    """Pack named byte sections into one ``MEGISIDX`` container payload.
+
+    Sections are laid out back to back in the given order; the table of
+    contents (JSON) records each section's offset and length within the
+    body so a reader can load any single section — e.g. one SSD shard —
+    without touching the rest.
+    """
+    toc: List[List[object]] = []
+    body_parts: List[bytes] = []
+    offset = 0
+    for name, blob in sections.items():
+        toc.append([name, offset, len(blob)])
+        body_parts.append(blob)
+        offset += len(blob)
+    toc_bytes = json.dumps(toc, separators=(",", ":")).encode("utf-8")
+    header = _INDEX_HEADER.pack(INDEX_MAGIC, INDEX_VERSION, 0, len(toc_bytes))
+    return header + toc_bytes + b"".join(body_parts)
+
+
+def unpack_sections(payload: bytes) -> Dict[str, memoryview]:
+    """Parse a ``MEGISIDX`` container into named section views.
+
+    Rejects (loudly) anything malformed: wrong magic (including a bare
+    legacy ``MEGISKDB`` database payload), unknown versions, a corrupt
+    table of contents, sections pointing outside the body, and bodies the
+    sections do not tile exactly (truncation / trailing garbage).
+    """
+    if len(payload) < _INDEX_HEADER.size:
+        raise SerializationError("index payload shorter than header")
+    magic, version, _, toc_len = _INDEX_HEADER.unpack_from(payload, 0)
+    if magic != INDEX_MAGIC:
+        if magic == MAGIC:
+            raise SerializationError(
+                "payload is a bare k-mer database (MEGISKDB), not an index; "
+                "load it with deserialize_database instead"
+            )
+        raise SerializationError(f"bad index magic {magic!r}")
+    if version != INDEX_VERSION:
+        raise SerializationError(f"unsupported index version {version}")
+    toc_start = _INDEX_HEADER.size
+    if toc_start + toc_len > len(payload):
+        raise SerializationError("truncated index table of contents")
+    try:
+        toc = json.loads(payload[toc_start : toc_start + toc_len].decode("utf-8"))
+        entries = [(str(name), int(off), int(length)) for name, off, length in toc]
+    except (ValueError, TypeError) as exc:
+        raise SerializationError(f"corrupt index table of contents: {exc}") from exc
+    body = memoryview(payload)[toc_start + toc_len :]
+    sections: Dict[str, memoryview] = {}
+    covered = 0
+    for name, off, length in entries:
+        if name in sections:
+            raise SerializationError(f"duplicate index section {name!r}")
+        if off != covered or length < 0 or off + length > len(body):
+            raise SerializationError(
+                f"index section {name!r} does not tile the body "
+                f"(offset {off}, length {length}, body {len(body)})"
+            )
+        sections[name] = body[off : off + length]
+        covered = off + length
+    if covered != len(body):
+        raise SerializationError(
+            f"{len(body) - covered} trailing bytes after the last index section"
+        )
+    return sections
 
 
 def byte_order_matches_kmer_order(db: SortedKmerDatabase) -> bool:

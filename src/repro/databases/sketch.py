@@ -41,6 +41,12 @@ class SketchDatabase:
     ``tables[k_max]`` holds the sketch k-mers themselves; ``tables[k]`` for
     smaller ``k`` holds the reachable prefixes with their *full* taxID sets
     (sketch membership at level ``k`` plus owners of covered k_max-mers).
+
+    A sketch loaded from a persisted index carries its tables *lazily*
+    (:meth:`from_loader`): candidate scoring and the statistical estimator
+    only ever touch ``k_max``/``sketch_sizes``, so the per-level dicts are
+    reconstructed from the index's KSS columns only if a table consumer
+    (e.g. the ternary-tree baseline) actually asks for them.
     """
 
     def __init__(self, k_max: int, smaller_ks: Sequence[int],
@@ -51,8 +57,30 @@ class SketchDatabase:
             raise ValueError("smaller_ks must lie strictly between 0 and k_max")
         self.k_max = k_max
         self.smaller_ks: Tuple[int, ...] = tuple(ks)
-        self.tables = tables
+        self._tables: Optional[Dict[int, Dict[int, FrozenSet[int]]]] = tables
+        self._table_loader = None
         self.sketch_sizes = sketch_sizes  # per-species k_max sketch size
+
+    @classmethod
+    def from_loader(cls, k_max: int, smaller_ks: Sequence[int],
+                    sketch_sizes: Dict[int, int],
+                    table_loader) -> "SketchDatabase":
+        """A sketch whose per-level tables materialize on first access.
+
+        ``table_loader`` is a zero-argument callable returning the
+        ``tables`` dict; everything else behaves exactly like an eagerly
+        built sketch.
+        """
+        sketch = cls(k_max, smaller_ks, tables={}, sketch_sizes=sketch_sizes)
+        sketch._tables = None
+        sketch._table_loader = table_loader
+        return sketch
+
+    @property
+    def tables(self) -> Dict[int, Dict[int, FrozenSet[int]]]:
+        if self._tables is None:
+            self._tables = self._table_loader()
+        return self._tables
 
     @classmethod
     def build(

@@ -5,6 +5,15 @@ that queries reduce to a streaming merge (§2.1.1, §4.3.1).  Large k-mers
 (the tools use k = 60) keep the false-positive rate low.  The database also
 records, per k-mer, which species contain it — needed for building sketches
 and for tests, though the intersection step itself only uses the k-mers.
+
+The owner sets live in two interchangeable representations: per-row
+``frozenset`` objects (the reference view) and flat CSR columns
+(``owner_columns``, the layout the serialization format persists and the
+columnar backends slice).  Either side can be materialized lazily from the
+other, so an index loaded from flash never rebuilds the columns — and never
+touches per-row Python objects until a reference code path asks for them.
+``column_builds`` / ``owner_column_builds`` count cache (re)constructions
+so tests can assert a served database is never rebuilt between queries.
 """
 
 from __future__ import annotations
@@ -28,9 +37,15 @@ class SortedKmerDatabase:
             raise ValueError("kmers must be strictly increasing")
         self.k = k
         self._kmers: List[int] = [int(x) for x in kmers]
-        self._owners: List[frozenset] = list(owners)
+        self._owners: Optional[List[frozenset]] = list(owners)
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         self._column: Optional[np.ndarray] = None
         self._owner_columns: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: Cache-construction counters (see the module docstring).
+        self.column_builds = 0
+        self.owner_column_builds = 0
 
     @classmethod
     def build(
@@ -50,6 +65,52 @@ class SortedKmerDatabase:
         kmers = sorted(membership)
         owners = [frozenset(membership[x]) for x in kmers]
         return cls(k, kmers, owners)
+
+    @classmethod
+    def from_columns(
+        cls,
+        k: int,
+        kmers: Sequence[int],
+        owner_taxids: np.ndarray,
+        owner_offsets: np.ndarray,
+        column: Optional[np.ndarray] = None,
+    ) -> "SortedKmerDatabase":
+        """Construct straight from persisted CSR columns (no row objects).
+
+        The loaded CSR arrays become the ``owner_columns`` cache directly;
+        per-row owner ``frozenset``s are materialized only if a reference
+        code path asks for them.  ``column``, when given, is the parsed
+        ndarray k-mer column to attach as the cache.  Ordering is
+        validated (vectorized when the column is available) — a corrupt
+        payload must fail here, not return wrong bisect results later.
+        """
+        if len(owner_offsets) != len(kmers) + 1:
+            raise ValueError(
+                f"owner offsets must have {len(kmers) + 1} entries, "
+                f"got {len(owner_offsets)}"
+            )
+        if column is not None:
+            out_of_order = len(column) > 1 and bool(
+                np.any(np.asarray(column[1:] <= column[:-1], dtype=bool))
+            )
+        else:
+            out_of_order = any(
+                kmers[i] >= kmers[i + 1] for i in range(len(kmers) - 1)
+            )
+        if out_of_order:
+            raise ValueError("kmers must be strictly increasing")
+        db = cls.__new__(cls)
+        db.k = k
+        db._kmers = [int(x) for x in kmers]
+        db._owners = None
+        db._init_caches()
+        db._owner_columns = (
+            np.asarray(owner_taxids, dtype=np.int64),
+            np.asarray(owner_offsets, dtype=np.int64),
+        )
+        if column is not None:
+            db._column = column
+        return db
 
     # -- streaming access ----------------------------------------------------
 
@@ -75,6 +136,7 @@ class SortedKmerDatabase:
             from repro.backends.numpy_backend import column_dtype
 
             self._column = np.array(self._kmers, dtype=column_dtype(self.k))
+            self.column_builds += 1
         return self._column
 
     def owner_columns(self) -> Tuple[np.ndarray, np.ndarray]:
@@ -91,13 +153,29 @@ class SortedKmerDatabase:
         if self._owner_columns is None:
             from repro.backends.retrieval import pack_sets_csr
 
-            self._owner_columns = pack_sets_csr(self._owners)
+            self._owner_columns = pack_sets_csr(self._owner_rows())
+            self.owner_column_builds += 1
         return self._owner_columns
+
+    def _owner_rows(self) -> List[frozenset]:
+        """Per-row owner sets, materialized from the CSR columns on demand."""
+        if self._owners is None:
+            taxids, offsets = self._owner_columns
+            self._owners = [
+                frozenset(taxids[offsets[i] : offsets[i + 1]].tolist())
+                for i in range(len(self._kmers))
+            ]
+        return self._owners
 
     def owners_of(self, kmer: int) -> frozenset:
         i = bisect.bisect_left(self._kmers, int(kmer))
         if i == len(self._kmers) or self._kmers[i] != int(kmer):
             raise KeyError(f"k-mer {kmer} not in database")
+        if self._owners is None:
+            # Columns-backed database: answer from the CSR slice without
+            # materializing every row.
+            taxids, offsets = self._owner_columns
+            return frozenset(taxids[offsets[i] : offsets[i + 1]].tolist())
         return self._owners[i]
 
     def stream(self) -> Iterator[int]:
@@ -132,11 +210,10 @@ class SortedKmerDatabase:
         shard = self.__class__.__new__(self.__class__)
         shard.k = self.k
         shard._kmers = self._kmers[start:stop]
-        shard._owners = self._owners[start:stop]
+        shard._owners = None if self._owners is None else self._owners[start:stop]
+        shard._init_caches()
         shard._column = None if self._column is None else self._column[start:stop]
-        if self._owner_columns is None:
-            shard._owner_columns = None
-        else:
+        if self._owner_columns is not None:
             # The flat taxID slice is a zero-copy view; offsets re-base to 0.
             taxids, offsets = self._owner_columns
             shard._owner_columns = (

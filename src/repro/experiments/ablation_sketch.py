@@ -8,11 +8,11 @@ the KSS footprint, exposing the design point the paper's defaults sit at.
 
 from __future__ import annotations
 
-from repro.databases.kss import KssTables
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.experiments.runner import ExperimentResult
-from repro.megis.pipeline import MegisPipeline
+from repro.megis.index import MegisIndex
+from repro.megis.session import AnalysisSession
 from repro.taxonomy.metrics import f1_score, l1_norm_error
 from repro.workloads.cami import CamiDiversity, make_cami_sample
 
@@ -35,11 +35,11 @@ def run() -> ExperimentResult:
             sample.references, k_max=20, smaller_ks=(12, 8),
             sketch_fraction=fraction,
         )
-        kss = KssTables(sketch)
-        out = MegisPipeline(database, sketch, sample.references).analyze(sample.reads)
+        index = MegisIndex(database, sketch, sample.references)
+        out = AnalysisSession(index).analyze(sample.reads)
         result.add_row(
             fraction=fraction,
-            kss_bytes=float(kss.size_bytes()),
+            kss_bytes=float(index.kss.size_bytes()),
             f1=f1_score(out.present(), truth_set),
             l1_error=l1_norm_error(out.profile.fractions, sample.truth.fractions),
         )

@@ -13,11 +13,11 @@ from repro.databases.kraken import KrakenDatabase
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.experiments.runner import ExperimentResult
-from repro.megis.pipeline import MegisPipeline
+from repro.megis.index import MegisIndex
+from repro.megis.session import AnalysisSession
 from repro.taxonomy.metrics import f1_score, l1_norm_error
 from repro.tools.bracken import BrackenEstimator
 from repro.tools.kraken2 import Kraken2Classifier
-from repro.tools.metalign import MetalignPipeline
 from repro.workloads.cami import CamiDiversity, make_cami_sample
 
 SKETCH_K = 20
@@ -49,13 +49,11 @@ def run(n_reads: int = 600) -> ExperimentResult:
         popt_present = classifier.present_species(kraken_out)
         popt_profile = BrackenEstimator(kraken_db).estimate(kraken_out)
 
-        # A-Opt: Metalign over the full references.
-        metalign = MetalignPipeline(sorted_db, sketch, sample.references)
-        aopt_out = metalign.analyze(sample.reads)
-
-        # MegIS: must equal A-Opt.
-        megis = MegisPipeline(sorted_db, sketch, sample.references)
-        megis_out = megis.analyze(sample.reads)
+        # A-Opt and MegIS share one open session over the same index — the
+        # build-once / query-many deployment model; MegIS must equal A-Opt.
+        session = AnalysisSession(MegisIndex(sorted_db, sketch, sample.references))
+        aopt_out = session.analyze_metalign(sample.reads)
+        megis_out = session.analyze(sample.reads)
 
         rows = (
             ("P-Opt", popt_present, popt_profile.fractions, False),

@@ -13,8 +13,11 @@ An efficient pipeline between the host and the SSD (paper §4):
 - :mod:`repro.megis.ftl` — the specialized block-level FTL and data layout;
 - :mod:`repro.megis.commands` — the three NVMe command extensions;
 - :mod:`repro.megis.accelerator` — Table 2 area/power accounting;
-- :mod:`repro.megis.pipeline` — end-to-end orchestration, including the
-  multi-sample mode (§4.7).
+- :mod:`repro.megis.index` — the persistable build-once index
+  (:class:`MegisIndex` / :class:`IndexBuilder`);
+- :mod:`repro.megis.session` — :class:`AnalysisSession`, the open-once /
+  query-many serving loop, including the multi-sample mode (§4.7);
+- :mod:`repro.megis.pipeline` — the deprecated per-call facade.
 """
 
 from repro.backends import PhaseTimings, StepTwoBackend, available_backends, get_backend
@@ -22,19 +25,22 @@ from repro.megis.accelerator import AcceleratorReport, accelerator_report
 from repro.megis.commands import CommandProcessor, MegisInit, MegisStep, MegisWrite
 from repro.megis.ftl import DatabaseLayout, MegisFtl
 from repro.megis.host import Bucket, BucketSet, KmerBucketPartitioner
+from repro.megis.index import IndexBuilder, MegisIndex
 from repro.megis.isp import IntersectUnit, IspStepTwo, TaxIdRetriever
-from repro.megis.multissd import DatabaseShard, MultiSsdStepTwo, split_database
-from repro.megis.pipeline import (
+from repro.megis.multissd import DatabaseShard, MultiSsdStepTwo, shard_kss, split_database
+from repro.megis.pipeline import MegisPipeline
+from repro.megis.session import (
+    AnalysisSession,
     BucketPipelineScheduler,
     BucketSchedule,
     MegisConfig,
-    MegisPipeline,
     MegisResult,
     ScheduledBucket,
 )
 
 __all__ = [
     "AcceleratorReport",
+    "AnalysisSession",
     "Bucket",
     "BucketPipelineScheduler",
     "BucketSchedule",
@@ -42,10 +48,12 @@ __all__ = [
     "CommandProcessor",
     "DatabaseLayout",
     "DatabaseShard",
+    "IndexBuilder",
     "IntersectUnit",
     "IspStepTwo",
     "KmerBucketPartitioner",
     "MegisConfig",
+    "MegisIndex",
     "MegisFtl",
     "MegisInit",
     "MegisPipeline",
@@ -60,5 +68,6 @@ __all__ = [
     "accelerator_report",
     "available_backends",
     "get_backend",
+    "shard_kss",
     "split_database",
 ]

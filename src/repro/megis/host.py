@@ -68,7 +68,14 @@ class Bucket:
             return len(self.kmers) < 2 or bool(
                 np.all(np.asarray(self.kmers[:-1] <= self.kmers[1:], dtype=bool))
             )
-        return all(self.kmers[i] <= self.kmers[i + 1] for i in range(len(self.kmers) - 1))
+        # Pairwise scan with early exit — no repeated indexing, O(1) space.
+        iterator = iter(self.kmers)
+        previous = next(iterator, None)
+        for current in iterator:
+            if current < previous:
+                return False
+            previous = current
+        return True
 
 
 @dataclass

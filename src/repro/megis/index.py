@@ -1,0 +1,454 @@
+"""The persistable MegIS index: build once, open anywhere, query many.
+
+The paper's deployment model keeps the databases resident on the SSD and
+serves a stream of samples against them (§4.2 builds them offline).  A
+:class:`MegisIndex` is that resident artifact: the sorted k-mer database,
+the KSS tables, the sketch metadata, and (optionally) the reference
+sequences, owned together and persisted as one ``MEGISIDX`` container of
+named CSR column sections (:mod:`repro.databases.serialization`).
+
+Layout decisions that matter:
+
+- the sorted database is stored as **one section per SSD shard** (each a
+  complete ``MEGISKDB`` CSR payload), so a multi-SSD deployment can load a
+  single shard without reading the others (:meth:`MegisIndex.load_shard`);
+  a whole-index :meth:`open` stitches the shard columns back together and
+  re-derives the shard handles as zero-copy
+  :meth:`~repro.databases.sorted_db.SortedKmerDatabase.slice` views;
+- the KSS is stored as its **per-level CSR blocks** (prefix rows, the
+  stored taxID CSR, and the reconstructed full-set CSR), so ``open()``
+  rebuilds :meth:`~repro.databases.kss.KssTables.columns` by attaching
+  views — no Python row objects are touched until (unless) the
+  register-level reference backend runs;
+- the sketch's per-level tables are **not** stored separately — they are
+  the same data as the KSS columns, so the loaded
+  :class:`~repro.databases.sketch.SketchDatabase` reconstructs them lazily
+  from the KSS store; only the per-species sketch sizes get a section.
+
+:class:`IndexBuilder` is the offline construction step;
+:class:`~repro.megis.session.AnalysisSession` is the serving side.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.databases.kss import KssLevelStore, KssStore, KssTables
+from repro.databases.serialization import (
+    SerializationError,
+    deserialize_database,
+    pack_i64,
+    pack_kmer_column,
+    pack_sections,
+    parse_i64,
+    parse_kmer_column,
+    serialize_database,
+    unpack_sections,
+)
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.multissd import DatabaseShard, shard_kss, split_database
+from repro.sequences.generator import ReferenceCollection
+
+
+class MegisIndex:
+    """The opened (or freshly built) database bundle one session serves from.
+
+    ``kss`` is built from the sketch on first use when not supplied (e.g.
+    for a Metalign-only session); :meth:`shards` caches the per-SSD shard
+    handles — database column slices plus prefix-aligned KSS range slices
+    — per shard count, so sessions never re-split on a query.
+    """
+
+    def __init__(
+        self,
+        database: SortedKmerDatabase,
+        sketch: SketchDatabase,
+        references: Optional[ReferenceCollection] = None,
+        kss: Optional[KssTables] = None,
+    ):
+        if database.k != sketch.k_max:
+            raise ValueError(
+                f"sorted database k ({database.k}) must equal sketch k_max "
+                f"({sketch.k_max})"
+            )
+        self.database = database
+        self.sketch = sketch
+        self.references = references
+        self._kss = kss
+        self._shard_cache: Dict[int, List[DatabaseShard]] = {}
+
+    @property
+    def k(self) -> int:
+        return self.database.k
+
+    @property
+    def kss(self) -> KssTables:
+        if self._kss is None:
+            self._kss = KssTables(self.sketch)
+        return self._kss
+
+    def shards(self, n_ssds: int) -> List[DatabaseShard]:
+        """Per-SSD shard handles (built once per shard count, cached).
+
+        The parent ndarray column is materialized first so every shard
+        shares it as a zero-copy view; each shard also carries its
+        prefix-aligned KSS range slice (§6.1 + range-sharded KSS).
+        """
+        if n_ssds < 1:
+            raise ValueError(f"n_ssds must be >= 1, got {n_ssds}")
+        shards = self._shard_cache.get(n_ssds)
+        if shards is None:
+            self.database.column()
+            shards = split_database(self.database, n_ssds)
+            shard_kss(self.kss, shards)
+            self._shard_cache[n_ssds] = shards
+        return shards
+
+    # -- persistence -----------------------------------------------------------
+
+    def to_bytes(self, n_shards: int = 1, include_references: bool = True) -> bytes:
+        """Serialize to the ``MEGISIDX`` section container.
+
+        ``n_shards`` fixes how many per-shard database sections the file
+        carries (each loadable independently); a reader may still re-shard
+        at any other count after a full :meth:`open`.
+        """
+        shards = self.shards(n_shards)
+        kss_store = self.kss.store()
+        sections: Dict[str, bytes] = {}
+        manifest = {
+            "k": self.k,
+            "k_max": kss_store.k_max,
+            "smaller_ks": list(kss_store.smaller_ks),
+            "n_shards": n_shards,
+            "shard_ranges": [[s.lo, s.hi] for s in shards],
+            "kss_rows": int(len(kss_store.kmers)),
+            "kss_level_rows": {
+                str(k): int(len(level.prefixes))
+                for k, level in kss_store.levels.items()
+            },
+            "has_references": bool(include_references and self.references),
+        }
+        sections["manifest"] = json.dumps(manifest, sort_keys=True).encode("utf-8")
+        for shard in shards:
+            sections[f"db/shard/{shard.index}"] = serialize_database(shard.database)
+        sections["kss/kmers"] = pack_kmer_column(
+            kss_store.kmers.tolist(), kss_store.k_max
+        )
+        sections["kss/kmax_taxids"] = pack_i64(kss_store.taxids)
+        sections["kss/kmax_offsets"] = pack_i64(kss_store.offsets)
+        for k, level in kss_store.levels.items():
+            sections[f"kss/{k}/prefixes"] = pack_kmer_column(
+                level.prefixes.tolist(), k
+            )
+            sections[f"kss/{k}/stored_taxids"] = pack_i64(level.stored_taxids)
+            sections[f"kss/{k}/stored_offsets"] = pack_i64(level.stored_offsets)
+            sections[f"kss/{k}/full_taxids"] = pack_i64(level.full_taxids)
+            sections[f"kss/{k}/full_offsets"] = pack_i64(level.full_offsets)
+        taxids = sorted(self.sketch.sketch_sizes)
+        sections["sketch/taxids"] = pack_i64(taxids)
+        sections["sketch/sizes"] = pack_i64(
+            [int(self.sketch.sketch_sizes[t]) for t in taxids]
+        )
+        if manifest["has_references"]:
+            from repro.sequences.io import references_to_fasta
+
+            sections["references"] = references_to_fasta(self.references).encode(
+                "utf-8"
+            )
+        return pack_sections(sections)
+
+    def save(self, path: Union[str, Path], n_shards: int = 1,
+             include_references: bool = True) -> Path:
+        """Write the serialized index to ``path``; returns the path."""
+        path = Path(path)
+        path.write_bytes(self.to_bytes(n_shards, include_references))
+        return path
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> "MegisIndex":
+        """Open a serialized index: attach every CSR section as a live cache.
+
+        The shard sections' columns are stitched back into one database
+        (k-mer lists concatenate, owner CSR re-bases) whose
+        :meth:`~repro.databases.sorted_db.SortedKmerDatabase.slice` then
+        re-derives the persisted shard handles as zero-copy views — so the
+        single-SSD and the multi-SSD path both serve straight from the
+        loaded arrays, with no reconstruction on first query.
+        """
+        sections = unpack_sections(payload)
+        manifest = _manifest(sections)
+        k = int(manifest["k"])
+        shard_dbs = [
+            _shard_database(sections, manifest, i)
+            for i in range(int(manifest["n_shards"]))
+        ]
+        database = _concatenate_shards(k, shard_dbs)
+        kss = KssTables.from_store(_kss_store(sections, manifest))
+        sketch = _lazy_sketch(sections, manifest, kss)
+        references = None
+        if manifest.get("has_references"):
+            from repro.sequences.io import references_from_fasta
+
+            references = references_from_fasta(
+                bytes(sections["references"]).decode("utf-8")
+            )
+        index = cls(database, sketch, references, kss=kss)
+        index._shard_cache[len(shard_dbs)] = _rebased_shards(
+            database, kss, manifest, shard_dbs
+        )
+        return index
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "MegisIndex":
+        """Open a saved index file (see :meth:`from_bytes`)."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    @classmethod
+    def load_shard(cls, payload: bytes, shard_index: int) -> DatabaseShard:
+        """Load one SSD's shard without parsing the other shards' sections.
+
+        Parses the manifest, the requested ``db/shard/{i}`` section, and
+        the (whole-range) KSS sections, returning the shard handle a
+        single-shard worker would serve from — the other shards' database
+        bytes are never touched.
+        """
+        sections = unpack_sections(payload)
+        manifest = _manifest(sections)
+        n_shards = int(manifest["n_shards"])
+        if not 0 <= shard_index < n_shards:
+            raise SerializationError(
+                f"shard {shard_index} out of range (index has {n_shards})"
+            )
+        database = _shard_database(sections, manifest, shard_index)
+        lo, hi = (int(x) for x in manifest["shard_ranges"][shard_index])
+        kss = KssTables.from_store(_kss_store(sections, manifest))
+        return DatabaseShard(
+            index=shard_index, lo=lo, hi=hi, database=database,
+            kss=kss.slice_range(lo, hi),
+        )
+
+
+# -- loading helpers ----------------------------------------------------------
+
+
+def _manifest(sections: Dict[str, memoryview]) -> dict:
+    if "manifest" not in sections:
+        raise SerializationError("index is missing its manifest section")
+    try:
+        manifest = json.loads(bytes(sections["manifest"]).decode("utf-8"))
+    except ValueError as exc:
+        raise SerializationError(f"corrupt index manifest: {exc}") from exc
+    for field in ("k", "k_max", "smaller_ks", "n_shards", "shard_ranges",
+                  "kss_rows", "kss_level_rows"):
+        if field not in manifest:
+            raise SerializationError(f"index manifest is missing {field!r}")
+    return manifest
+
+
+def _section(sections: Dict[str, memoryview], name: str) -> memoryview:
+    if name not in sections:
+        raise SerializationError(f"index is missing section {name!r}")
+    return sections[name]
+
+
+def _shard_database(sections, manifest, i: int) -> SortedKmerDatabase:
+    database = deserialize_database(bytes(_section(sections, f"db/shard/{i}")))
+    if database.k != int(manifest["k"]):
+        raise SerializationError(
+            f"shard {i} has k={database.k}, manifest says k={manifest['k']}"
+        )
+    return database
+
+
+def _concatenate_shards(
+    k: int, shard_dbs: Sequence[SortedKmerDatabase]
+) -> SortedKmerDatabase:
+    """Stitch per-shard column sections into the full database."""
+    if len(shard_dbs) == 1:
+        return shard_dbs[0]
+    kmers: List[int] = []
+    for db in shard_dbs:
+        # Each shard is validated internally at deserialization; the
+        # cross-shard boundary order must hold too or bisect-based
+        # queries on the stitched database would silently misresolve.
+        if kmers and db._kmers and db._kmers[0] <= kmers[-1]:
+            raise SerializationError(
+                "shard sections are not in ascending k-mer order"
+            )
+        kmers.extend(db._kmers)
+    columns = [db._column for db in shard_dbs]
+    column = (
+        np.concatenate(columns) if all(c is not None for c in columns) else None
+    )
+    taxid_parts, offset_parts, base = [], [np.zeros(1, dtype=np.int64)], 0
+    for db in shard_dbs:
+        taxids, offsets = db.owner_columns()
+        taxid_parts.append(taxids)
+        offset_parts.append(np.asarray(offsets[1:], dtype=np.int64) + base)
+        base += int(offsets[-1])
+    return SortedKmerDatabase.from_columns(
+        k, kmers, np.concatenate(taxid_parts), np.concatenate(offset_parts),
+        column=column,
+    )
+
+
+def _rebased_shards(database, kss, manifest, shard_dbs) -> List[DatabaseShard]:
+    """Re-derive the persisted shard handles as slices of the stitched parent."""
+    shards: List[DatabaseShard] = []
+    start = 0
+    for i, (db, (lo, hi)) in enumerate(zip(shard_dbs, manifest["shard_ranges"])):
+        stop = start + len(db)
+        shards.append(DatabaseShard(
+            index=i, lo=int(lo), hi=int(hi),
+            database=database.slice(start, stop),
+        ))
+        start = stop
+    shard_kss(kss, shards)
+    return shards
+
+
+def _load_column(sections, name: str, k: int, rows: int):
+    """One packed k-mer/prefix column as ``(ints, ndarray)``."""
+    from repro.backends.numpy_backend import as_column, column_dtype
+
+    values, column = parse_kmer_column(_section(sections, name), k, rows)
+    if column is None:
+        column = as_column(values, column_dtype(k))
+    if np.any(column[1:] < column[:-1]):
+        raise SerializationError(f"section {name!r} is not sorted ascending")
+    return column
+
+
+def _load_csr(sections, prefix: str, rows: int) -> Tuple[np.ndarray, np.ndarray]:
+    """A ``(taxids, offsets)`` CSR pair, shape-checked against ``rows``."""
+    taxids = parse_i64(_section(sections, f"{prefix}_taxids"))
+    offsets = parse_i64(_section(sections, f"{prefix}_offsets"))
+    if len(offsets) != rows + 1:
+        raise SerializationError(
+            f"section {prefix}_offsets has {len(offsets)} entries, "
+            f"expected {rows + 1}"
+        )
+    if rows and (offsets[0] != 0 or np.any(offsets[1:] < offsets[:-1])):
+        raise SerializationError(f"section {prefix}_offsets must ascend from zero")
+    if len(offsets) and int(offsets[-1]) != len(taxids):
+        raise SerializationError(
+            f"section {prefix}_taxids has {len(taxids)} entries, offsets "
+            f"claim {int(offsets[-1])}"
+        )
+    return taxids, offsets
+
+
+def _kss_store(sections, manifest) -> KssStore:
+    k_max = int(manifest["k_max"])
+    smaller_ks = tuple(int(k) for k in manifest["smaller_ks"])
+    rows = int(manifest["kss_rows"])
+    kmers = _load_column(sections, "kss/kmers", k_max, rows)
+    taxids, offsets = _load_csr(sections, "kss/kmax", rows)
+    levels: Dict[int, KssLevelStore] = {}
+    for k in smaller_ks:
+        level_rows = int(manifest["kss_level_rows"][str(k)])
+        prefixes = _load_column(sections, f"kss/{k}/prefixes", k, level_rows)
+        stored_taxids, stored_offsets = _load_csr(
+            sections, f"kss/{k}/stored", level_rows
+        )
+        full_taxids, full_offsets = _load_csr(
+            sections, f"kss/{k}/full", level_rows
+        )
+        levels[k] = KssLevelStore(
+            prefixes=prefixes,
+            stored_taxids=stored_taxids,
+            stored_offsets=stored_offsets,
+            full_taxids=full_taxids,
+            full_offsets=full_offsets,
+        )
+    return KssStore(
+        k_max=k_max, smaller_ks=smaller_ks, kmers=kmers,
+        taxids=taxids, offsets=offsets, levels=levels,
+    )
+
+
+def _lazy_sketch(sections, manifest, kss: KssTables) -> SketchDatabase:
+    """Sketch metadata now, per-level tables only if a consumer asks.
+
+    The tables are the same data as the KSS columns (the k_max rows and
+    each level's full sets), so the loader rebuilds them from the store —
+    they are needed only by row-level consumers like the ternary-tree
+    baseline, never by the columnar query path.
+    """
+    size_taxids = parse_i64(_section(sections, "sketch/taxids"))
+    sizes = parse_i64(_section(sections, "sketch/sizes"))
+    if len(size_taxids) != len(sizes):
+        raise SerializationError("sketch size columns disagree in length")
+    sketch_sizes = {
+        int(t): int(s) for t, s in zip(size_taxids.tolist(), sizes.tolist())
+    }
+    store = kss.store()
+
+    def load_tables() -> Dict[int, Dict[int, FrozenSet[int]]]:
+        tables: Dict[int, Dict[int, FrozenSet[int]]] = {
+            store.k_max: {
+                int(kmer): frozenset(
+                    store.taxids[store.offsets[i]:store.offsets[i + 1]].tolist()
+                )
+                for i, kmer in enumerate(store.kmers.tolist())
+            }
+        }
+        for k, level in store.levels.items():
+            fo = level.full_offsets
+            tables[k] = {
+                int(p): frozenset(
+                    level.full_taxids[int(fo[r]):int(fo[r + 1])].tolist()
+                )
+                for r, p in enumerate(level.prefixes.tolist())
+            }
+        return tables
+
+    return SketchDatabase.from_loader(
+        int(manifest["k_max"]),
+        tuple(int(k) for k in manifest["smaller_ks"]),
+        sketch_sizes,
+        load_tables,
+    )
+
+
+@dataclass
+class IndexBuilder:
+    """Offline index construction (§4.2): references in, MegisIndex out.
+
+    Defaults mirror the CLI's ad-hoc construction (``smaller_ks`` of
+    ``None`` resolves to ``(k - 8, k - 12)``), so ``repro index build`` +
+    ``repro analyze --index`` reproduce a plain ``repro analyze`` exactly.
+    """
+
+    k: int = 20
+    smaller_ks: Optional[Tuple[int, ...]] = None
+    sketch_fraction: float = 0.25
+    seed: int = 0
+
+    def resolved_smaller_ks(self) -> Tuple[int, ...]:
+        if self.smaller_ks is not None:
+            return tuple(self.smaller_ks)
+        return (self.k - 8, self.k - 12)
+
+    def build(self, references: ReferenceCollection) -> MegisIndex:
+        database = SortedKmerDatabase.build(references, k=self.k)
+        sketch = SketchDatabase.build(
+            references,
+            k_max=self.k,
+            smaller_ks=self.resolved_smaller_ks(),
+            sketch_fraction=self.sketch_fraction,
+            seed=self.seed,
+        )
+        return MegisIndex(database, sketch, references)
+
+    def build_from_fasta(self, fasta_text: str) -> MegisIndex:
+        from repro.sequences.io import references_from_fasta
+
+        return self.build(references_from_fasta(fasta_text))

@@ -13,6 +13,13 @@ engine splits the query column against every shard edge with one
 vectorized ``searchsorted``, and shard databases are positional column
 slices of the parent (sharing its ndarray cache as zero-copy views), so
 sharding adds no host-side per-element work.
+
+Each shard also carries its own KSS range
+(:meth:`~repro.databases.kss.KssTables.slice_range`, prefix-aligned), so an
+SSD's retrieval stream is bounded to its shard rather than a full KSS copy.
+Shard handles are built once — by :func:`split_database` /
+:func:`shard_kss` here, or ahead of time by
+:class:`~repro.megis.index.MegisIndex` — and reused across every query.
 """
 
 from __future__ import annotations
@@ -35,12 +42,17 @@ from repro.databases.sorted_db import SortedKmerDatabase
 
 @dataclass
 class DatabaseShard:
-    """One SSD's slice of the sorted database: a lexicographic range."""
+    """One SSD's slice of the database: a lexicographic range.
+
+    ``kss``, when set, is this shard's prefix-aligned KSS range — what the
+    SSD streams during taxID retrieval instead of a whole-KSS copy.
+    """
 
     index: int
     lo: int
     hi: int
     database: SortedKmerDatabase
+    kss: Optional[KssTables] = None
 
 
 def split_database(database: SortedKmerDatabase, n_shards: int) -> List[DatabaseShard]:
@@ -75,27 +87,57 @@ def split_database(database: SortedKmerDatabase, n_shards: int) -> List[Database
     return shards
 
 
+def shard_kss(kss: KssTables, shards: Sequence[DatabaseShard]) -> None:
+    """Attach each shard's KSS range slice (ROADMAP: range-sharded KSS).
+
+    Slicing is prefix-aligned and preserves every reachable row's full
+    taxID set, so per-shard retrieval stays bit-identical to a single-SSD
+    pass over the whole KSS; shards that already carry a slice keep it.
+    """
+    for shard in shards:
+        if shard.kss is None:
+            shard.kss = kss.slice_range(shard.lo, shard.hi)
+
+
 class MultiSsdStepTwo:
     """Step 2 fanned out over database shards, one SSD per shard.
 
     The query range split runs inside the Step-2 backend
     (:meth:`~repro.backends.StepTwoBackend.intersect_sharded`); each shard
-    also runs KSS retrieval over its own intersections, and the host only
-    concatenates the already-sorted per-shard intersections and CSR owner
-    columns.  ``self.timings`` accumulates per-phase wall time and
-    streaming counters across calls, exactly like
+    runs KSS retrieval over its own intersections against its own KSS
+    range, and the host only concatenates the already-sorted per-shard
+    intersections and CSR owner columns.  ``self.timings`` accumulates
+    per-phase wall time and streaming counters across calls, exactly like
     :class:`~repro.megis.isp.IspStepTwo`.
+
+    Shard handles are built once at construction — either split here from
+    ``(database, n_ssds)`` or passed in pre-built via ``shards`` (what
+    :class:`~repro.megis.index.MegisIndex.shards` supplies), so serving
+    many queries never re-splits anything.
     """
 
-    def __init__(self, database: SortedKmerDatabase, kss: KssTables,
-                 n_ssds: int, channels_per_ssd: int = 8,
-                 backend: Union[str, StepTwoBackend, None] = None):
+    def __init__(self, database: Optional[SortedKmerDatabase] = None,
+                 kss: Optional[KssTables] = None,
+                 n_ssds: Optional[int] = None, channels_per_ssd: int = 8,
+                 backend: Union[str, StepTwoBackend, None] = None,
+                 shards: Optional[Sequence[DatabaseShard]] = None):
         self._backend = get_backend(backend)
-        if self._backend.columnar:
-            # Build the parent column first so every shard shares it as a
-            # zero-copy view instead of materializing its own.
-            database.column()
-        self.shards = split_database(database, n_ssds)
+        if kss is None:
+            raise ValueError("MultiSsdStepTwo requires the KSS tables")
+        if shards is None:
+            if database is None or n_ssds is None:
+                raise ValueError(
+                    "provide either pre-built shards or (database, n_ssds)"
+                )
+            if self._backend.columnar:
+                # Build the parent column first so every shard shares it as
+                # a zero-copy view instead of materializing its own.
+                database.column()
+            shards = split_database(database, n_ssds)
+        elif not shards:
+            raise ValueError("shards must be non-empty")
+        self.shards = list(shards)
+        shard_kss(kss, self.shards)
         self.kss = kss
         self.backend = backend
         self.channels_per_ssd = channels_per_ssd
@@ -121,16 +163,11 @@ class MultiSsdStepTwo:
 
         Each shard only sees the query slice that can match its range —
         the same range-pruning the bucket scheme exploits (§4.2.1) — and
-        runs KSS retrieval over its own intersections.  Because shards
-        cover ascending disjoint ranges, the per-shard CSR owner columns
-        concatenate (:meth:`RetrievalResult.concatenate`) into exactly the
-        single-SSD retrieval result; no per-element host work.
-
-        Per-shard retrieval models each SSD streaming its own KSS copy, so
-        the ``retrieve`` counters scale with the shard count on the
-        register-level backend (the KSS itself is not range-sharded yet —
-        see the ROADMAP item); the numpy backend's ``searchsorted`` kernels
-        make the repeat cost negligible.
+        runs KSS retrieval over its own intersections against its own KSS
+        range slice.  Because shards cover ascending disjoint ranges, the
+        per-shard CSR owner columns concatenate
+        (:meth:`RetrievalResult.concatenate`) into exactly the single-SSD
+        retrieval result; no per-element host work.
         """
         t = PhaseTimings(backend=self._backend.name)
         per_shard = self._backend.intersect_sharded(
@@ -140,7 +177,10 @@ class MultiSsdStepTwo:
         # concatenation is already sorted.
         intersecting = [kmer for partial in per_shard for kmer in partial]
         retrieved = RetrievalResult.concatenate(
-            [self._backend.retrieve(self.kss, partial, t) for partial in per_shard]
+            [
+                self._backend.retrieve(shard.kss, partial, t)
+                for shard, partial in zip(self.shards, per_shard)
+            ]
         )
         self._record(t, timings)
         return intersecting, retrieved
@@ -155,8 +195,9 @@ class MultiSsdStepTwo:
         Each shard streams its database slice once for the whole batch;
         per-sample results are identical to a single-SSD
         :meth:`~repro.megis.isp.IspStepTwo.run_bucketed_multi`.  Retrieval
-        runs per (sample, shard) slice and each sample's owner columns are
-        the concatenation over shards, mirroring :meth:`run`.
+        runs per (sample, shard) slice against the shard's KSS range and
+        each sample's owner columns are the concatenation over shards,
+        mirroring :meth:`run`.
         """
         t = PhaseTimings(
             backend=self._backend.name, samples_batched=max(1, len(samples))
@@ -169,8 +210,10 @@ class MultiSsdStepTwo:
         for intersecting in per_sample:
             retrieved = RetrievalResult.concatenate(
                 [
-                    self._backend.retrieve(self.kss, shard_slice, t)
-                    for shard_slice in self._split_at_shards(intersecting)
+                    self._backend.retrieve(shard.kss, shard_slice, t)
+                    for shard, shard_slice in zip(
+                        self.shards, self._split_at_shards(intersecting)
+                    )
                 ]
             )
             results.append((intersecting, retrieved))

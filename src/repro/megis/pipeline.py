@@ -1,210 +1,59 @@
-"""End-to-end MegIS pipeline (paper §4.1, Fig 4) and multi-sample mode (§4.7).
+"""Deprecated per-call pipeline facade over the session API.
 
-Orchestrates: MegIS_Init -> Step 1 on the host (extract/bucket/sort/exclude)
--> Step 2 in the SSD (per-channel intersection + KSS taxID retrieval) ->
-Step 3 (unified-index generation + read mapping for abundance).
+.. deprecated::
+    The engine lives in :mod:`repro.megis.session` now.  Construct a
+    :class:`~repro.megis.index.MegisIndex` (or ``MegisIndex.open`` a saved
+    one) and serve samples through
+    :class:`~repro.megis.session.AnalysisSession` — that is the paper's
+    deployment model (build/load the databases once, query many), and the
+    session keeps engine state and Step-3 caches alive across samples.
+    :class:`MegisPipeline` remains as a compatibility shim that builds a
+    single-use index + session per construction and delegates every call.
 
-Functionally, MegIS computes exactly what the accuracy-optimized software
-pipeline (Metalign) computes — same intersecting k-mers, same sketch
-semantics, same mapper — which is how the paper can claim identical
-accuracy; the test suite asserts this equivalence end to end.  Step 2 runs
-on a pluggable backend (:mod:`repro.backends`): the register-level
-``python`` reference or the vectorized ``numpy`` columnar engine, both
-bit-identical.
-
-Multi-sample mode batches Step 2 across samples: each database bucket
-slice is streamed from flash once and intersected against every buffered
-sample's query bucket before advancing, so the dominant flash traffic is
-amortized over the batch while each sample's result stays identical to an
-independent analysis.
+``MegisConfig``, ``MegisResult``, and the §4.2.1 bucket-pipeline scheduler
+are re-exported from :mod:`repro.megis.session`, their new home.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from collections import deque
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set
+from typing import List, Optional, Sequence
 
-from repro.backends import PhaseTimings, available_backends
-from repro.databases.kss import KssTables
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
-from repro.megis.abundance import IndexMergeStats, build_unified_index
-from repro.megis.commands import CommandProcessor, HostStep, MegisInit, MegisStep
-from repro.megis.ftl import MegisFtl
-from repro.megis.host import BucketSet, KmerBucketPartitioner
-from repro.megis.isp import IspStepTwo
-from repro.megis.multissd import MultiSsdStepTwo
-from repro.megis.sorting import sort_cost_weights
+from repro.megis.index import MegisIndex
+from repro.megis.session import (  # noqa: F401 - compat re-exports
+    AnalysisSession,
+    BucketPipelineScheduler,
+    BucketSchedule,
+    MegisConfig,
+    MegisResult,
+    ScheduledBucket,
+    _apportion,
+)
 from repro.sequences.generator import ReferenceCollection
 from repro.sequences.reads import Read
 from repro.ssd.device import SSD
-from repro.taxonomy.profiles import AbundanceProfile
-from repro.tools.mapping import ReadMapper
-from repro.tools.metalign import accumulate_hits, select_candidates
 
-
-@dataclass
-class MegisConfig:
-    """Tunables of the functional pipeline."""
-
-    n_buckets: int = 16
-    min_count: int = 1
-    max_count: Optional[int] = None
-    min_containment: float = 0.15
-    mapper_k: int = 15
-    host_dram_bytes: Optional[int] = None
-    batch_bytes: int = 1 << 20  # query transfer batch size (two in flight)
-    #: Step-3 flavor (§4.4): "mapping" (read mapping over the unified
-    #: index, accurate) or "statistical" (EM over Step-2 hits, lightweight).
-    abundance_method: str = "mapping"
-    #: Step-2 execution backend ("python" register-level reference or
-    #: "numpy" columnar kernels); ``None`` uses the process default.
-    backend: Optional[str] = None
-    #: Shard the sorted database across this many SSDs for Step 2 (§6.1);
-    #: 1 keeps the single-SSD bucketed path.  Results are bit-identical
-    #: either way — shards are disjoint lexicographic ranges.
-    n_ssds: int = 1
-
-    def __post_init__(self):
-        if self.abundance_method not in {"mapping", "statistical"}:
-            raise ValueError(
-                f"abundance_method must be 'mapping' or 'statistical', "
-                f"got {self.abundance_method!r}"
-            )
-        if self.backend is not None and self.backend not in available_backends():
-            raise ValueError(
-                f"backend must be one of {available_backends()}, "
-                f"got {self.backend!r}"
-            )
-        if self.n_ssds < 1:
-            raise ValueError(f"n_ssds must be >= 1, got {self.n_ssds}")
-
-
-@dataclass
-class MegisResult:
-    """Output and execution statistics of one analysis."""
-
-    intersecting_kmers: List[int] = field(default_factory=list)
-    sketch_hits: Dict[int, Dict[int, int]] = field(default_factory=dict)
-    candidates: Set[int] = field(default_factory=set)
-    profile: AbundanceProfile = field(default_factory=AbundanceProfile)
-    n_buckets: int = 0
-    spilled_bytes: int = 0
-    query_kmers: int = 0
-    transfer_batches: int = 0
-    merge_stats: Optional[IndexMergeStats] = None
-    #: Per-phase wall time and streaming counters.  In multi-sample mode the
-    #: intersect/retrieve phases reflect the whole batch (the database is
-    #: streamed once for all samples), with ``samples_batched`` recording
-    #: how many samples shared the stream.
-    timings: PhaseTimings = field(default_factory=PhaseTimings)
-
-    def present(self, threshold: float = 0.0) -> Set[int]:
-        return self.profile.present(threshold)
-
-
-@dataclass(frozen=True)
-class ScheduledBucket:
-    """One bucket's placement on the sort/intersect timeline."""
-
-    index: int
-    sort_start_ms: float
-    sort_end_ms: float
-    intersect_start_ms: float
-    intersect_end_ms: float
-
-
-@dataclass
-class BucketSchedule:
-    """Outcome of the §4.2.1 bucket-pipeline simulation."""
-
-    buckets: List[ScheduledBucket]
-    #: Total time with no overlap: every sort, then every intersection.
-    serialized_ms: float
-    #: Makespan with bucket *i*'s intersection overlapping bucket *i+1*'s
-    #: sort — the §4.2.1 pipeline.
-    overlapped_ms: float
-
-    @property
-    def saved_ms(self) -> float:
-        return max(0.0, self.serialized_ms - self.overlapped_ms)
-
-
-class BucketPipelineScheduler:
-    """Event-queue model of the §4.2.1 sort/intersect bucket pipeline.
-
-    Two resources contend: the host sorter (strictly serial — buckets are
-    sorted in range order) and a pool of ``n_engines`` in-storage intersect
-    engines (one per SSD).  Bucket *i*'s intersection starts as soon as its
-    sort completes *and* an engine frees up, which is exactly the overlap
-    that hides Step-1 sorting behind Step-2 streaming; with one bucket (or
-    one of the two phases empty) the schedule degenerates to the serial
-    MS-NOL behaviour.
-    """
-
-    def __init__(self, n_engines: int = 1):
-        if n_engines < 1:
-            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
-        self.n_engines = n_engines
-
-    def schedule(
-        self,
-        sort_ms: Sequence[float],
-        intersect_ms: Sequence[float],
-        lead_ms: float = 0.0,
-    ) -> BucketSchedule:
-        """Simulate the pipeline over per-bucket sort/intersect durations.
-
-        ``lead_ms`` is serial head work (k-mer extraction and frequency
-        selection) that must finish before any bucket sort can start — it
-        delays the whole pipeline and is never hidden by the overlap.
-        """
-        if len(sort_ms) != len(intersect_ms):
-            raise ValueError(
-                f"per-bucket duration lists must match: "
-                f"{len(sort_ms)} sorts vs {len(intersect_ms)} intersects"
-            )
-        n = len(sort_ms)
-        serialized = float(lead_ms) + float(sum(sort_ms)) + float(sum(intersect_ms))
-        events: List = []  # (time, seq, kind, bucket) min-heap
-        seq = itertools.count()
-        sort_windows: List = []
-        clock = float(lead_ms)
-        for i, duration in enumerate(sort_ms):
-            start, clock = clock, clock + float(duration)
-            sort_windows.append((start, clock))
-            heapq.heappush(events, (clock, next(seq), "sorted", i))
-        ready: deque = deque()
-        free_engines = self.n_engines
-        placed: Dict[int, tuple] = {}
-        makespan = float(lead_ms)
-        while events:
-            now, _, kind, index = heapq.heappop(events)
-            makespan = max(makespan, now)
-            if kind == "sorted":
-                ready.append(index)
-            else:  # "intersected": an engine frees up
-                free_engines += 1
-            while free_engines and ready:
-                bucket = ready.popleft()
-                free_engines -= 1
-                end = now + float(intersect_ms[bucket])
-                placed[bucket] = (now, end)
-                heapq.heappush(events, (end, next(seq), "intersected", bucket))
-        scheduled = [
-            ScheduledBucket(i, *sort_windows[i], *placed[i]) for i in range(n)
-        ]
-        return BucketSchedule(
-            buckets=scheduled, serialized_ms=serialized, overlapped_ms=makespan
-        )
+__all__ = [
+    "AnalysisSession",
+    "BucketPipelineScheduler",
+    "BucketSchedule",
+    "MegisConfig",
+    "MegisPipeline",
+    "MegisResult",
+    "ScheduledBucket",
+]
 
 
 class MegisPipeline:
-    """The full MegIS system over the functional substrates."""
+    """Single-use facade: one index + session per construction.
+
+    .. deprecated::
+        Use :class:`~repro.megis.session.AnalysisSession` over a
+        :class:`~repro.megis.index.MegisIndex` — it is this class minus
+        the per-construction database wrapping, and it serves many
+        samples (and many shard counts) from one opened index.
+    """
 
     def __init__(
         self,
@@ -214,269 +63,36 @@ class MegisPipeline:
         ssd: Optional[SSD] = None,
         config: Optional[MegisConfig] = None,
     ):
-        if database.k != sketch.k_max:
-            raise ValueError(
-                f"sorted database k ({database.k}) must equal sketch k_max "
-                f"({sketch.k_max})"
-            )
-        self.database = database
-        self.sketch = sketch
-        self.kss = KssTables(sketch)
-        self.references = references
+        self._session = AnalysisSession(
+            MegisIndex(database, sketch, references), config=config, ssd=ssd
+        )
+        # Legacy attribute surface, all views of the session's state.
+        self.database = self._session.database
+        self.sketch = self._session.sketch
+        self.kss = self._session.kss
+        self.references = self._session.references
         self.ssd = ssd
-        self.config = config or MegisConfig()
-        n_channels = ssd.config.geometry.channels if ssd else 8
-        self.isp = IspStepTwo(
-            database, self.kss, n_channels=n_channels, backend=self.config.backend
-        )
-        #: With n_ssds > 1, Step 2 runs sharded across SSDs (§6.1) through
-        #: the backend's intersect_sharded kernels — bit-identical results.
-        self.multissd: Optional[MultiSsdStepTwo] = (
-            MultiSsdStepTwo(
-                database, self.kss, n_ssds=self.config.n_ssds,
-                channels_per_ssd=n_channels, backend=self.config.backend,
-            )
-            if self.config.n_ssds > 1
-            else None
-        )
-        self._processor: Optional[CommandProcessor] = None
-        if ssd is not None:
-            self._processor = CommandProcessor(ssd, MegisFtl(ssd.config.geometry))
-            self._processor.megis_ftl.place_database("kmer_db", database.size_bytes() or 1)
-            self._processor.megis_ftl.place_database("kss_db", max(1, self.kss.size_bytes()))
+        self.config = self._session.config
+        self.isp = self._session.isp
+        self.multissd = self._session.multissd
 
-    # -- single sample ----------------------------------------------------------
+    @property
+    def session(self) -> AnalysisSession:
+        """The backing session (shared engine state and Step-3 caches)."""
+        return self._session
 
     def analyze(self, reads: Sequence[Read], with_abundance: bool = True) -> MegisResult:
-        """Run the three steps for one sample."""
-        result = MegisResult(timings=PhaseTimings(backend=self.isp.backend_name))
-        if self._processor is not None:
-            self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
+        """Run the three steps for one sample.
 
-        # Step 1 (host): extract, bucket, sort, exclude.
-        self._step_marker(HostStep.KMER_EXTRACTION)
-        with result.timings.phase("extract"):
-            buckets = self._partition(reads, result)
-        self._step_marker(HostStep.KMER_EXTRACTION)
-
-        # Step 2 (ISP): bucketed intersection + KSS retrieval.  With a real
-        # SSD attached, reserve the §4.3.1 buffers in internal DRAM for the
-        # duration of the step.
-        self._step_marker(HostStep.SORTING)
-        self._step_marker(HostStep.SORTING)
-        with self._isp_buffers():
-            if self.multissd is not None:
-                intersecting, retrieved = self.multissd.run(
-                    buckets.merged_column(), timings=result.timings
-                )
-            else:
-                intersecting, retrieved = self.isp.run_bucket_set(
-                    buckets, timings=result.timings
-                )
-        self._finish_step_two(result, intersecting, retrieved)
-        self._model_overlap(result.timings, buckets)
-
-        # Step 3: abundance estimation (mapping or lightweight statistics).
-        if with_abundance:
-            with result.timings.phase("abundance"):
-                self._estimate_abundance(result, reads, retrieved)
-
-        if self._processor is not None:
-            self._processor.finish()
-        return result
-
-    # -- multi-sample (§4.7) --------------------------------------------------------
+        .. deprecated:: use :meth:`AnalysisSession.analyze`.
+        """
+        return self._session.analyze(reads, with_abundance=with_abundance)
 
     def analyze_multi(
         self, samples: Sequence[Sequence[Read]], with_abundance: bool = True
     ) -> List[MegisResult]:
-        """Analyze several samples against the same database, batching Step 2.
+        """Analyze several samples, batching Step 2 (§4.7).
 
-        Functionally equivalent to analyzing each sample independently —
-        identical candidates and profiles — but the sorted database is
-        streamed from flash *once* for all buffered samples: every database
-        interval is intersected against each sample's matching query bucket
-        before the stream advances (§4.7).  The per-result timings record
-        the shared stream (``db_kmers_streamed`` counts each database k-mer
-        once per batch, ``samples_batched`` the batch width).
+        .. deprecated:: use :meth:`AnalysisSession.analyze_batch`.
         """
-        if not samples:
-            return []
-        backend = self.isp.backend_name
-        results = [MegisResult(timings=PhaseTimings(backend=backend)) for _ in samples]
-        if self._processor is not None:
-            self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
-
-        # Step 1 per sample: all samples' buckets are buffered before the
-        # shared database stream starts.
-        self._step_marker(HostStep.KMER_EXTRACTION)
-        bucket_sets: List[BucketSet] = []
-        for reads, result in zip(samples, results):
-            with result.timings.phase("extract"):
-                bucket_sets.append(self._partition(reads, result))
-        self._step_marker(HostStep.KMER_EXTRACTION)
-
-        # Step 2, batched: one database stream for the whole batch.
-        self._step_marker(HostStep.SORTING)
-        self._step_marker(HostStep.SORTING)
-        batch_timings = PhaseTimings(backend=backend, samples_batched=len(samples))
-        sample_buckets = [
-            [(b.lo, b.hi, b.kmers) for b in buckets.buckets]
-            for buckets in bucket_sets
-        ]
-        with self._isp_buffers():
-            if self.multissd is not None:
-                step_two = self.multissd.run_multi(
-                    sample_buckets, timings=batch_timings
-                )
-            else:
-                step_two = self.isp.run_bucketed_multi(
-                    sample_buckets, timings=batch_timings
-                )
-
-        # Step 3 per sample.  Each sample's overlap model charges it the
-        # batch's intersect time in proportion to its share of the query
-        # stream (the database stream is shared across the batch).
-        total_query = sum(buckets.total_kmers() for buckets in bucket_sets)
-        for result, reads, buckets, (intersecting, retrieved) in zip(
-            results, samples, bucket_sets, step_two
-        ):
-            result.timings.merge(batch_timings)
-            self._finish_step_two(result, intersecting, retrieved)
-            share = buckets.total_kmers() / total_query if total_query else 0.0
-            self._model_overlap(result.timings, buckets, intersect_share=share)
-            if with_abundance:
-                with result.timings.phase("abundance"):
-                    self._estimate_abundance(result, reads, retrieved)
-
-        if self._processor is not None:
-            self._processor.finish()
-        return results
-
-    # -- helpers ------------------------------------------------------------------
-
-    def _partition(self, reads: Sequence[Read], result: MegisResult) -> BucketSet:
-        """Step 1 for one sample, recording its statistics on the result."""
-        partitioner = KmerBucketPartitioner(
-            k=self.database.k,
-            n_buckets=self.config.n_buckets,
-            min_count=self.config.min_count,
-            max_count=self.config.max_count,
-            host_dram_bytes=self.config.host_dram_bytes,
-            backend=self.config.backend,
-        )
-        buckets = partitioner.partition(reads)
-        result.n_buckets = len(buckets)
-        result.spilled_bytes = buckets.spilled_bytes
-        result.query_kmers = buckets.total_kmers()
-        result.transfer_batches = self._count_batches(buckets, partitioner.kmer_bytes)
-        return buckets
-
-    @contextmanager
-    def _isp_buffers(self):
-        """Reserve the §4.3.1 internal-DRAM buffers for the Step-2 scope."""
-        buffer_plan = None
-        if self.ssd is not None:
-            from repro.megis.buffers import plan_buffers
-
-            buffer_plan = plan_buffers(self.ssd.config)
-            buffer_plan.apply(self.ssd.dram)
-        try:
-            yield
-        finally:
-            if buffer_plan is not None:
-                buffer_plan.release(self.ssd.dram)
-
-    def _model_overlap(
-        self,
-        timings: PhaseTimings,
-        bucket_set: BucketSet,
-        intersect_share: float = 1.0,
-    ) -> None:
-        """Model the §4.2.1 bucket pipeline over the measured phase times.
-
-        The measured Step-1 (extract) wall time splits into a serial head
-        (the linear extraction/selection scan, one comparison per k-mer —
-        it precedes every bucket and is never hidden) plus per-bucket sort
-        components weighted by comparison count (``n log n``); the Step-2
-        (intersect) time is apportioned by streamed volume (database range
-        plus query bucket).  Replaying those through the event-queue
-        scheduler, ``serialized_ms``/``overlapped_ms`` expose how much of
-        the serial chain the bucket overlap can hide.
-        """
-        sizes = [len(b.kmers) for b in bucket_set.buckets]
-        intersect_total = timings.intersect_ms * intersect_share
-        if not sizes or sum(sizes) == 0 or intersect_total <= 0:
-            return
-        db_lens = [
-            self.database.count_range(b.lo, b.hi) for b in bucket_set.buckets
-        ]
-        step_one = _apportion(
-            [float(sum(sizes))] + sort_cost_weights(sizes), timings.extract_ms
-        )
-        lead_ms, sort_ms = step_one[0], step_one[1:]
-        intersect_ms = _apportion(
-            [db + q for db, q in zip(db_lens, sizes)], intersect_total
-        )
-        scheduler = BucketPipelineScheduler(n_engines=max(1, self.config.n_ssds))
-        schedule = scheduler.schedule(sort_ms, intersect_ms, lead_ms=lead_ms)
-        timings.serialized_ms += schedule.serialized_ms
-        timings.overlapped_ms += schedule.overlapped_ms
-
-    def _finish_step_two(self, result: MegisResult, intersecting, retrieved) -> None:
-        """Fold retrieval columns into hit counts and call candidates.
-
-        ``retrieved`` carries the CSR owner columns
-        (:class:`~repro.backends.retrieval.RetrievalResult`); accumulation
-        is one ``np.unique`` pass per level over the flat taxID column and
-        containment is the vectorized batch score — no per-taxID Python
-        loops on the numpy backend, identical results on the reference
-        backend (the cross-backend tests enforce bit-equality).
-        """
-        result.intersecting_kmers = intersecting
-        hits = accumulate_hits(retrieved)
-        result.sketch_hits = hits.as_dict()
-        result.candidates = select_candidates(
-            self.sketch, hits, self.config.min_containment
-        )
-
-    def _estimate_abundance(self, result: MegisResult, reads, retrieved) -> None:
-        if not result.candidates:
-            return
-        if self.config.abundance_method == "mapping":
-            index, merge_stats = build_unified_index(
-                self.references, result.candidates, k=self.config.mapper_k
-            )
-            result.merge_stats = merge_stats
-            mapper = ReadMapper(index)
-            result.profile = mapper.estimate_abundance(reads)
-        else:
-            from repro.tools.statistical import StatisticalAbundanceEstimator
-
-            estimator = StatisticalAbundanceEstimator(self.sketch)
-            result.profile, _ = estimator.estimate_from_retrieval(
-                retrieved, result.candidates
-            )
-
-    def _step_marker(self, step: HostStep) -> None:
-        if self._processor is not None:
-            self._processor.megis_step(MegisStep(step))
-
-    def _count_batches(self, buckets, kmer_bytes: int) -> int:
-        total = 0
-        for bucket in buckets.buckets:
-            size = bucket.byte_size(kmer_bytes)
-            if len(bucket.kmers):
-                total += max(1, -(-size // self.config.batch_bytes))
-        return total
-
-def _apportion(weights: Sequence[float], total_ms: float) -> List[float]:
-    """Split a measured wall time across buckets proportionally to weights.
-
-    Degenerate weight vectors (all zero) split evenly so the scheduler
-    still sees one slot per bucket.
-    """
-    weight_sum = float(sum(weights))
-    if weight_sum <= 0:
-        return [total_ms / len(weights)] * len(weights) if weights else []
-    return [total_ms * float(w) / weight_sum for w in weights]
+        return self._session.analyze_batch(samples, with_abundance=with_abundance)

@@ -1,0 +1,664 @@
+"""Build-once / query-many analysis serving (the MegIS deployment model).
+
+The paper's system is an SSD-resident database serving a *stream* of
+samples: the databases are built (or loaded) once and every sample's
+analysis reuses them.  :class:`AnalysisSession` is that serving loop — it
+wraps a :class:`~repro.megis.index.MegisIndex`, constructs the Step-2
+engines (single-SSD ISP or the sharded multi-SSD fan-out) exactly once,
+and exposes :meth:`analyze` / :meth:`analyze_batch`.  Nothing is re-derived
+between calls: the k-mer and owner columns, the KSS CSR blocks, the shard
+handles, the bucket partitioner, and — new here — the Step-3 per-species
+indexes and merged unified indexes, which are cached so consecutive
+samples with overlapping candidate sets skip the merge input construction
+entirely (§4.4 batched across a stream, closing the batched-Step-3
+ROADMAP item).
+
+Orchestration per sample: MegIS_Init -> Step 1 on the host
+(extract/bucket/sort/exclude) -> Step 2 in the SSD (per-channel
+intersection + KSS taxID retrieval) -> Step 3 (unified-index generation +
+read mapping, or the lightweight statistical estimator).  Functionally the
+session computes exactly what the accuracy-optimized software pipeline
+(Metalign) computes — same intersecting k-mers, same sketch semantics,
+same mapper — and :meth:`analyze_metalign` runs that baseline over the
+same index (sharing the Step-3 caches), which is how the equivalence tests
+pin the paper's identical-accuracy claim.
+
+Multi-sample mode (§4.7) batches Step 2 across samples: each database
+bucket slice is streamed from flash once and intersected against every
+buffered sample's query bucket before advancing, so the dominant flash
+traffic is amortized over the batch while each sample's result stays
+identical to an independent analysis.
+
+:class:`MegisPipeline` (:mod:`repro.megis.pipeline`) remains as a thin
+deprecated wrapper that builds a single-use index and session per
+construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.backends import PhaseTimings, StepTwoBackend, available_backends
+from repro.databases.sketch import TernarySearchTree
+from repro.megis.abundance import IndexMergeStats, merge_species_indexes
+from repro.megis.commands import CommandProcessor, HostStep, MegisInit, MegisStep
+from repro.megis.ftl import MegisFtl
+from repro.megis.host import BucketSet, KmerBucketPartitioner
+from repro.megis.isp import IspStepTwo
+from repro.megis.multissd import MultiSsdStepTwo
+from repro.megis.sorting import sort_cost_weights
+from repro.sequences.reads import Read
+from repro.ssd.device import SSD
+from repro.taxonomy.profiles import AbundanceProfile
+from repro.tools.mapping import ReadMapper, SpeciesIndex, UnifiedIndex
+from repro.tools.metalign import (
+    MetalignResult,
+    accumulate_hits,
+    select_candidates,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (index -> session)
+    from repro.databases.kss import KssTables
+    from repro.megis.index import MegisIndex
+
+
+@dataclass
+class MegisConfig:
+    """Tunables of the functional pipeline."""
+
+    n_buckets: int = 16
+    min_count: int = 1
+    max_count: Optional[int] = None
+    min_containment: float = 0.15
+    mapper_k: int = 15
+    host_dram_bytes: Optional[int] = None
+    batch_bytes: int = 1 << 20  # query transfer batch size (two in flight)
+    #: Step-3 flavor (§4.4): "mapping" (read mapping over the unified
+    #: index, accurate) or "statistical" (EM over Step-2 hits, lightweight).
+    abundance_method: str = "mapping"
+    #: Step-2 execution backend ("python" register-level reference or
+    #: "numpy" columnar kernels); ``None`` uses the process default.
+    backend: Optional[str] = None
+    #: Shard the sorted database across this many SSDs for Step 2 (§6.1);
+    #: 1 keeps the single-SSD bucketed path.  Results are bit-identical
+    #: either way — shards are disjoint lexicographic ranges.
+    n_ssds: int = 1
+
+    def __post_init__(self):
+        if self.abundance_method not in {"mapping", "statistical"}:
+            raise ValueError(
+                f"abundance_method must be 'mapping' or 'statistical', "
+                f"got {self.abundance_method!r}"
+            )
+        if self.backend is not None and self.backend not in available_backends():
+            raise ValueError(
+                f"backend must be one of {available_backends()}, "
+                f"got {self.backend!r}"
+            )
+        if self.n_ssds < 1:
+            raise ValueError(f"n_ssds must be >= 1, got {self.n_ssds}")
+
+
+@dataclass
+class MegisResult:
+    """Output and execution statistics of one analysis."""
+
+    intersecting_kmers: List[int] = field(default_factory=list)
+    sketch_hits: Dict[int, Dict[int, int]] = field(default_factory=dict)
+    candidates: Set[int] = field(default_factory=set)
+    profile: AbundanceProfile = field(default_factory=AbundanceProfile)
+    n_buckets: int = 0
+    spilled_bytes: int = 0
+    query_kmers: int = 0
+    transfer_batches: int = 0
+    merge_stats: Optional[IndexMergeStats] = None
+    #: Per-phase wall time and streaming counters.  In multi-sample mode the
+    #: intersect/retrieve phases reflect the whole batch (the database is
+    #: streamed once for all samples), with ``samples_batched`` recording
+    #: how many samples shared the stream.
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+
+    def present(self, threshold: float = 0.0) -> Set[int]:
+        return self.profile.present(threshold)
+
+
+@dataclass(frozen=True)
+class ScheduledBucket:
+    """One bucket's placement on the sort/intersect timeline."""
+
+    index: int
+    sort_start_ms: float
+    sort_end_ms: float
+    intersect_start_ms: float
+    intersect_end_ms: float
+
+
+@dataclass
+class BucketSchedule:
+    """Outcome of the §4.2.1 bucket-pipeline simulation."""
+
+    buckets: List[ScheduledBucket]
+    #: Total time with no overlap: every sort, then every intersection.
+    serialized_ms: float
+    #: Makespan with bucket *i*'s intersection overlapping bucket *i+1*'s
+    #: sort — the §4.2.1 pipeline.
+    overlapped_ms: float
+
+    @property
+    def saved_ms(self) -> float:
+        return max(0.0, self.serialized_ms - self.overlapped_ms)
+
+
+class BucketPipelineScheduler:
+    """Event-queue model of the §4.2.1 sort/intersect bucket pipeline.
+
+    Two resources contend: the host sorter (strictly serial — buckets are
+    sorted in range order) and a pool of ``n_engines`` in-storage intersect
+    engines (one per SSD).  Bucket *i*'s intersection starts as soon as its
+    sort completes *and* an engine frees up, which is exactly the overlap
+    that hides Step-1 sorting behind Step-2 streaming; with one bucket (or
+    one of the two phases empty) the schedule degenerates to the serial
+    MS-NOL behaviour.
+    """
+
+    def __init__(self, n_engines: int = 1):
+        if n_engines < 1:
+            raise ValueError(f"n_engines must be >= 1, got {n_engines}")
+        self.n_engines = n_engines
+
+    def schedule(
+        self,
+        sort_ms: Sequence[float],
+        intersect_ms: Sequence[float],
+        lead_ms: float = 0.0,
+    ) -> BucketSchedule:
+        """Simulate the pipeline over per-bucket sort/intersect durations.
+
+        ``lead_ms`` is serial head work (k-mer extraction and frequency
+        selection) that must finish before any bucket sort can start — it
+        delays the whole pipeline and is never hidden by the overlap.
+        """
+        if len(sort_ms) != len(intersect_ms):
+            raise ValueError(
+                f"per-bucket duration lists must match: "
+                f"{len(sort_ms)} sorts vs {len(intersect_ms)} intersects"
+            )
+        n = len(sort_ms)
+        serialized = float(lead_ms) + float(sum(sort_ms)) + float(sum(intersect_ms))
+        events: List = []  # (time, seq, kind, bucket) min-heap
+        seq = itertools.count()
+        sort_windows: List = []
+        clock = float(lead_ms)
+        for i, duration in enumerate(sort_ms):
+            start, clock = clock, clock + float(duration)
+            sort_windows.append((start, clock))
+            heapq.heappush(events, (clock, next(seq), "sorted", i))
+        ready: deque = deque()
+        free_engines = self.n_engines
+        placed: Dict[int, tuple] = {}
+        makespan = float(lead_ms)
+        while events:
+            now, _, kind, index = heapq.heappop(events)
+            makespan = max(makespan, now)
+            if kind == "sorted":
+                ready.append(index)
+            else:  # "intersected": an engine frees up
+                free_engines += 1
+            while free_engines and ready:
+                bucket = ready.popleft()
+                free_engines -= 1
+                end = now + float(intersect_ms[bucket])
+                placed[bucket] = (now, end)
+                heapq.heappush(events, (end, next(seq), "intersected", bucket))
+        scheduled = [
+            ScheduledBucket(i, *sort_windows[i], *placed[i]) for i in range(n)
+        ]
+        return BucketSchedule(
+            buckets=scheduled, serialized_ms=serialized, overlapped_ms=makespan
+        )
+
+
+class AnalysisSession:
+    """Open a :class:`~repro.megis.index.MegisIndex` once, serve many samples.
+
+    All engine state — Step-2 backends, shard handles (with their KSS range
+    slices), the Step-1 partitioner, the SSD command processor, and the
+    Step-3 index caches — is constructed in ``__init__`` and reused by
+    every :meth:`analyze` / :meth:`analyze_batch` call.  ``backend`` and
+    ``n_ssds`` are conveniences overriding the corresponding
+    :class:`MegisConfig` fields.
+    """
+
+    #: Most-recently-used merged unified indexes kept alive; the
+    #: per-species index cache is bounded by the reference set and
+    #: never evicts.
+    UNIFIED_CACHE_LIMIT = 32
+
+    def __init__(
+        self,
+        index: "MegisIndex",
+        config: Optional[MegisConfig] = None,
+        *,
+        backend: Union[str, StepTwoBackend, None] = None,
+        n_ssds: Optional[int] = None,
+        ssd: Optional[SSD] = None,
+    ):
+        config = config or MegisConfig()
+        overrides = {}
+        if backend is not None:
+            # Accept a StepTwoBackend instance too; MegisConfig validates
+            # against the registered names, so resolve to the name.
+            from repro.backends import get_backend
+
+            overrides["backend"] = (
+                backend if isinstance(backend, str) else get_backend(backend).name
+            )
+        if n_ssds is not None:
+            overrides["n_ssds"] = n_ssds
+        if overrides:
+            config = replace(config, **overrides)
+        self.index = index
+        self.config = config
+        self.database = index.database
+        self.sketch = index.sketch
+        self.references = index.references
+        self.ssd = ssd
+        self._n_channels = ssd.config.geometry.channels if ssd else 8
+        #: The Step-2 engines are built on first MegIS analysis and then
+        #: reused for the session's lifetime; a Metalign-only session
+        #: (which streams no KSS) never pays for them — or for the KSS
+        #: tables themselves, which stay un-built on a lazy index.
+        self._isp: Optional[IspStepTwo] = None
+        self._multissd: Optional[MultiSsdStepTwo] = None
+        self._partitioner = KmerBucketPartitioner(
+            k=self.database.k,
+            n_buckets=config.n_buckets,
+            min_count=config.min_count,
+            max_count=config.max_count,
+            host_dram_bytes=config.host_dram_bytes,
+            backend=config.backend,
+        )
+        self._processor: Optional[CommandProcessor] = None
+        if ssd is not None:
+            self._processor = CommandProcessor(ssd, MegisFtl(ssd.config.geometry))
+            self._processor.megis_ftl.place_database(
+                "kmer_db", self.database.size_bytes() or 1
+            )
+            self._processor.megis_ftl.place_database(
+                "kss_db", max(1, self.kss.size_bytes())
+            )
+        #: Step-3 caches: per-species sorted indexes (reused whenever
+        #: candidate sets overlap) and fully merged unified indexes (reused
+        #: when a candidate set repeats exactly).
+        self._species_indexes: Dict[int, SpeciesIndex] = {}
+        self._unified_cache: Dict[
+            frozenset, Tuple[UnifiedIndex, IndexMergeStats]
+        ] = {}
+        self._tree: Optional[TernarySearchTree] = None
+
+    @property
+    def kss(self) -> "KssTables":
+        return self.index.kss
+
+    @property
+    def isp(self) -> IspStepTwo:
+        """The single-SSD Step-2 engine (built once, on first use)."""
+        if self._isp is None:
+            self._isp = IspStepTwo(
+                self.database, self.kss, n_channels=self._n_channels,
+                backend=self.config.backend,
+            )
+        return self._isp
+
+    @property
+    def multissd(self) -> Optional[MultiSsdStepTwo]:
+        """With n_ssds > 1, the sharded Step-2 fan-out (§6.1) over the
+        index's pre-built shard handles — bit-identical results."""
+        if self.config.n_ssds <= 1:
+            return None
+        if self._multissd is None:
+            self._multissd = MultiSsdStepTwo(
+                kss=self.kss, channels_per_ssd=self._n_channels,
+                backend=self.config.backend,
+                shards=self.index.shards(self.config.n_ssds),
+            )
+        return self._multissd
+
+    @property
+    def backend_name(self) -> str:
+        return self.isp.backend_name
+
+    # -- single sample ----------------------------------------------------------
+
+    def analyze(self, reads: Sequence[Read], with_abundance: bool = True) -> MegisResult:
+        """Run the three steps for one sample against the open index."""
+        result = MegisResult(timings=PhaseTimings(backend=self.isp.backend_name))
+        if self._processor is not None:
+            self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
+
+        # Step 1 (host): extract, bucket, sort, exclude.
+        self._step_marker(HostStep.KMER_EXTRACTION)
+        with result.timings.phase("extract"):
+            buckets = self._partition(reads, result)
+        self._step_marker(HostStep.KMER_EXTRACTION)
+
+        # Step 2 (ISP): bucketed intersection + KSS retrieval.  With a real
+        # SSD attached, reserve the §4.3.1 buffers in internal DRAM for the
+        # duration of the step.
+        self._step_marker(HostStep.SORTING)
+        self._step_marker(HostStep.SORTING)
+        with self._isp_buffers():
+            if self.multissd is not None:
+                intersecting, retrieved = self.multissd.run(
+                    buckets.merged_column(), timings=result.timings
+                )
+            else:
+                intersecting, retrieved = self.isp.run_bucket_set(
+                    buckets, timings=result.timings
+                )
+        self._finish_step_two(result, intersecting, retrieved)
+        self._model_overlap(result.timings, buckets)
+
+        # Step 3: abundance estimation (mapping or lightweight statistics).
+        if with_abundance:
+            with result.timings.phase("abundance"):
+                self._estimate_abundance(result, reads, retrieved)
+
+        if self._processor is not None:
+            self._processor.finish()
+        return result
+
+    # -- multi-sample (§4.7) --------------------------------------------------------
+
+    def analyze_batch(
+        self, samples: Sequence[Sequence[Read]], with_abundance: bool = True
+    ) -> List[MegisResult]:
+        """Analyze several samples against the open index, batching Step 2.
+
+        Functionally equivalent to analyzing each sample independently —
+        identical candidates and profiles — but the sorted database is
+        streamed from flash *once* for all buffered samples: every database
+        interval is intersected against each sample's matching query bucket
+        before the stream advances (§4.7).  The per-result timings record
+        the shared stream (``db_kmers_streamed`` counts each database k-mer
+        once per batch, ``samples_batched`` the batch width).  Step 3
+        reuses the session's unified-index caches, so samples whose
+        candidate sets overlap share the per-species index construction
+        and identical candidate sets share the merge outright.
+        """
+        if not samples:
+            return []
+        backend = self.isp.backend_name
+        results = [MegisResult(timings=PhaseTimings(backend=backend)) for _ in samples]
+        if self._processor is not None:
+            self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
+
+        # Step 1 per sample: all samples' buckets are buffered before the
+        # shared database stream starts.
+        self._step_marker(HostStep.KMER_EXTRACTION)
+        bucket_sets: List[BucketSet] = []
+        for reads, result in zip(samples, results):
+            with result.timings.phase("extract"):
+                bucket_sets.append(self._partition(reads, result))
+        self._step_marker(HostStep.KMER_EXTRACTION)
+
+        # Step 2, batched: one database stream for the whole batch.
+        self._step_marker(HostStep.SORTING)
+        self._step_marker(HostStep.SORTING)
+        batch_timings = PhaseTimings(backend=backend, samples_batched=len(samples))
+        sample_buckets = [
+            [(b.lo, b.hi, b.kmers) for b in buckets.buckets]
+            for buckets in bucket_sets
+        ]
+        with self._isp_buffers():
+            if self.multissd is not None:
+                step_two = self.multissd.run_multi(
+                    sample_buckets, timings=batch_timings
+                )
+            else:
+                step_two = self.isp.run_bucketed_multi(
+                    sample_buckets, timings=batch_timings
+                )
+
+        # Step 3 per sample.  Each sample's overlap model charges it the
+        # batch's intersect time in proportion to its share of the query
+        # stream (the database stream is shared across the batch).
+        total_query = sum(buckets.total_kmers() for buckets in bucket_sets)
+        for result, reads, buckets, (intersecting, retrieved) in zip(
+            results, samples, bucket_sets, step_two
+        ):
+            result.timings.merge(batch_timings)
+            self._finish_step_two(result, intersecting, retrieved)
+            share = buckets.total_kmers() / total_query if total_query else 0.0
+            self._model_overlap(result.timings, buckets, intersect_share=share)
+            if with_abundance:
+                with result.timings.phase("abundance"):
+                    self._estimate_abundance(result, reads, retrieved)
+
+        if self._processor is not None:
+            self._processor.finish()
+        return results
+
+    # -- Metalign baseline over the same index ----------------------------------
+
+    @property
+    def ternary_tree(self) -> TernarySearchTree:
+        """The CMash lookup structure (built once per session, on demand)."""
+        if self._tree is None:
+            self._tree = TernarySearchTree(self.sketch)
+        return self._tree
+
+    def find_candidates_metalign(self, sorted_query: Sequence[int]) -> MetalignResult:
+        """Metalign Step 2: intersection + ternary-tree sketch lookups.
+
+        The per-k-mer ternary-tree lookups (the pointer-chasing structure
+        MegIS's KSS replaces) are packed into the same CSR
+        :class:`~repro.backends.retrieval.RetrievalResult` layout the
+        Step-2 backends emit, so hit accumulation and containment scoring
+        share the exact columnar kernels with :meth:`analyze` — the two
+        pipelines call species identically by construction.
+        """
+        from repro.backends.retrieval import RetrievalResult
+
+        result = MetalignResult()
+        result.intersecting_kmers = self.database.intersect(sorted_query)
+        tree = self.ternary_tree
+        retrieved = RetrievalResult.from_query_dicts(
+            {kmer: tree.lookup(kmer) for kmer in result.intersecting_kmers},
+            level_keys=(self.sketch.k_max, *self.sketch.smaller_ks),
+        )
+        hits = accumulate_hits(retrieved)
+        result.sketch_hits = hits.as_dict()
+        result.candidates = select_candidates(
+            self.sketch, hits, self.config.min_containment
+        )
+        return result
+
+    def analyze_metalign(self, reads: Sequence[Read]) -> MetalignResult:
+        """The full accuracy-optimized baseline (A-Opt) over the open index."""
+        from repro.sequences.kmers import KmerCounter
+
+        counter = KmerCounter(self.database.k, canonical=False)
+        counter.add_sequences(read.sequence for read in reads)
+        sorted_query = counter.selected(
+            min_count=self.config.min_count, max_count=self.config.max_count
+        )
+        result = self.find_candidates_metalign(sorted_query.tolist())
+        result.profile = self.map_abundance(reads, result.candidates)
+        return result
+
+    # -- Step 3 (shared, cached) -------------------------------------------------
+
+    def unified_index(
+        self, candidates: Sequence[int]
+    ) -> Tuple[UnifiedIndex, IndexMergeStats]:
+        """The merged candidate index, cached across the sample stream.
+
+        Per-species sorted indexes are built at most once per session, so
+        overlapping candidate sets across consecutive samples reuse them;
+        an exactly repeated candidate set returns the finished merge.  The
+        merge itself is :func:`~repro.megis.abundance.merge_species_indexes`
+        — the in-storage streaming data path — so the result is identical
+        to an uncached :func:`~repro.megis.abundance.build_unified_index`.
+
+        The merged-index cache is LRU-bounded: a long sample stream with
+        many distinct candidate sets must not grow memory without bound
+        (the per-species cache is bounded by the reference set and stays).
+        """
+        if self.references is None:
+            raise ValueError(
+                "this index carries no reference sequences; mapping-based "
+                "Step 3 needs an index saved with include_references=True"
+            )
+        key = frozenset(int(t) for t in candidates)
+        cached = self._unified_cache.pop(key, None)
+        if cached is None:
+            indexes = [self._species_index(taxid) for taxid in sorted(key)]
+            cached = merge_species_indexes(indexes)
+        self._unified_cache[key] = cached  # (re-)insert as most recent
+        if len(self._unified_cache) > self.UNIFIED_CACHE_LIMIT:
+            self._unified_cache.pop(next(iter(self._unified_cache)))
+        return cached
+
+    def _species_index(self, taxid: int) -> SpeciesIndex:
+        index = self._species_indexes.get(taxid)
+        if index is None:
+            index = SpeciesIndex.build(
+                taxid, self.references.sequence(taxid), self.config.mapper_k
+            )
+            self._species_indexes[taxid] = index
+        return index
+
+    def map_abundance(
+        self, reads: Sequence[Read], candidates: Set[int]
+    ) -> AbundanceProfile:
+        """Mapping-based abundance over the (cached) unified candidate index."""
+        if not candidates:
+            return AbundanceProfile()
+        unified, _ = self.unified_index(candidates)
+        return ReadMapper(unified).estimate_abundance(reads)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _partition(self, reads: Sequence[Read], result: MegisResult) -> BucketSet:
+        """Step 1 for one sample, recording its statistics on the result."""
+        buckets = self._partitioner.partition(reads)
+        result.n_buckets = len(buckets)
+        result.spilled_bytes = buckets.spilled_bytes
+        result.query_kmers = buckets.total_kmers()
+        result.transfer_batches = self._count_batches(
+            buckets, self._partitioner.kmer_bytes
+        )
+        return buckets
+
+    @contextmanager
+    def _isp_buffers(self):
+        """Reserve the §4.3.1 internal-DRAM buffers for the Step-2 scope."""
+        buffer_plan = None
+        if self.ssd is not None:
+            from repro.megis.buffers import plan_buffers
+
+            buffer_plan = plan_buffers(self.ssd.config)
+            buffer_plan.apply(self.ssd.dram)
+        try:
+            yield
+        finally:
+            if buffer_plan is not None:
+                buffer_plan.release(self.ssd.dram)
+
+    def _model_overlap(
+        self,
+        timings: PhaseTimings,
+        bucket_set: BucketSet,
+        intersect_share: float = 1.0,
+    ) -> None:
+        """Model the §4.2.1 bucket pipeline over the measured phase times.
+
+        The measured Step-1 (extract) wall time splits into a serial head
+        (the linear extraction/selection scan, one comparison per k-mer —
+        it precedes every bucket and is never hidden) plus per-bucket sort
+        components weighted by comparison count (``n log n``); the Step-2
+        (intersect) time is apportioned by streamed volume (database range
+        plus query bucket).  Replaying those through the event-queue
+        scheduler, ``serialized_ms``/``overlapped_ms`` expose how much of
+        the serial chain the bucket overlap can hide.
+        """
+        sizes = [len(b.kmers) for b in bucket_set.buckets]
+        intersect_total = timings.intersect_ms * intersect_share
+        if not sizes or sum(sizes) == 0 or intersect_total <= 0:
+            return
+        db_lens = [
+            self.database.count_range(b.lo, b.hi) for b in bucket_set.buckets
+        ]
+        step_one = _apportion(
+            [float(sum(sizes))] + sort_cost_weights(sizes), timings.extract_ms
+        )
+        lead_ms, sort_ms = step_one[0], step_one[1:]
+        intersect_ms = _apportion(
+            [db + q for db, q in zip(db_lens, sizes)], intersect_total
+        )
+        scheduler = BucketPipelineScheduler(n_engines=max(1, self.config.n_ssds))
+        schedule = scheduler.schedule(sort_ms, intersect_ms, lead_ms=lead_ms)
+        timings.serialized_ms += schedule.serialized_ms
+        timings.overlapped_ms += schedule.overlapped_ms
+
+    def _finish_step_two(self, result: MegisResult, intersecting, retrieved) -> None:
+        """Fold retrieval columns into hit counts and call candidates.
+
+        ``retrieved`` carries the CSR owner columns
+        (:class:`~repro.backends.retrieval.RetrievalResult`); accumulation
+        is one ``np.unique`` pass per level over the flat taxID column and
+        containment is the vectorized batch score — no per-taxID Python
+        loops on the numpy backend, identical results on the reference
+        backend (the cross-backend tests enforce bit-equality).
+        """
+        result.intersecting_kmers = intersecting
+        hits = accumulate_hits(retrieved)
+        result.sketch_hits = hits.as_dict()
+        result.candidates = select_candidates(
+            self.sketch, hits, self.config.min_containment
+        )
+
+    def _estimate_abundance(self, result: MegisResult, reads, retrieved) -> None:
+        if not result.candidates:
+            return
+        if self.config.abundance_method == "mapping":
+            unified, merge_stats = self.unified_index(result.candidates)
+            result.merge_stats = merge_stats
+            result.profile = ReadMapper(unified).estimate_abundance(reads)
+        else:
+            from repro.tools.statistical import StatisticalAbundanceEstimator
+
+            estimator = StatisticalAbundanceEstimator(self.sketch)
+            result.profile, _ = estimator.estimate_from_retrieval(
+                retrieved, result.candidates
+            )
+
+    def _step_marker(self, step: HostStep) -> None:
+        if self._processor is not None:
+            self._processor.megis_step(MegisStep(step))
+
+    def _count_batches(self, buckets, kmer_bytes: int) -> int:
+        total = 0
+        for bucket in buckets.buckets:
+            size = bucket.byte_size(kmer_bytes)
+            if len(bucket.kmers):
+                total += max(1, -(-size // self.config.batch_bytes))
+        return total
+
+
+def _apportion(weights: Sequence[float], total_ms: float) -> List[float]:
+    """Split a measured wall time across buckets proportionally to weights.
+
+    Degenerate weight vectors (all zero) split evenly so the scheduler
+    still sees one slot per bucket.
+    """
+    weight_sum = float(sum(weights))
+    if weight_sum <= 0:
+        return [total_ms / len(weights)] * len(weights) if weights else []
+    return [total_ms * float(w) / weight_sum for w in weights]

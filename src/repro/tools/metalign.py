@@ -28,7 +28,6 @@ from repro.sequences.generator import ReferenceCollection
 from repro.sequences.kmers import KmerCounter
 from repro.sequences.reads import Read
 from repro.taxonomy.profiles import AbundanceProfile
-from repro.tools.mapping import ReadMapper
 
 
 def containment_score(
@@ -171,7 +170,16 @@ class MetalignResult:
 
 
 class MetalignPipeline:
-    """KMC + sorted intersection + CMash lookup + mapping."""
+    """KMC + sorted intersection + CMash lookup + mapping.
+
+    .. deprecated::
+        A thin wrapper over :class:`~repro.megis.session.AnalysisSession`'s
+        Metalign mode — construct a
+        :class:`~repro.megis.index.MegisIndex` and call
+        :meth:`AnalysisSession.analyze_metalign` directly to serve many
+        samples from one session (the ternary tree and the Step-3 unified
+        indexes are built once per session, not per call).
+    """
 
     def __init__(
         self,
@@ -183,19 +191,34 @@ class MetalignPipeline:
         min_containment: float = 0.15,
         mapper_k: int = 15,
     ):
-        if database.k != sketch.k_max:
-            raise ValueError(
-                f"sorted database k ({database.k}) must equal sketch k_max "
-                f"({sketch.k_max})"
-            )
+        from repro.megis.index import MegisIndex
+        from repro.megis.session import AnalysisSession, MegisConfig
+
+        self._session = AnalysisSession(
+            MegisIndex(database, sketch, references),
+            config=MegisConfig(
+                min_count=min_count,
+                max_count=max_count,
+                min_containment=min_containment,
+                mapper_k=mapper_k,
+            ),
+        )
         self.database = database
         self.sketch = sketch
-        self.tree = TernarySearchTree(sketch)
         self.references = references
         self.min_count = min_count
         self.max_count = max_count
         self.min_containment = min_containment
         self.mapper_k = mapper_k
+
+    @property
+    def session(self):
+        """The backing session (shared caches, Metalign mode)."""
+        return self._session
+
+    @property
+    def tree(self) -> TernarySearchTree:
+        return self._session.ternary_tree
 
     # -- step 1: query preparation ------------------------------------------
 
@@ -210,23 +233,14 @@ class MetalignPipeline:
     def find_candidates(self, sorted_query: Sequence[int]) -> MetalignResult:
         """Intersection + sketch lookups -> candidate species.
 
-        The per-k-mer ternary-tree lookups (the pointer-chasing structure
-        MegIS's KSS replaces) are packed into the same CSR
+        Delegates to :meth:`AnalysisSession.find_candidates_metalign`: the
+        per-k-mer ternary-tree lookups are packed into the same CSR
         :class:`~repro.backends.retrieval.RetrievalResult` layout the
         Step-2 backends emit, so hit accumulation and containment scoring
         share the exact columnar kernels with the MegIS pipeline — the two
         pipelines call species identically by construction.
         """
-        result = MetalignResult()
-        result.intersecting_kmers = self.database.intersect(sorted_query)
-        retrieved = RetrievalResult.from_query_dicts(
-            {kmer: self.tree.lookup(kmer) for kmer in result.intersecting_kmers},
-            level_keys=(self.sketch.k_max, *self.sketch.smaller_ks),
-        )
-        hits = accumulate_hits(retrieved)
-        result.sketch_hits = hits.as_dict()
-        result.candidates = select_candidates(self.sketch, hits, self.min_containment)
-        return result
+        return self._session.find_candidates_metalign(sorted_query)
 
     def _containment(self, taxid: int, level_hits: Dict[int, int]) -> float:
         return containment_score(self.sketch, taxid, level_hits)
@@ -236,12 +250,7 @@ class MetalignPipeline:
     def estimate_abundance(
         self, reads: Sequence[Read], candidates: Set[int]
     ) -> AbundanceProfile:
-        if not candidates:
-            return AbundanceProfile()
-        mapper = ReadMapper.for_candidates(
-            self.references, candidates, k=self.mapper_k
-        )
-        return mapper.estimate_abundance(reads)
+        return self._session.map_abundance(reads, candidates)
 
     # -- end to end ---------------------------------------------------------------
 

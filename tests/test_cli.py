@@ -59,6 +59,61 @@ class TestAnalyze:
         assert megis_out == metalign_out
 
 
+class TestIndexLifecycle:
+    @pytest.fixture(scope="class")
+    def index_path(self, dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("idx") / "world.megis"
+        assert main(["index", "build", str(dataset / "references.fasta"),
+                     str(path), "--shards", "2"]) == 0
+        return path
+
+    def test_build_reports_stats(self, dataset, tmp_path, capsys):
+        path = tmp_path / "out.megis"
+        assert main(["index", "build", str(dataset / "references.fasta"),
+                     str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "wrote" in output and "db k-mers" in output
+        assert path.exists()
+
+    def test_analyze_from_index_matches_rebuild(self, dataset, index_path, capsys):
+        main(["analyze", str(dataset / "reads.fastq"),
+              "--index", str(index_path), "--ssds", "2"])
+        from_index = capsys.readouterr().out
+        main(["analyze", str(dataset / "references.fasta"),
+              str(dataset / "reads.fastq")])
+        rebuilt = capsys.readouterr().out
+        assert from_index == rebuilt
+
+    def test_metalign_from_index(self, dataset, index_path, capsys):
+        code = main(["analyze", str(dataset / "reads.fastq"),
+                     "--index", str(index_path), "--tool", "metalign"])
+        assert code == 0
+        assert "tool: metalign" in capsys.readouterr().out
+
+    def test_mapping_without_references_fails_cleanly(self, dataset, tmp_path,
+                                                      capsys):
+        path = tmp_path / "slim.megis"
+        main(["index", "build", str(dataset / "references.fasta"), str(path),
+              "--no-references"])
+        capsys.readouterr()
+        code = main(["analyze", str(dataset / "reads.fastq"),
+                     "--index", str(path)])
+        assert code == 2
+        assert "statistical" in capsys.readouterr().err
+        assert main(["analyze", str(dataset / "reads.fastq"), "--index",
+                     str(path), "--abundance", "statistical"]) == 0
+
+    def test_kraken2_with_index_rejected(self, dataset, index_path, capsys):
+        code = main(["analyze", str(dataset / "reads.fastq"),
+                     "--index", str(index_path), "--tool", "kraken2"])
+        assert code == 2
+        assert "--index" in capsys.readouterr().err
+
+    def test_analyze_without_reads_errors(self, dataset, capsys):
+        assert main(["analyze", str(dataset / "references.fasta")]) == 2
+        assert "READS" in capsys.readouterr().err
+
+
 class TestValidate:
     def test_validate_passes(self, capsys):
         assert main(["validate"]) == 0

@@ -10,7 +10,7 @@ class TestRunnerInfrastructure:
         expected = {
             "fig03", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
             "fig18", "fig19", "fig20", "fig21", "table2", "energy",
-            "accuracy", "kss_size", "ftl_metadata",
+            "accuracy", "kss_size", "ftl_metadata", "index_lifecycle",
             "ablation_buckets", "ablation_sketch", "backend_scaling",
             "isp_management", "overprovisioning", "qos_latency",
         }

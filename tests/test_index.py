@@ -1,0 +1,414 @@
+"""Index lifecycle tests: build -> persist -> open -> serve.
+
+Pins the build-once / query-many contract:
+
+- ``MegisIndex.open()`` + ``AnalysisSession.analyze()`` reproduce a fresh
+  pipeline bit for bit, for both backends, both abundance methods, and the
+  sharded path;
+- opening attaches the persisted CSR columns — zero database or KSS
+  reconstruction happens between (or during) consecutive ``analyze()``
+  calls, asserted through the cache-build counters;
+- legacy (pre-index) bare database payloads still load through
+  ``deserialize_database``, and the index reader rejects them (and any
+  corrupt or truncated section) loudly;
+- Step-3 unified-index construction is cached across a sample stream when
+  candidate sets overlap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.databases.serialization import (
+    SerializationError,
+    deserialize_database,
+    serialize_database,
+)
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.index import IndexBuilder, MegisIndex
+from repro.megis.pipeline import MegisPipeline
+from repro.megis.session import AnalysisSession, MegisConfig
+from repro.tools.mapping import SpeciesIndex
+
+BACKENDS = ("python", "numpy")
+
+
+@pytest.fixture(scope="module")
+def index(sorted_db, sketch_db, references):
+    return MegisIndex(sorted_db, sketch_db, references)
+
+
+@pytest.fixture(scope="module")
+def payload(index):
+    return index.to_bytes(n_shards=3)
+
+
+@pytest.fixture(scope="module")
+def opened(payload):
+    return MegisIndex.from_bytes(payload)
+
+
+class TestRoundTrip:
+    def test_database_columns_attached(self, opened, sorted_db):
+        assert opened.database.kmers == sorted_db.kmers
+        assert opened.database.column_builds == 0
+        assert opened.database.owner_column_builds == 0
+        taxids, offsets = opened.database.owner_columns()
+        want_taxids, want_offsets = sorted_db.owner_columns()
+        assert taxids.tolist() == want_taxids.tolist()
+        assert offsets.tolist() == want_offsets.tolist()
+
+    def test_owners_answered_from_columns(self, opened, sorted_db):
+        for kmer in sorted_db.kmers[:40]:
+            assert opened.database.owners_of(kmer) == sorted_db.owners_of(kmer)
+
+    def test_kss_store_attached(self, opened):
+        assert opened.kss.column_builds == 0
+        assert opened.kss.row_materializations == 0
+
+    def test_kss_columns_equal_built(self, opened, kss_tables):
+        got, want = opened.kss.columns(), kss_tables.columns()
+        assert got.kmers.tolist() == want.kmers.tolist()
+        assert got.taxids.tolist() == want.taxids.tolist()
+        assert got.offsets.tolist() == want.offsets.tolist()
+        for k in kss_tables.smaller_ks:
+            assert got.levels[k].prefixes.tolist() == want.levels[k].prefixes.tolist()
+            assert got.levels[k].taxids.tolist() == want.levels[k].taxids.tolist()
+            assert got.levels[k].offsets.tolist() == want.levels[k].offsets.tolist()
+
+    def test_kss_rows_lazy_and_equal(self, payload, kss_tables):
+        fresh = MegisIndex.from_bytes(payload)
+        assert fresh.kss.row_materializations == 0
+        assert fresh.kss.entries == kss_tables.entries
+        assert fresh.kss.sub_tables == kss_tables.sub_tables
+        assert fresh.kss.row_materializations > 0
+
+    def test_sketch_tables_lazy_and_equal(self, payload, sketch_db):
+        fresh = MegisIndex.from_bytes(payload)
+        assert fresh.sketch.sketch_sizes == sketch_db.sketch_sizes
+        assert fresh.sketch._tables is None  # not materialized by loading
+        assert fresh.sketch.tables == sketch_db.tables
+
+    def test_saved_shards_rebased_on_parent(self, opened):
+        column = opened.database.column()
+        for shard in opened.shards(3):
+            shard_column = shard.database.column()
+            assert len(shard_column) == 0 or shard_column.base is column
+
+    def test_references_roundtrip(self, opened, references):
+        assert opened.references.species_taxids == references.species_taxids
+        for taxid in references.species_taxids:
+            assert opened.references.sequence(taxid) == references.sequence(taxid)
+
+    def test_metalign_only_session_never_builds_kss(self, sorted_db, sketch_db,
+                                                    references, sample):
+        # The lazy-KSS design: a Metalign-only session streams no KSS, so
+        # neither the session nor the shim may force its construction.
+        lazy = MegisIndex(sorted_db, sketch_db, references)
+        session = AnalysisSession(lazy)
+        assert session.analyze_metalign(sample.reads).candidates
+        assert lazy._kss is None
+
+    def test_without_references(self, index, sample):
+        slim = MegisIndex.from_bytes(index.to_bytes(include_references=False))
+        assert slim.references is None
+        session = AnalysisSession(slim, MegisConfig(abundance_method="statistical"))
+        assert session.analyze(sample.reads).candidates
+        with pytest.raises(ValueError, match="no reference sequences"):
+            AnalysisSession(slim).analyze(sample.reads)
+
+    def test_save_open_file(self, tmp_path, index, sample):
+        path = index.save(tmp_path / "world.megis", n_shards=2)
+        served = AnalysisSession(MegisIndex.open(path)).analyze(sample.reads)
+        fresh = AnalysisSession(index).analyze(sample.reads)
+        assert served.candidates == fresh.candidates
+        assert served.profile.fractions == fresh.profile.fractions
+
+
+class TestServedEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("method", ["mapping", "statistical"])
+    @pytest.mark.parametrize("n_ssds", [1, 3])
+    def test_session_equals_fresh_pipeline(self, opened, sorted_db, sketch_db,
+                                           sample, backend, method, n_ssds):
+        config = MegisConfig(backend=backend, abundance_method=method,
+                             n_ssds=n_ssds)
+        fresh = MegisPipeline(
+            sorted_db, sketch_db, sample.references, config=config
+        ).analyze(sample.reads)
+        served = AnalysisSession(opened, config).analyze(sample.reads)
+        assert served.intersecting_kmers == fresh.intersecting_kmers
+        assert served.sketch_hits == fresh.sketch_hits
+        assert served.candidates == fresh.candidates
+        assert served.profile.fractions == fresh.profile.fractions
+
+    def test_batch_equals_individual(self, opened, sample):
+        session = AnalysisSession(opened, MegisConfig(backend="numpy"))
+        halves = [sample.reads[:200], sample.reads[200:]]
+        batched = session.analyze_batch(halves)
+        individual = [session.analyze(reads) for reads in halves]
+        for got, want in zip(batched, individual):
+            assert got.candidates == want.candidates
+            assert got.profile.fractions == want.profile.fractions
+
+    def test_metalign_session_over_opened_index(self, opened, sorted_db,
+                                                sketch_db, sample):
+        session = AnalysisSession(opened)
+        metalign = session.analyze_metalign(sample.reads)
+        megis = session.analyze(sample.reads)
+        assert metalign.candidates == megis.candidates
+        assert metalign.profile.fractions == megis.profile.fractions
+
+
+class TestZeroReconstruction:
+    def test_no_rebuild_between_analyze_calls(self, payload, sample):
+        opened = MegisIndex.from_bytes(payload)
+        session = AnalysisSession(
+            opened, MegisConfig(backend="numpy", abundance_method="statistical",
+                                n_ssds=3),
+        )
+        first = session.analyze(sample.reads)
+        second = session.analyze(sample.reads)
+        assert first.candidates == second.candidates
+        assert opened.database.column_builds == 0
+        assert opened.database.owner_column_builds == 0
+        assert opened.kss.column_builds == 0
+        assert opened.kss.row_materializations == 0
+        for shard in opened.shards(3):
+            assert shard.database.column_builds == 0
+            assert shard.kss.column_builds == 0
+            assert shard.kss.row_materializations == 0
+
+    def test_species_index_cache_across_overlapping_candidates(
+        self, opened, sample, monkeypatch
+    ):
+        built = []
+        original = SpeciesIndex.build.__func__
+
+        def counting(cls, taxid, sequence, k):
+            built.append(taxid)
+            return original(cls, taxid, sequence, k)
+
+        monkeypatch.setattr(
+            SpeciesIndex, "build", classmethod(counting)
+        )
+        session = AnalysisSession(opened, MegisConfig(backend="numpy"))
+        session.analyze_batch([sample.reads[:200], sample.reads[200:]])
+        session.analyze(sample.reads)
+        assert built, "mapping Step 3 never ran"
+        assert len(set(built)) == len(built), (
+            "a species index was rebuilt despite overlapping candidate sets"
+        )
+
+    def test_identical_candidate_sets_share_the_merge(self, opened, sample):
+        session = AnalysisSession(opened, MegisConfig(backend="numpy"))
+        first = session.analyze(sample.reads)
+        second = session.analyze(sample.reads)
+        assert first.merge_stats is second.merge_stats
+        assert len(session._unified_cache) == 1
+
+    def test_unified_cache_is_lru_bounded(self, opened):
+        from itertools import combinations, islice
+
+        session = AnalysisSession(opened)
+        taxids = opened.references.species_taxids
+        n_sets = session.UNIFIED_CACHE_LIMIT + 5
+        distinct = list(islice(combinations(taxids, 2), n_sets))
+        assert len(distinct) == n_sets, "fixture too small for the sweep"
+        for pair in distinct:
+            session.unified_index(pair)
+        assert len(session._unified_cache) == session.UNIFIED_CACHE_LIMIT
+        # The most recent entries survived the eviction.
+        assert frozenset(distinct[-1]) in session._unified_cache
+        assert frozenset(distinct[0]) not in session._unified_cache
+
+    def test_backend_instance_accepted(self, opened, sample):
+        from repro.backends import get_backend
+
+        session = AnalysisSession(opened, backend=get_backend("numpy"))
+        assert session.config.backend == "numpy"
+        assert session.analyze(sample.reads, with_abundance=False).candidates
+
+
+class TestLegacyAndCorruption:
+    def test_legacy_database_payload_still_loads(self, sorted_db):
+        for layout in ("csr", "interleaved"):
+            loaded = deserialize_database(
+                serialize_database(sorted_db, layout=layout)
+            )
+            assert loaded.kmers == sorted_db.kmers
+
+    def test_bare_database_payload_rejected_with_hint(self, sorted_db):
+        with pytest.raises(SerializationError, match="bare k-mer database"):
+            MegisIndex.from_bytes(serialize_database(sorted_db))
+
+    def test_bad_magic(self, payload):
+        corrupt = bytearray(payload)
+        corrupt[0] ^= 0xFF
+        with pytest.raises(SerializationError, match="magic"):
+            MegisIndex.from_bytes(bytes(corrupt))
+
+    def test_unsupported_version(self, payload):
+        corrupt = bytearray(payload)
+        corrupt[8] = 99
+        with pytest.raises(SerializationError, match="version"):
+            MegisIndex.from_bytes(bytes(corrupt))
+
+    def test_truncated_body(self, payload):
+        with pytest.raises(SerializationError):
+            MegisIndex.from_bytes(payload[:-7])
+
+    def test_trailing_garbage(self, payload):
+        with pytest.raises(SerializationError, match="trailing"):
+            MegisIndex.from_bytes(payload + b"xx")
+
+    def test_corrupt_toc(self, payload):
+        corrupt = bytearray(payload)
+        corrupt[20] = 0x7B  # stomp inside the JSON table of contents
+        with pytest.raises(SerializationError):
+            MegisIndex.from_bytes(bytes(corrupt))
+
+    def test_missing_section_rejected(self, index):
+        from repro.databases.serialization import pack_sections, unpack_sections
+
+        sections = {
+            name: bytes(view)
+            for name, view in unpack_sections(index.to_bytes()).items()
+            if name != "kss/kmers"
+        }
+        with pytest.raises(SerializationError, match="kss/kmers"):
+            MegisIndex.from_bytes(pack_sections(sections))
+
+    def test_out_of_order_kmer_column_rejected(self):
+        # A corrupt CSR payload with unsorted k-mers must fail at load,
+        # not misresolve bisect-based queries later.
+        db = SortedKmerDatabase(12, [5, 9, 40], [frozenset({1})] * 3)
+        payload = bytearray(serialize_database(db))
+        # Swap the first two 3-byte k-mer records (header is 16 bytes).
+        payload[16:19], payload[19:22] = payload[19:22], payload[16:19]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            deserialize_database(bytes(payload))
+
+    def test_misordered_shard_sections_rejected(self, index):
+        from repro.databases.serialization import pack_sections, unpack_sections
+
+        sections = {
+            name: bytes(view)
+            for name, view in unpack_sections(index.to_bytes(n_shards=3)).items()
+        }
+        sections["db/shard/0"], sections["db/shard/1"] = (
+            sections["db/shard/1"], sections["db/shard/0"],
+        )
+        with pytest.raises(SerializationError, match="ascending"):
+            MegisIndex.from_bytes(pack_sections(sections))
+
+    def test_inconsistent_csr_rejected(self, index):
+        from repro.databases.serialization import (
+            pack_i64,
+            pack_sections,
+            unpack_sections,
+        )
+
+        sections = {
+            name: bytes(view)
+            for name, view in unpack_sections(index.to_bytes()).items()
+        }
+        sections["kss/kmax_offsets"] = pack_i64([0, 1])  # wrong row count
+        with pytest.raises(SerializationError, match="kss/kmax_offsets"):
+            MegisIndex.from_bytes(pack_sections(sections))
+
+
+class TestShardSections:
+    def test_load_single_shard_independently(self, payload, opened):
+        for i, want in enumerate(opened.shards(3)):
+            shard = MegisIndex.load_shard(payload, i)
+            assert (shard.lo, shard.hi) == (want.lo, want.hi)
+            assert shard.database.kmers == want.database.kmers
+            assert shard.kss is not None
+
+    def test_shard_index_out_of_range(self, payload):
+        with pytest.raises(SerializationError, match="out of range"):
+            MegisIndex.load_shard(payload, 5)
+
+    def test_shard_kss_range_bounded(self, opened, kss_tables):
+        # Range-sharded KSS: every shard's KSS only carries its own range
+        # (prefix-aligned), and together they stay smaller than n copies.
+        shards = opened.shards(3)
+        total = sum(len(s.kss) for s in shards)
+        assert total == len(kss_tables)  # k_max rows partition exactly
+        for shard in shards:
+            store = shard.kss.store()
+            if len(store.kmers):
+                assert int(store.kmers[0]) >= shard.lo
+                assert int(store.kmers[-1]) < shard.hi
+
+
+class TestKssRangeSlicing:
+    @pytest.mark.parametrize("backend", [None, "python", "numpy"])
+    def test_sliced_retrieval_matches_full(self, kss_tables, sketch_db, backend):
+        queries = sorted(sketch_db.tables[sketch_db.k_max])
+        cut = queries[len(queries) // 2]
+        full = kss_tables.retrieve(queries)
+        space = 1 << (2 * kss_tables.k_max)
+        for lo, hi in ((0, cut), (cut, space)):
+            part = kss_tables.slice_range(lo, hi)
+            expected = {q: full[q] for q in queries if lo <= q < hi}
+            got = part.retrieve([q for q in queries if lo <= q < hi],
+                                backend=backend)
+            assert got == expected
+
+    def test_boundary_prefix_stored_absorbs_foreign_coverage(self, kss_tables):
+        # Cut inside a prefix group: the boundary row's stored set must
+        # absorb owners covered only by the other shard's k-mers, so
+        # stored UNION covered-within-shard still equals the full set.
+        store = kss_tables.store()
+        k = kss_tables.smaller_ks[0]
+        shift = 2 * (kss_tables.k_max - k)
+        prefixes = np.asarray(store.kmers, dtype=np.uint64) >> np.uint64(shift)
+        split_at = None
+        for i in range(1, len(prefixes)):
+            if prefixes[i] == prefixes[i - 1]:
+                split_at = int(store.kmers[i])
+                break
+        assert split_at is not None, "fixture has no multi-k-mer prefix group"
+        left = kss_tables.slice_range(0, split_at)
+        right = kss_tables.slice_range(split_at, 1 << (2 * kss_tables.k_max))
+        boundary = int(prefixes[i])
+        covered_left = left._covered_by_prefix(k).get(boundary, frozenset())
+        covered_right = right._covered_by_prefix(k).get(boundary, frozenset())
+        full = kss_tables._covered_by_prefix(k)[boundary] | {
+            t for row in kss_tables.sub_tables[k] if row.prefix == boundary
+            for t in row.stored
+        }
+        for part, covered in ((left, covered_left), (right, covered_right)):
+            row = next(
+                r for r in part.sub_tables[k] if r.prefix == boundary
+            )
+            assert row.stored | covered == full
+            assert not (row.stored & covered)
+
+    def test_inverted_range_rejected(self, kss_tables):
+        with pytest.raises(ValueError):
+            kss_tables.slice_range(10, 5)
+
+
+class TestIndexBuilder:
+    def test_build_matches_manual_construction(self, references, sample):
+        built = IndexBuilder(k=20, smaller_ks=(12, 8), sketch_fraction=0.3).build(
+            references
+        )
+        session = AnalysisSession(built)
+        result = session.analyze(sample.reads)
+        assert result.candidates
+
+    def test_default_smaller_ks_follow_k(self):
+        assert IndexBuilder(k=20).resolved_smaller_ks() == (12, 8)
+        assert IndexBuilder(k=16).resolved_smaller_ks() == (8, 4)
+
+    def test_mismatched_k_rejected(self, sorted_db, references):
+        from repro.databases.sketch import SketchDatabase
+
+        wrong = SketchDatabase.build(references, k_max=16, smaller_ks=(8,))
+        with pytest.raises(ValueError):
+            MegisIndex(sorted_db, wrong, references)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.backends.numpy_backend import as_column
-from repro.megis.host import KmerBucketPartitioner, column_to_list
+from repro.megis.host import Bucket, KmerBucketPartitioner, column_to_list
 from repro.sequences.kmers import KmerCounter
 from repro.sequences.reads import Read
 
@@ -18,6 +18,48 @@ def make_reads(seqs):
 def bucket_set(sample):
     partitioner = KmerBucketPartitioner(k=20, n_buckets=8)
     return partitioner.partition(sample.reads)
+
+
+class TestBucketIsSorted:
+    """Micro-tests for the list-path pairwise scan (no repeated indexing)."""
+
+    @pytest.mark.parametrize("kmers,expected", [
+        ([], True),
+        ([7], True),
+        ([1, 2, 2, 9], True),
+        ([1, 3, 2], False),
+        ([9, 1], False),
+    ])
+    def test_list_path(self, kmers, expected):
+        assert Bucket(index=0, lo=0, hi=100, kmers=kmers).is_sorted() is expected
+
+    @pytest.mark.parametrize("kmers,expected", [
+        ([], True),
+        ([1, 2, 2, 9], True),
+        ([1, 3, 2], False),
+    ])
+    def test_ndarray_path_agrees(self, kmers, expected):
+        column = np.asarray(kmers, dtype=np.uint64)
+        assert Bucket(index=0, lo=0, hi=100, kmers=column).is_sorted() is expected
+
+    def test_early_exit_stops_at_first_inversion(self):
+        class Tripwire(int):
+            pass
+
+        seen = []
+
+        class Recording(list):
+            def __iter__(self):
+                def gen():
+                    for x in super(Recording, self).__iter__():
+                        seen.append(x)
+                        yield x
+                return gen()
+
+        kmers = Recording([1, 5, 3, Tripwire(4), Tripwire(2)])
+        assert Bucket(index=0, lo=0, hi=100, kmers=kmers).is_sorted() is False
+        # The scan stopped at the inversion; the tripwire tail was never read.
+        assert not any(isinstance(x, Tripwire) for x in seen)
 
 
 class TestPartitioning:
