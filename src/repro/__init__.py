@@ -22,6 +22,7 @@ or see ``examples/quickstart.py``.
 
 from repro.databases import KrakenDatabase, KssTables, SketchDatabase, SortedKmerDatabase
 from repro.megis import (
+    AnalysisService,
     AnalysisSession,
     IndexBuilder,
     MegisConfig,
@@ -36,6 +37,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AbundanceProfile",
+    "AnalysisService",
     "AnalysisSession",
     "CamiDiversity",
     "IndexBuilder",

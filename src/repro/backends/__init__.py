@@ -27,9 +27,19 @@ from repro.backends.numpy_backend import NumpyStepTwoBackend
 from repro.backends.python_backend import PythonStepTwoBackend
 from repro.backends.retrieval import LevelHits, RetrievalResult, csr_gather
 
+
+def _paced_factory():
+    # Imported lazily so repro.backends.paced (which resolves its inner
+    # backend through get_backend) never participates in an import cycle.
+    from repro.backends.paced import PacedStepTwoBackend
+
+    return PacedStepTwoBackend()
+
+
 _BACKEND_CLASSES = {
     PythonStepTwoBackend.name: PythonStepTwoBackend,
     NumpyStepTwoBackend.name: NumpyStepTwoBackend,
+    "paced": _paced_factory,
 }
 
 #: Backends are stateless (columnar caches live on the database objects),

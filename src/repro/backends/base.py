@@ -70,6 +70,19 @@ class PhaseTimings:
     #: bucket *i+1*'s sort.  Zero until a pipeline models the overlap.
     serialized_ms: float = 0.0
     overlapped_ms: float = 0.0
+    #: Elapsed wall-clock time of the Step-2 dispatch (submission of the
+    #: first bucket/shard task to completion of the last).  With a serial
+    #: executor this tracks ``intersect_ms + retrieve_ms``; with a
+    #: concurrent executor it is smaller — the gap is *measured* overlap,
+    #: as opposed to the scheduler-modeled ``serialized/overlapped`` pair.
+    step2_wall_ms: float = 0.0
+    #: Measured per-bucket intersect wall times as ``(lo, hi, ms)`` bucket
+    #: slices, appended by the Step-2 backends while streaming.  When these
+    #: cover a sample's buckets exactly, the §4.2.1 scheduler replays the
+    #: measured durations instead of cost-model apportionment.
+    measured_buckets: List[Tuple[Optional[int], Optional[int], float]] = field(
+        default_factory=list
+    )
     channel_matches: Dict[int, int] = field(default_factory=dict)
 
     @property
@@ -80,6 +93,25 @@ class PhaseTimings:
     def overlap_saved_ms(self) -> float:
         """Wall time hidden by the §4.2.1 sort/intersect bucket overlap."""
         return max(0.0, self.serialized_ms - self.overlapped_ms)
+
+    @property
+    def measured_overlap_saved_ms(self) -> float:
+        """Measured (not modeled) wall time hidden by concurrent Step 2.
+
+        Per-task busy time (``intersect_ms + retrieve_ms``) minus the
+        elapsed dispatch window: zero for a serial executor, positive when
+        an :class:`~repro.megis.executors.Executor` genuinely overlapped
+        bucket or shard work.
+        """
+        if self.step2_wall_ms <= 0:
+            return 0.0
+        return max(0.0, self.intersect_ms + self.retrieve_ms - self.step2_wall_ms)
+
+    def record_bucket(
+        self, lo: Optional[int], hi: Optional[int], elapsed_ms: float
+    ) -> None:
+        """Log one bucket slice's measured intersect wall time."""
+        self.measured_buckets.append((lo, hi, elapsed_ms))
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -112,11 +144,17 @@ class PhaseTimings:
         self.db_stream_passes += other.db_stream_passes
         self.serialized_ms += other.serialized_ms
         self.overlapped_ms += other.overlapped_ms
+        self.step2_wall_ms += other.step2_wall_ms
+        self.measured_buckets.extend(other.measured_buckets)
         for channel, count in other.channel_matches.items():
             self.add_channel_matches(channel, count)
 
     def copy(self) -> "PhaseTimings":
-        return replace(self, channel_matches=dict(self.channel_matches))
+        return replace(
+            self,
+            measured_buckets=list(self.measured_buckets),
+            channel_matches=dict(self.channel_matches),
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -134,6 +172,8 @@ class PhaseTimings:
             "serialized_ms": self.serialized_ms,
             "overlapped_ms": self.overlapped_ms,
             "overlap_saved_ms": self.overlap_saved_ms,
+            "step2_wall_ms": self.step2_wall_ms,
+            "measured_overlap_saved_ms": self.measured_overlap_saved_ms,
         }
 
 

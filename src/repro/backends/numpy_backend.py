@@ -23,6 +23,7 @@ they are bit-identical to the reference backend's output.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -137,6 +138,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
         parts: List[np.ndarray] = []
         with timings.phase("intersect"):
             for lo, hi, kmers in buckets:
+                bucket_start = time.perf_counter()
                 db_slice = self._slice(column, lo, hi)
                 query = as_column(kmers, column.dtype)
                 timings.db_kmers_streamed += len(db_slice)
@@ -145,6 +147,9 @@ class NumpyStepTwoBackend(StepTwoBackend):
                 matches = self._intersect_slice(db_slice, query, n_channels, timings)
                 if len(matches):
                     parts.append(matches)
+                timings.record_bucket(
+                    lo, hi, (time.perf_counter() - bucket_start) * 1e3
+                )
             timings.db_stream_passes += 1
         if not parts:
             return []

@@ -14,6 +14,7 @@ hardware model.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import (
@@ -211,6 +212,7 @@ class PythonStepTwoBackend(StepTwoBackend):
         intersecting: List[int] = []
         with timings.phase("intersect"):
             for lo, hi, kmers in buckets:
+                bucket_start = time.perf_counter()
                 db_slice = self._db_slice(database, lo, hi)
                 query = column_to_list(kmers)
                 timings.db_kmers_streamed += len(db_slice)
@@ -220,6 +222,9 @@ class PythonStepTwoBackend(StepTwoBackend):
                     matches = unit.intersect(stripe, query)
                     timings.add_channel_matches(unit.channel, len(matches))
                     intersecting.extend(matches)
+                timings.record_bucket(
+                    lo, hi, (time.perf_counter() - bucket_start) * 1e3
+                )
             timings.db_stream_passes += 1
             intersecting.sort()
         return intersecting

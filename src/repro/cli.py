@@ -10,6 +10,13 @@ The commands cover the library's main entry points:
 - ``analyze`` — run a pipeline (megis / metalign / kraken2) over a
   FASTA+FASTQ pair, or serve the sample from a prebuilt index
   (``--index PATH``) without rebuilding any database;
+- ``serve`` — daemon mode: open an index once (optionally memory-mapped),
+  then serve a stream of samples concurrently through an
+  :class:`~repro.megis.service.AnalysisService`.  Input is JSONL on
+  stdin, one sample per line: ``{"id": ..., "reads": ["ACGT...", ...]}``;
+  output is JSONL on stdout in input order:
+  ``{"id", "n_reads", "candidates", "profile", "samples_batched"}``
+  (or ``{"id", "error"}`` for a rejected line);
 - ``model`` — query the paper-scale performance model (per-configuration
   seconds and speedups for a chosen SSD and sample).
 """
@@ -85,9 +92,10 @@ def _cmd_index_build(args: argparse.Namespace) -> int:
 
 def _open_session(args: argparse.Namespace) -> AnalysisSession:
     """An AnalysisSession over the prebuilt index named by ``--index``."""
-    index = MegisIndex.open(args.index)
+    index = MegisIndex.open(args.index, mmap=getattr(args, "mmap", False))
     config = MegisConfig(abundance_method=args.abundance,
-                         backend=args.backend, n_ssds=args.ssds)
+                         backend=args.backend, n_ssds=args.ssds,
+                         executor=getattr(args, "executor", None))
     return AnalysisSession(index, config)
 
 
@@ -162,6 +170,89 @@ def _print_timings(timings) -> None:
         print(f"  bucket pipeline (S4.2.1): {timings.overlapped_ms:.2f} ms "
               f"overlapped vs {timings.serialized_ms:.2f} ms serialized "
               f"({timings.overlap_saved_ms:.2f} ms hidden)")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Daemon mode: JSONL samples on stdin -> JSONL results on stdout.
+
+    Results are emitted in input order (the service may batch and overlap
+    execution; ordering is restored by resolving futures in sequence).
+    Malformed lines produce an ``{"error": ...}`` object and do not stop
+    the stream.
+    """
+    from repro.megis.service import AnalysisService
+    from repro.sequences.reads import Read
+
+    index = MegisIndex.open(args.index, mmap=args.mmap)
+    config = MegisConfig(abundance_method=args.abundance,
+                         backend=args.backend, n_ssds=args.ssds,
+                         executor=args.executor)
+    session = AnalysisSession(index, config)
+    if args.abundance == "mapping" and session.references is None:
+        print("index was built with --no-references; mapping-based "
+              "abundance is unavailable (use --abundance statistical)",
+              file=sys.stderr)
+        return 2
+    pending = []  # (request id, n_reads, future | error string), input order
+    with AnalysisService(session, workers=args.workers,
+                         max_batch=args.max_batch) as service:
+        for line_no, line in enumerate(sys.stdin, 1):
+            if not line.strip():
+                continue
+            request_id, reads, error = _parse_serve_line(line, line_no)
+            if error is not None:
+                pending.append((request_id, 0, error))
+                continue
+            sample = [
+                Read(read_id=i, sequence=seq, true_taxid=0)
+                for i, seq in enumerate(reads)
+            ]
+            pending.append((request_id, len(sample), service.submit(sample)))
+        for request_id, n_reads, outcome in pending:
+            if isinstance(outcome, str):
+                record = {"id": request_id, "error": outcome}
+            else:
+                try:
+                    result = outcome.result()
+                    record = {
+                        "id": request_id,
+                        "n_reads": n_reads,
+                        "candidates": sorted(int(t) for t in result.candidates),
+                        "profile": {
+                            str(t): f for t, f in sorted(
+                                result.profile.fractions.items()
+                            )
+                        },
+                        "samples_batched": result.timings.samples_batched,
+                    }
+                except Exception as exc:  # surface per-sample failures
+                    record = {"id": request_id, "error": str(exc)}
+            print(json.dumps(record), flush=True)
+        stats = service.stats
+    print(f"served {stats.samples_completed} samples in "
+          f"{stats.batches_dispatched} batches "
+          f"(widest {stats.widest_batch}) with {args.workers} workers",
+          file=sys.stderr)
+    return 0
+
+
+def _parse_serve_line(line: str, line_no: int):
+    """One JSONL request -> (id, read sequences, error)."""
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        return line_no, None, f"line {line_no}: bad JSON ({exc})"
+    if not isinstance(request, dict) or "reads" not in request:
+        return line_no, None, f"line {line_no}: expected an object with 'reads'"
+    request_id = request.get("id", line_no)
+    reads = request["reads"]
+    if not isinstance(reads, list) or not all(
+        isinstance(seq, str) for seq in reads
+    ):
+        return request_id, None, (
+            f"line {line_no}: 'reads' must be a list of sequence strings"
+        )
+    return request_id, reads, None
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -241,9 +332,43 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--ssds", type=int, default=1,
                          help="shard the sorted database across N SSDs for "
                               "Step 2 (megis only, §6.1; results identical)")
+    analyze.add_argument("--executor", default=None, metavar="SPEC",
+                         help="Step-2 execution policy: serial (default), "
+                              "threads, or threads:N (results identical)")
+    analyze.add_argument("--mmap", action="store_true",
+                         help="with --index: memory-map the CSR sections "
+                              "instead of loading them (for databases "
+                              "larger than RAM)")
     analyze.add_argument("--timings", action="store_true",
                          help="print the per-phase timing breakdown (megis only)")
     analyze.set_defaults(func=_cmd_analyze)
+
+    serve = sub.add_parser(
+        "serve", help="serve a stream of samples from a prebuilt index "
+                      "(JSONL on stdin -> JSONL on stdout)"
+    )
+    serve.add_argument("--index", required=True, metavar="PATH",
+                       help="prebuilt index (`repro index build`)")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker threads sharing the session (also the "
+                            "default §4.7 batch width)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="widest multi-sample batch one worker may "
+                            "coalesce (default: --workers)")
+    serve.add_argument("--abundance", choices=("mapping", "statistical"),
+                       default="mapping")
+    serve.add_argument("--backend", choices=available_backends(), default=None,
+                       help="Step-2 execution backend "
+                            "(default: REPRO_BACKEND env var or 'python')")
+    serve.add_argument("--ssds", type=int, default=1,
+                       help="shard Step 2 across N SSDs (§6.1)")
+    serve.add_argument("--executor", default=None, metavar="SPEC",
+                       help="Step-2 execution policy: serial, threads, "
+                            "threads:N")
+    serve.add_argument("--mmap", action="store_true",
+                       help="memory-map the index's CSR sections (serve "
+                            "databases larger than RAM)")
+    serve.set_defaults(func=_cmd_serve)
 
     model = sub.add_parser("model", help="paper-scale performance model")
     model.add_argument("--ssd", choices=("SSD-C", "SSD-P"), default="SSD-C")

@@ -159,7 +159,7 @@ def serialize_database(
     return b"".join(out)
 
 
-def deserialize_database(payload: bytes) -> SortedKmerDatabase:
+def deserialize_database(payload, zero_copy: bool = False) -> SortedKmerDatabase:
     """Parse the on-flash byte format back into a database.
 
     Both owner layouts parse; for the CSR layout the k-mer records parse
@@ -167,6 +167,13 @@ def deserialize_database(payload: bytes) -> SortedKmerDatabase:
     views, and all three become the loaded database's column caches — a
     round-trip never rebuilds them, and per-row owner sets materialize only
     on demand.
+
+    With ``zero_copy=True`` and an ndarray payload (a ``np.memmap`` slice
+    of the index file), the owner CSR columns are attached as dtype views
+    of the mapped bytes in their on-disk dtypes (``<u8`` offsets, ``<u4``
+    taxIDs) — no ``astype`` copy, so the owner data stays on flash until a
+    consumer touches its pages.  The k-mer column still materializes: it
+    is the search structure every ``searchsorted``/bisect walks.
     """
     if len(payload) < _HEADER.size:
         raise SerializationError("payload shorter than header")
@@ -180,6 +187,7 @@ def deserialize_database(payload: bytes) -> SortedKmerDatabase:
     kmers: List[int] = []
     owners: List[frozenset] = []
     if flags & FLAG_CSR:
+        mapped = payload if zero_copy and isinstance(payload, np.ndarray) else None
         if offset + count * width > len(payload):
             raise SerializationError("truncated k-mer column")
         # Zero-copy view: slicing the bytes would copy the whole remaining
@@ -188,21 +196,29 @@ def deserialize_database(payload: bytes) -> SortedKmerDatabase:
         offset += count * width
         if offset + 8 * (count + 1) > len(payload):
             raise SerializationError("truncated owner offsets column")
-        offsets = np.frombuffer(payload, dtype="<u8", count=count + 1, offset=offset)
+        if mapped is not None:
+            offsets = mapped[offset : offset + 8 * (count + 1)].view("<u8")
+        else:
+            offsets = np.frombuffer(
+                payload, dtype="<u8", count=count + 1, offset=offset
+            ).astype(np.int64)
         offset += 8 * (count + 1)
-        offsets = offsets.astype(np.int64)
         if np.any(offsets[1:] < offsets[:-1]) or (count and offsets[0] != 0):
             raise SerializationError("owner offsets must ascend from zero")
         total = int(offsets[-1]) if count else 0
         if offset + 4 * total > len(payload):
             raise SerializationError("truncated owner taxID column")
-        taxids = np.frombuffer(payload, dtype="<u4", count=total, offset=offset)
+        if mapped is not None:
+            taxids = mapped[offset : offset + 4 * total].view("<u4")
+        else:
+            taxids = np.frombuffer(
+                payload, dtype="<u4", count=total, offset=offset
+            ).astype(np.int64)
         offset += 4 * total
-        taxids = taxids.astype(np.int64)
         if offset != len(payload):
             raise SerializationError(f"{len(payload) - offset} trailing bytes")
         return SortedKmerDatabase.from_columns(
-            k, kmers, taxids, offsets, column=column
+            k, kmers, taxids, offsets, column=column, cast=mapped is None
         )
     for _ in range(count):
         if offset + width > len(payload):
@@ -249,17 +265,11 @@ def pack_sections(sections: Dict[str, bytes]) -> bytes:
     return header + toc_bytes + b"".join(body_parts)
 
 
-def unpack_sections(payload: bytes) -> Dict[str, memoryview]:
-    """Parse a ``MEGISIDX`` container into named section views.
-
-    Rejects (loudly) anything malformed: wrong magic (including a bare
-    legacy ``MEGISKDB`` database payload), unknown versions, a corrupt
-    table of contents, sections pointing outside the body, and bodies the
-    sections do not tile exactly (truncation / trailing garbage).
-    """
-    if len(payload) < _INDEX_HEADER.size:
+def _container_toc_len(header: bytes) -> int:
+    """Validate a ``MEGISIDX`` header; returns the TOC byte length."""
+    if len(header) < _INDEX_HEADER.size:
         raise SerializationError("index payload shorter than header")
-    magic, version, _, toc_len = _INDEX_HEADER.unpack_from(payload, 0)
+    magic, version, _, toc_len = _INDEX_HEADER.unpack_from(header, 0)
     if magic != INDEX_MAGIC:
         if magic == MAGIC:
             raise SerializationError(
@@ -269,32 +279,76 @@ def unpack_sections(payload: bytes) -> Dict[str, memoryview]:
         raise SerializationError(f"bad index magic {magic!r}")
     if version != INDEX_VERSION:
         raise SerializationError(f"unsupported index version {version}")
-    toc_start = _INDEX_HEADER.size
-    if toc_start + toc_len > len(payload):
-        raise SerializationError("truncated index table of contents")
+    return toc_len
+
+
+def _container_entries(toc_bytes: bytes) -> List[Tuple[str, int, int]]:
+    """Parse the JSON table of contents into (name, offset, length) rows."""
     try:
-        toc = json.loads(payload[toc_start : toc_start + toc_len].decode("utf-8"))
-        entries = [(str(name), int(off), int(length)) for name, off, length in toc]
+        toc = json.loads(toc_bytes.decode("utf-8"))
+        return [(str(name), int(off), int(length)) for name, off, length in toc]
     except (ValueError, TypeError) as exc:
         raise SerializationError(f"corrupt index table of contents: {exc}") from exc
-    body = memoryview(payload)[toc_start + toc_len :]
-    sections: Dict[str, memoryview] = {}
+
+
+def _tile_sections(entries, body, body_len: int) -> Dict[str, object]:
+    """Cut the body at the TOC entries, insisting they tile it exactly."""
+    sections: Dict[str, object] = {}
     covered = 0
     for name, off, length in entries:
         if name in sections:
             raise SerializationError(f"duplicate index section {name!r}")
-        if off != covered or length < 0 or off + length > len(body):
+        if off != covered or length < 0 or off + length > body_len:
             raise SerializationError(
                 f"index section {name!r} does not tile the body "
-                f"(offset {off}, length {length}, body {len(body)})"
+                f"(offset {off}, length {length}, body {body_len})"
             )
         sections[name] = body[off : off + length]
         covered = off + length
-    if covered != len(body):
+    if covered != body_len:
         raise SerializationError(
-            f"{len(body) - covered} trailing bytes after the last index section"
+            f"{body_len - covered} trailing bytes after the last index section"
         )
     return sections
+
+
+def unpack_sections(payload: bytes) -> Dict[str, memoryview]:
+    """Parse a ``MEGISIDX`` container into named section views.
+
+    Rejects (loudly) anything malformed: wrong magic (including a bare
+    legacy ``MEGISKDB`` database payload), unknown versions, a corrupt
+    table of contents, sections pointing outside the body, and bodies the
+    sections do not tile exactly (truncation / trailing garbage).
+    """
+    toc_len = _container_toc_len(payload[: _INDEX_HEADER.size])
+    toc_start = _INDEX_HEADER.size
+    if toc_start + toc_len > len(payload):
+        raise SerializationError("truncated index table of contents")
+    entries = _container_entries(bytes(payload[toc_start : toc_start + toc_len]))
+    body = memoryview(payload)[toc_start + toc_len :]
+    return _tile_sections(entries, body, len(body))
+
+
+def map_sections(path) -> Dict[str, np.ndarray]:
+    """Memory-map a ``MEGISIDX`` container file into named section views.
+
+    The header and table of contents are read eagerly (they are tiny);
+    every section then becomes a ``np.memmap`` slice of the file — same
+    validation as :func:`unpack_sections`, but no section's bytes are
+    loaded until its pages are actually touched.  This is what lets
+    :meth:`repro.megis.index.MegisIndex.open` serve databases larger than
+    RAM: the int64 CSR sections are attached as the live caches directly.
+    """
+    with open(path, "rb") as handle:
+        header = handle.read(_INDEX_HEADER.size)
+        toc_len = _container_toc_len(header)
+        toc_bytes = handle.read(toc_len)
+    if len(toc_bytes) < toc_len:
+        raise SerializationError("truncated index table of contents")
+    entries = _container_entries(toc_bytes)
+    mapped = np.memmap(path, dtype=np.uint8, mode="r")
+    body = mapped[_INDEX_HEADER.size + toc_len :]
+    return _tile_sections(entries, body, len(body))
 
 
 def byte_order_matches_kmer_order(db: SortedKmerDatabase) -> bool:

@@ -19,7 +19,7 @@ so tests can assert a served database is never rebuilt between queries.
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -43,6 +43,12 @@ class SortedKmerDatabase:
     def _init_caches(self) -> None:
         self._column: Optional[np.ndarray] = None
         self._owner_columns: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        #: Deferred owner-column source (memmap-backed multi-shard opens):
+        #: invoked — and counted as a build — only if a consumer actually
+        #: asks for the stitched columns.
+        self._owner_loader: Optional[
+            Callable[[], Tuple[np.ndarray, np.ndarray]]
+        ] = None
         #: Cache-construction counters (see the module docstring).
         self.column_builds = 0
         self.owner_column_builds = 0
@@ -71,9 +77,13 @@ class SortedKmerDatabase:
         cls,
         k: int,
         kmers: Sequence[int],
-        owner_taxids: np.ndarray,
-        owner_offsets: np.ndarray,
+        owner_taxids: Optional[np.ndarray] = None,
+        owner_offsets: Optional[np.ndarray] = None,
         column: Optional[np.ndarray] = None,
+        cast: bool = True,
+        owner_loader: Optional[
+            Callable[[], Tuple[np.ndarray, np.ndarray]]
+        ] = None,
     ) -> "SortedKmerDatabase":
         """Construct straight from persisted CSR columns (no row objects).
 
@@ -83,8 +93,21 @@ class SortedKmerDatabase:
         ndarray k-mer column to attach as the cache.  Ordering is
         validated (vectorized when the column is available) — a corrupt
         payload must fail here, not return wrong bisect results later.
+
+        ``cast=False`` attaches the owner arrays verbatim (keeping e.g. a
+        ``np.memmap``'s type and on-disk dtype) instead of copying into
+        ``int64``; ``owner_loader`` defers the columns entirely — they are
+        built (and counted in ``owner_column_builds``) only if a consumer
+        asks, which is how a memmap-backed multi-shard open avoids ever
+        materializing the stitched owner columns on the query path.
         """
-        if len(owner_offsets) != len(kmers) + 1:
+        if (owner_taxids is None) != (owner_offsets is None):
+            raise ValueError("owner taxids and offsets must be given together")
+        if owner_taxids is None and owner_loader is None:
+            raise ValueError("provide owner columns or an owner_loader")
+        if owner_taxids is not None and owner_loader is not None:
+            raise ValueError("owner columns and owner_loader are exclusive")
+        if owner_offsets is not None and len(owner_offsets) != len(kmers) + 1:
             raise ValueError(
                 f"owner offsets must have {len(kmers) + 1} entries, "
                 f"got {len(owner_offsets)}"
@@ -104,10 +127,15 @@ class SortedKmerDatabase:
         db._kmers = [int(x) for x in kmers]
         db._owners = None
         db._init_caches()
-        db._owner_columns = (
-            np.asarray(owner_taxids, dtype=np.int64),
-            np.asarray(owner_offsets, dtype=np.int64),
-        )
+        if owner_loader is not None:
+            db._owner_loader = owner_loader
+        elif cast:
+            db._owner_columns = (
+                np.asarray(owner_taxids, dtype=np.int64),
+                np.asarray(owner_offsets, dtype=np.int64),
+            )
+        else:
+            db._owner_columns = (owner_taxids, owner_offsets)
         if column is not None:
             db._column = column
         return db
@@ -151,16 +179,19 @@ class SortedKmerDatabase:
         ``owners_of`` lookups.  Treat the returned arrays as read-only.
         """
         if self._owner_columns is None:
-            from repro.backends.retrieval import pack_sets_csr
+            if self._owner_loader is not None:
+                self._owner_columns = self._owner_loader()
+            else:
+                from repro.backends.retrieval import pack_sets_csr
 
-            self._owner_columns = pack_sets_csr(self._owner_rows())
+                self._owner_columns = pack_sets_csr(self._owner_rows())
             self.owner_column_builds += 1
         return self._owner_columns
 
     def _owner_rows(self) -> List[frozenset]:
         """Per-row owner sets, materialized from the CSR columns on demand."""
         if self._owners is None:
-            taxids, offsets = self._owner_columns
+            taxids, offsets = self.owner_columns()
             self._owners = [
                 frozenset(taxids[offsets[i] : offsets[i + 1]].tolist())
                 for i in range(len(self._kmers))
@@ -174,7 +205,7 @@ class SortedKmerDatabase:
         if self._owners is None:
             # Columns-backed database: answer from the CSR slice without
             # materializing every row.
-            taxids, offsets = self._owner_columns
+            taxids, offsets = self.owner_columns()
             return frozenset(taxids[offsets[i] : offsets[i + 1]].tolist())
         return self._owners[i]
 
@@ -220,6 +251,17 @@ class SortedKmerDatabase:
                 taxids[int(offsets[start]) : int(offsets[stop])],
                 offsets[start : stop + 1] - offsets[start],
             )
+        elif self._owners is None and self._owner_loader is not None:
+            # Deferred parent columns stay deferred in the shard: only a
+            # consumer that actually asks for owners pays the stitch.
+            def load_slice(parent=self, lo=start, hi=stop):
+                taxids, offsets = parent.owner_columns()
+                return (
+                    taxids[int(offsets[lo]) : int(offsets[hi])],
+                    offsets[lo : hi + 1] - offsets[lo],
+                )
+
+            shard._owner_loader = load_slice
         return shard
 
     def intersect(

@@ -81,6 +81,7 @@ REGISTRY: Dict[str, str] = {
     "kss_size": "repro.experiments.kss_size",
     "ftl_metadata": "repro.experiments.ftl_metadata",
     "index_lifecycle": "repro.experiments.index_lifecycle",
+    "serving_throughput": "repro.experiments.serving_throughput",
     "ablation_buckets": "repro.experiments.ablation_buckets",
     "ablation_sketch": "repro.experiments.ablation_sketch",
     "backend_scaling": "repro.experiments.backend_scaling",

@@ -17,22 +17,35 @@ An efficient pipeline between the host and the SSD (paper §4):
   (:class:`MegisIndex` / :class:`IndexBuilder`);
 - :mod:`repro.megis.session` — :class:`AnalysisSession`, the open-once /
   query-many serving loop, including the multi-sample mode (§4.7);
+- :mod:`repro.megis.executors` — the pluggable execution policies
+  (serial reference / thread pool) the Step-2 engines dispatch through;
+- :mod:`repro.megis.service` — :class:`AnalysisService`, the concurrent
+  futures-based serving front-end over one shared session;
 - :mod:`repro.megis.pipeline` — the deprecated per-call facade.
 """
 
 from repro.backends import PhaseTimings, StepTwoBackend, available_backends, get_backend
 from repro.megis.accelerator import AcceleratorReport, accelerator_report
 from repro.megis.commands import CommandProcessor, MegisInit, MegisStep, MegisWrite
+from repro.megis.executors import (
+    Executor,
+    SerialExecutor,
+    ThreadedExecutor,
+    available_executors,
+    get_executor,
+)
 from repro.megis.ftl import DatabaseLayout, MegisFtl
 from repro.megis.host import Bucket, BucketSet, KmerBucketPartitioner
 from repro.megis.index import IndexBuilder, MegisIndex
 from repro.megis.isp import IntersectUnit, IspStepTwo, TaxIdRetriever
 from repro.megis.multissd import DatabaseShard, MultiSsdStepTwo, shard_kss, split_database
 from repro.megis.pipeline import MegisPipeline
+from repro.megis.service import AnalysisService, ServiceStats
 from repro.megis.session import (
     AnalysisSession,
     BucketPipelineScheduler,
     BucketSchedule,
+    CacheStats,
     MegisConfig,
     MegisResult,
     ScheduledBucket,
@@ -40,14 +53,17 @@ from repro.megis.session import (
 
 __all__ = [
     "AcceleratorReport",
+    "AnalysisService",
     "AnalysisSession",
     "Bucket",
     "BucketPipelineScheduler",
     "BucketSchedule",
     "BucketSet",
+    "CacheStats",
     "CommandProcessor",
     "DatabaseLayout",
     "DatabaseShard",
+    "Executor",
     "IndexBuilder",
     "IntersectUnit",
     "IspStepTwo",
@@ -63,11 +79,16 @@ __all__ = [
     "MultiSsdStepTwo",
     "PhaseTimings",
     "ScheduledBucket",
+    "SerialExecutor",
+    "ServiceStats",
     "StepTwoBackend",
     "TaxIdRetriever",
+    "ThreadedExecutor",
     "accelerator_report",
     "available_backends",
+    "available_executors",
     "get_backend",
+    "get_executor",
     "shard_kss",
     "split_database",
 ]

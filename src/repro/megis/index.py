@@ -42,6 +42,7 @@ from repro.databases.kss import KssLevelStore, KssStore, KssTables
 from repro.databases.serialization import (
     SerializationError,
     deserialize_database,
+    map_sections,
     pack_i64,
     pack_kmer_column,
     pack_sections,
@@ -82,6 +83,9 @@ class MegisIndex:
         self.references = references
         self._kss = kss
         self._shard_cache: Dict[int, List[DatabaseShard]] = {}
+        #: True when this index was opened with ``mmap=True`` — the CSR
+        #: owner/taxID sections are ``np.memmap`` views of the file.
+        self.mapped = False
 
     @property
     def k(self) -> int:
@@ -182,15 +186,18 @@ class MegisIndex:
         single-SSD and the multi-SSD path both serve straight from the
         loaded arrays, with no reconstruction on first query.
         """
-        sections = unpack_sections(payload)
+        return cls._from_sections(unpack_sections(payload), mmap=False)
+
+    @classmethod
+    def _from_sections(cls, sections, mmap: bool) -> "MegisIndex":
         manifest = _manifest(sections)
         k = int(manifest["k"])
         shard_dbs = [
-            _shard_database(sections, manifest, i)
+            _shard_database(sections, manifest, i, mmap=mmap)
             for i in range(int(manifest["n_shards"]))
         ]
-        database = _concatenate_shards(k, shard_dbs)
-        kss = KssTables.from_store(_kss_store(sections, manifest))
+        database = _concatenate_shards(k, shard_dbs, lazy_owners=mmap)
+        kss = KssTables.from_store(_kss_store(sections, manifest, mmap=mmap))
         sketch = _lazy_sketch(sections, manifest, kss)
         references = None
         if manifest.get("has_references"):
@@ -200,15 +207,36 @@ class MegisIndex:
                 bytes(sections["references"]).decode("utf-8")
             )
         index = cls(database, sketch, references, kss=kss)
-        index._shard_cache[len(shard_dbs)] = _rebased_shards(
-            database, kss, manifest, shard_dbs
-        )
+        index.mapped = mmap
+        if mmap:
+            # Shard handles keep their own memmap-backed owner columns
+            # rather than re-slicing the (lazily stitched) parent.
+            index._shard_cache[len(shard_dbs)] = _mapped_shards(
+                kss, manifest, shard_dbs
+            )
+        else:
+            index._shard_cache[len(shard_dbs)] = _rebased_shards(
+                database, kss, manifest, shard_dbs
+            )
         return index
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "MegisIndex":
-        """Open a saved index file (see :meth:`from_bytes`)."""
-        return cls.from_bytes(Path(path).read_bytes())
+    def open(cls, path: Union[str, Path], mmap: bool = False) -> "MegisIndex":
+        """Open a saved index file (see :meth:`from_bytes`).
+
+        ``mmap=True`` attaches the file's int64 CSR sections — the KSS
+        owner/offset columns per level and each shard's database owner CSR
+        — as ``np.memmap`` views instead of loading them, so a database
+        larger than RAM serves queries with only the touched pages
+        resident.  The k-mer/prefix *key* columns (the structures every
+        ``searchsorted`` walks) still materialize; the owner payload,
+        which dominates the index size, stays on flash.  Loaded tables are
+        functionally identical either way — ``KssTables.from_store`` and
+        the shard handles work unchanged on memmap-backed columns.
+        """
+        if not mmap:
+            return cls.from_bytes(Path(path).read_bytes())
+        return cls._from_sections(map_sections(Path(path)), mmap=True)
 
     @classmethod
     def load_shard(cls, payload: bytes, shard_index: int) -> DatabaseShard:
@@ -258,8 +286,14 @@ def _section(sections: Dict[str, memoryview], name: str) -> memoryview:
     return sections[name]
 
 
-def _shard_database(sections, manifest, i: int) -> SortedKmerDatabase:
-    database = deserialize_database(bytes(_section(sections, f"db/shard/{i}")))
+def _shard_database(
+    sections, manifest, i: int, mmap: bool = False
+) -> SortedKmerDatabase:
+    section = _section(sections, f"db/shard/{i}")
+    if mmap:
+        database = deserialize_database(section, zero_copy=True)
+    else:
+        database = deserialize_database(bytes(section))
     if database.k != int(manifest["k"]):
         raise SerializationError(
             f"shard {i} has k={database.k}, manifest says k={manifest['k']}"
@@ -267,10 +301,28 @@ def _shard_database(sections, manifest, i: int) -> SortedKmerDatabase:
     return database
 
 
+def _stitch_owner_columns(
+    shard_dbs: Sequence[SortedKmerDatabase],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate per-shard owner CSR columns (re-basing the offsets)."""
+    taxid_parts, offset_parts, base = [], [np.zeros(1, dtype=np.int64)], 0
+    for db in shard_dbs:
+        taxids, offsets = db.owner_columns()
+        taxid_parts.append(np.asarray(taxids, dtype=np.int64))
+        offset_parts.append(np.asarray(offsets[1:], dtype=np.int64) + base)
+        base += int(offsets[-1])
+    return np.concatenate(taxid_parts), np.concatenate(offset_parts)
+
+
 def _concatenate_shards(
-    k: int, shard_dbs: Sequence[SortedKmerDatabase]
+    k: int, shard_dbs: Sequence[SortedKmerDatabase], lazy_owners: bool = False
 ) -> SortedKmerDatabase:
-    """Stitch per-shard column sections into the full database."""
+    """Stitch per-shard column sections into the full database.
+
+    ``lazy_owners`` (the memmap open) defers the owner-column stitch to a
+    loader: the query path never reads the parent's owners, so the memmap
+    views stay the only copy unless a consumer explicitly asks.
+    """
     if len(shard_dbs) == 1:
         return shard_dbs[0]
     kmers: List[int] = []
@@ -287,16 +339,13 @@ def _concatenate_shards(
     column = (
         np.concatenate(columns) if all(c is not None for c in columns) else None
     )
-    taxid_parts, offset_parts, base = [], [np.zeros(1, dtype=np.int64)], 0
-    for db in shard_dbs:
-        taxids, offsets = db.owner_columns()
-        taxid_parts.append(taxids)
-        offset_parts.append(np.asarray(offsets[1:], dtype=np.int64) + base)
-        base += int(offsets[-1])
-    return SortedKmerDatabase.from_columns(
-        k, kmers, np.concatenate(taxid_parts), np.concatenate(offset_parts),
-        column=column,
-    )
+    if lazy_owners:
+        return SortedKmerDatabase.from_columns(
+            k, kmers, column=column,
+            owner_loader=lambda: _stitch_owner_columns(shard_dbs),
+        )
+    taxids, offsets = _stitch_owner_columns(shard_dbs)
+    return SortedKmerDatabase.from_columns(k, kmers, taxids, offsets, column=column)
 
 
 def _rebased_shards(database, kss, manifest, shard_dbs) -> List[DatabaseShard]:
@@ -314,6 +363,23 @@ def _rebased_shards(database, kss, manifest, shard_dbs) -> List[DatabaseShard]:
     return shards
 
 
+def _mapped_shards(kss, manifest, shard_dbs) -> List[DatabaseShard]:
+    """Shard handles over the per-shard databases themselves (memmap open).
+
+    Each shard database already owns its section's memmap-backed owner
+    columns, so the handles serve without touching the lazily-stitched
+    parent; the KSS range slices are memmap views of the store columns.
+    """
+    shards = [
+        DatabaseShard(index=i, lo=int(lo), hi=int(hi), database=db)
+        for i, (db, (lo, hi)) in enumerate(
+            zip(shard_dbs, manifest["shard_ranges"])
+        )
+    ]
+    shard_kss(kss, shards)
+    return shards
+
+
 def _load_column(sections, name: str, k: int, rows: int):
     """One packed k-mer/prefix column as ``(ints, ndarray)``."""
     from repro.backends.numpy_backend import as_column, column_dtype
@@ -326,10 +392,24 @@ def _load_column(sections, name: str, k: int, rows: int):
     return column
 
 
-def _load_csr(sections, prefix: str, rows: int) -> Tuple[np.ndarray, np.ndarray]:
+def _i64_column(sections, name: str, mmap: bool) -> np.ndarray:
+    """One persisted int64 column: parsed copy, or a ``np.memmap`` view."""
+    section = _section(sections, name)
+    if mmap and isinstance(section, np.ndarray):
+        if len(section) % 8:
+            raise SerializationError(
+                "int64 column length is not a multiple of 8"
+            )
+        return section.view("<i8")
+    return parse_i64(section)
+
+
+def _load_csr(
+    sections, prefix: str, rows: int, mmap: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
     """A ``(taxids, offsets)`` CSR pair, shape-checked against ``rows``."""
-    taxids = parse_i64(_section(sections, f"{prefix}_taxids"))
-    offsets = parse_i64(_section(sections, f"{prefix}_offsets"))
+    taxids = _i64_column(sections, f"{prefix}_taxids", mmap)
+    offsets = _i64_column(sections, f"{prefix}_offsets", mmap)
     if len(offsets) != rows + 1:
         raise SerializationError(
             f"section {prefix}_offsets has {len(offsets)} entries, "
@@ -345,21 +425,21 @@ def _load_csr(sections, prefix: str, rows: int) -> Tuple[np.ndarray, np.ndarray]
     return taxids, offsets
 
 
-def _kss_store(sections, manifest) -> KssStore:
+def _kss_store(sections, manifest, mmap: bool = False) -> KssStore:
     k_max = int(manifest["k_max"])
     smaller_ks = tuple(int(k) for k in manifest["smaller_ks"])
     rows = int(manifest["kss_rows"])
     kmers = _load_column(sections, "kss/kmers", k_max, rows)
-    taxids, offsets = _load_csr(sections, "kss/kmax", rows)
+    taxids, offsets = _load_csr(sections, "kss/kmax", rows, mmap=mmap)
     levels: Dict[int, KssLevelStore] = {}
     for k in smaller_ks:
         level_rows = int(manifest["kss_level_rows"][str(k)])
         prefixes = _load_column(sections, f"kss/{k}/prefixes", k, level_rows)
         stored_taxids, stored_offsets = _load_csr(
-            sections, f"kss/{k}/stored", level_rows
+            sections, f"kss/{k}/stored", level_rows, mmap=mmap
         )
         full_taxids, full_offsets = _load_csr(
-            sections, f"kss/{k}/full", level_rows
+            sections, f"kss/{k}/full", level_rows, mmap=mmap
         )
         levels[k] = KssLevelStore(
             prefixes=prefixes,

@@ -24,7 +24,8 @@ Shard handles are built once — by :func:`split_database` /
 
 from __future__ import annotations
 
-from bisect import bisect_left
+import threading
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -32,12 +33,12 @@ from repro.backends import (
     BucketSlice,
     PhaseTimings,
     RetrievalResult,
-    ShardSlice,
     StepTwoBackend,
     get_backend,
 )
 from repro.databases.kss import KssTables
 from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.executors import ExecutorSpec, get_executor
 
 
 @dataclass
@@ -114,14 +115,24 @@ class MultiSsdStepTwo:
     ``(database, n_ssds)`` or passed in pre-built via ``shards`` (what
     :class:`~repro.megis.index.MegisIndex.shards` supplies), so serving
     many queries never re-splits anything.
+
+    ``executor`` selects the execution policy for the per-shard work
+    (:mod:`repro.megis.executors`): with a :class:`ThreadedExecutor`, the
+    shards' intersect + retrieve tasks run concurrently — each SSD is an
+    independent engine (§6.1), and every task owns its
+    :class:`~repro.backends.PhaseTimings`, so results stay bit-identical
+    to the serial dispatch while ``step2_wall_ms`` records the genuinely
+    overlapped wall-clock window.
     """
 
     def __init__(self, database: Optional[SortedKmerDatabase] = None,
                  kss: Optional[KssTables] = None,
                  n_ssds: Optional[int] = None, channels_per_ssd: int = 8,
                  backend: Union[str, StepTwoBackend, None] = None,
-                 shards: Optional[Sequence[DatabaseShard]] = None):
+                 shards: Optional[Sequence[DatabaseShard]] = None,
+                 executor: ExecutorSpec = None):
         self._backend = get_backend(backend)
+        self._executor = get_executor(executor)
         if kss is None:
             raise ValueError("MultiSsdStepTwo requires the KSS tables")
         if shards is None:
@@ -142,17 +153,22 @@ class MultiSsdStepTwo:
         self.backend = backend
         self.channels_per_ssd = channels_per_ssd
         self.timings = PhaseTimings(backend=self._backend.name)
+        #: Engines are shared read-only by serving threads; only the
+        #: accumulated lifetime timings are mutable state, so they get
+        #: their own lock.
+        self._timings_lock = threading.Lock()
 
     @property
     def backend_name(self) -> str:
         return self._backend.name
 
     @property
+    def executor_name(self) -> str:
+        return self._executor.name
+
+    @property
     def n_ssds(self) -> int:
         return len(self.shards)
-
-    def _shard_slices(self) -> List[ShardSlice]:
-        return [(s.lo, s.hi, s.database) for s in self.shards]
 
     def run(
         self,
@@ -168,19 +184,33 @@ class MultiSsdStepTwo:
         per-shard CSR owner columns concatenate
         (:meth:`RetrievalResult.concatenate`) into exactly the single-SSD
         retrieval result; no per-element host work.
+
+        The per-shard tasks are dispatched through the configured executor
+        — one independent SSD engine per shard — and merged in shard
+        order, so the result (and the counter totals) are identical
+        however the tasks interleave.
         """
         t = PhaseTimings(backend=self._backend.name)
-        per_shard = self._backend.intersect_sharded(
-            self._shard_slices(), sorted_query, self.channels_per_ssd, t
-        )
+
+        def shard_task(shard: DatabaseShard):
+            st = PhaseTimings(backend=self._backend.name)
+            [partial] = self._backend.intersect_sharded(
+                [(shard.lo, shard.hi, shard.database)], sorted_query,
+                self.channels_per_ssd, st,
+            )
+            retrieved = self._backend.retrieve(shard.kss, partial, st)
+            return partial, retrieved, st
+
+        start = time.perf_counter()
+        outcomes = self._executor.map_ordered(shard_task, self.shards)
+        t.step2_wall_ms += (time.perf_counter() - start) * 1e3
+        for _, _, st in outcomes:
+            t.merge(st)
         # Shards are contiguous ranges in ascending order, so the
         # concatenation is already sorted.
-        intersecting = [kmer for partial in per_shard for kmer in partial]
+        intersecting = [kmer for partial, _, _ in outcomes for kmer in partial]
         retrieved = RetrievalResult.concatenate(
-            [
-                self._backend.retrieve(shard.kss, partial, t)
-                for shard, partial in zip(self.shards, per_shard)
-            ]
+            [retrieved for _, retrieved, _ in outcomes]
         )
         self._record(t, timings)
         return intersecting, retrieved
@@ -197,41 +227,45 @@ class MultiSsdStepTwo:
         :meth:`~repro.megis.isp.IspStepTwo.run_bucketed_multi`.  Retrieval
         runs per (sample, shard) slice against the shard's KSS range and
         each sample's owner columns are the concatenation over shards,
-        mirroring :meth:`run`.
+        mirroring :meth:`run` — including the executor dispatch: each
+        shard's whole-batch stream plus retrievals is one task.
         """
         t = PhaseTimings(
             backend=self._backend.name, samples_batched=max(1, len(samples))
         )
-        per_sample = self._backend.intersect_sharded_multi(
-            self._shard_slices(), [list(buckets) for buckets in samples],
-            self.channels_per_ssd, t,
-        )
+        sample_buckets = [list(buckets) for buckets in samples]
+
+        def shard_task(shard: DatabaseShard):
+            st = PhaseTimings(backend=self._backend.name)
+            per_sample = self._backend.intersect_sharded_multi(
+                [(shard.lo, shard.hi, shard.database)], sample_buckets,
+                self.channels_per_ssd, st,
+            )
+            retrievals = [
+                self._backend.retrieve(shard.kss, partial, st)
+                for partial in per_sample
+            ]
+            return per_sample, retrievals, st
+
+        start = time.perf_counter()
+        outcomes = self._executor.map_ordered(shard_task, self.shards)
+        t.step2_wall_ms += (time.perf_counter() - start) * 1e3
+        for _, _, st in outcomes:
+            t.merge(st)
         results = []
-        for intersecting in per_sample:
+        for s in range(len(sample_buckets)):
+            intersecting = [
+                kmer for per_sample, _, _ in outcomes for kmer in per_sample[s]
+            ]
             retrieved = RetrievalResult.concatenate(
-                [
-                    self._backend.retrieve(shard.kss, shard_slice, t)
-                    for shard, shard_slice in zip(
-                        self.shards, self._split_at_shards(intersecting)
-                    )
-                ]
+                [retrievals[s] for _, retrievals, _ in outcomes]
             )
             results.append((intersecting, retrieved))
         self._record(t, timings)
         return results
 
-    def _split_at_shards(self, intersecting: List[int]) -> List[List[int]]:
-        """Slice a sorted intersection list at the shard range boundaries."""
-        slices: List[List[int]] = []
-        start = 0
-        for shard in self.shards:
-            i = bisect_left(intersecting, shard.lo, start)
-            j = bisect_left(intersecting, shard.hi, i)
-            slices.append(intersecting[i:j])
-            start = j
-        return slices
-
     def _record(self, t: PhaseTimings, timings: Optional[PhaseTimings]) -> None:
-        self.timings.merge(t)
+        with self._timings_lock:
+            self.timings.merge(t)
         if timings is not None:
             timings.merge(t)

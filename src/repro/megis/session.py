@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import threading
 from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
@@ -47,6 +48,7 @@ from repro.backends import PhaseTimings, StepTwoBackend, available_backends
 from repro.databases.sketch import TernarySearchTree
 from repro.megis.abundance import IndexMergeStats, merge_species_indexes
 from repro.megis.commands import CommandProcessor, HostStep, MegisInit, MegisStep
+from repro.megis.executors import ExecutorSpec, parse_spec
 from repro.megis.ftl import MegisFtl
 from repro.megis.host import BucketSet, KmerBucketPartitioner
 from repro.megis.isp import IspStepTwo
@@ -88,6 +90,11 @@ class MegisConfig:
     #: 1 keeps the single-SSD bucketed path.  Results are bit-identical
     #: either way — shards are disjoint lexicographic ranges.
     n_ssds: int = 1
+    #: Execution policy for Step-2 bucket/shard tasks
+    #: (:mod:`repro.megis.executors`): ``None``/"serial" runs inline,
+    #: "threads" / "threads:N" dispatches on a thread pool.  Results are
+    #: bit-identical across policies; only wall-clock overlap changes.
+    executor: Optional[str] = None
 
     def __post_init__(self):
         if self.abundance_method not in {"mapping", "statistical"}:
@@ -102,6 +109,8 @@ class MegisConfig:
             )
         if self.n_ssds < 1:
             raise ValueError(f"n_ssds must be >= 1, got {self.n_ssds}")
+        if self.executor is not None:
+            parse_spec(self.executor)  # raises ValueError on junk
 
 
 @dataclass
@@ -223,15 +232,40 @@ class BucketPipelineScheduler:
         )
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one session cache (accurate under contention:
+    every lookup increments exactly one side, under the session lock)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
 class AnalysisSession:
     """Open a :class:`~repro.megis.index.MegisIndex` once, serve many samples.
 
     All engine state — Step-2 backends, shard handles (with their KSS range
     slices), the Step-1 partitioner, the SSD command processor, and the
     Step-3 index caches — is constructed in ``__init__`` and reused by
-    every :meth:`analyze` / :meth:`analyze_batch` call.  ``backend`` and
-    ``n_ssds`` are conveniences overriding the corresponding
-    :class:`MegisConfig` fields.
+    every :meth:`analyze` / :meth:`analyze_batch` call.  ``backend``,
+    ``n_ssds``, and ``executor`` are conveniences overriding the
+    corresponding :class:`MegisConfig` fields.
+
+    Concurrency: the query path treats every engine structure as
+    read-only, so multiple threads may call :meth:`analyze` /
+    :meth:`analyze_batch` on one session simultaneously (that is what
+    :class:`~repro.megis.service.AnalysisService` does).  The mutable
+    pieces — lazy engine construction, the Step-3 per-species and merged
+    unified-index caches, and their hit/miss counters
+    (``cache_stats``) — are guarded by a session lock; index merging
+    itself runs outside the lock so distinct candidate sets do not
+    serialize.  A session driving a stateful functional ``ssd`` is the
+    exception: command processing is inherently serial, and
+    ``AnalysisService`` refuses such sessions.
     """
 
     #: Most-recently-used merged unified indexes kept alive; the
@@ -246,29 +280,46 @@ class AnalysisSession:
         *,
         backend: Union[str, StepTwoBackend, None] = None,
         n_ssds: Optional[int] = None,
+        executor: ExecutorSpec = None,
         ssd: Optional[SSD] = None,
     ):
         config = config or MegisConfig()
         overrides = {}
+        #: Backend handed to the engines: a registered name from the
+        #: config, or a StepTwoBackend instance passed straight through
+        #: (which may be unregistered, e.g. a custom-paced wrapper).
+        self._backend_spec: Union[str, StepTwoBackend, None] = None
         if backend is not None:
-            # Accept a StepTwoBackend instance too; MegisConfig validates
-            # against the registered names, so resolve to the name.
-            from repro.backends import get_backend
-
-            overrides["backend"] = (
-                backend if isinstance(backend, str) else get_backend(backend).name
-            )
+            if isinstance(backend, StepTwoBackend):
+                self._backend_spec = backend
+                if backend.name in available_backends():
+                    overrides["backend"] = backend.name
+            else:
+                overrides["backend"] = backend
         if n_ssds is not None:
             overrides["n_ssds"] = n_ssds
+        if executor is not None and isinstance(executor, str):
+            overrides["executor"] = executor
         if overrides:
             config = replace(config, **overrides)
         self.index = index
         self.config = config
+        if self._backend_spec is None:
+            self._backend_spec = config.backend
+        #: Executor instance or spec handed to the engines; an Executor
+        #: object passes through, a string spec comes from the config.
+        self._executor_spec: ExecutorSpec = (
+            executor if executor is not None and not isinstance(executor, str)
+            else config.executor
+        )
         self.database = index.database
         self.sketch = index.sketch
         self.references = index.references
         self.ssd = ssd
         self._n_channels = ssd.config.geometry.channels if ssd else 8
+        #: Guards lazy engine construction, the Step-3 caches, and the
+        #: cache counters; everything else on the query path is read-only.
+        self._lock = threading.RLock()
         #: The Step-2 engines are built on first MegIS analysis and then
         #: reused for the session's lifetime; a Metalign-only session
         #: (which streams no KSS) never pays for them — or for the KSS
@@ -281,7 +332,7 @@ class AnalysisSession:
             min_count=config.min_count,
             max_count=config.max_count,
             host_dram_bytes=config.host_dram_bytes,
-            backend=config.backend,
+            backend=self._backend_spec,
         )
         self._processor: Optional[CommandProcessor] = None
         if ssd is not None:
@@ -299,6 +350,10 @@ class AnalysisSession:
         self._unified_cache: Dict[
             frozenset, Tuple[UnifiedIndex, IndexMergeStats]
         ] = {}
+        #: Step-3 cache hit/miss counters ("species" and "unified").
+        self.cache_stats: Dict[str, CacheStats] = {
+            "species": CacheStats(), "unified": CacheStats(),
+        }
         self._tree: Optional[TernarySearchTree] = None
 
     @property
@@ -309,10 +364,13 @@ class AnalysisSession:
     def isp(self) -> IspStepTwo:
         """The single-SSD Step-2 engine (built once, on first use)."""
         if self._isp is None:
-            self._isp = IspStepTwo(
-                self.database, self.kss, n_channels=self._n_channels,
-                backend=self.config.backend,
-            )
+            with self._lock:
+                if self._isp is None:
+                    self._isp = IspStepTwo(
+                        self.database, self.kss, n_channels=self._n_channels,
+                        backend=self._backend_spec,
+                        executor=self._executor_spec,
+                    )
         return self._isp
 
     @property
@@ -322,16 +380,58 @@ class AnalysisSession:
         if self.config.n_ssds <= 1:
             return None
         if self._multissd is None:
-            self._multissd = MultiSsdStepTwo(
-                kss=self.kss, channels_per_ssd=self._n_channels,
-                backend=self.config.backend,
-                shards=self.index.shards(self.config.n_ssds),
-            )
+            with self._lock:
+                if self._multissd is None:
+                    self._multissd = MultiSsdStepTwo(
+                        kss=self.kss, channels_per_ssd=self._n_channels,
+                        backend=self._backend_spec,
+                        executor=self._executor_spec,
+                        shards=self.index.shards(self.config.n_ssds),
+                    )
         return self._multissd
 
     @property
     def backend_name(self) -> str:
         return self.isp.backend_name
+
+    def warm(self) -> "AnalysisSession":
+        """Pre-build every lazily-constructed engine structure.
+
+        After ``warm()`` the :meth:`analyze` / :meth:`analyze_batch` path
+        is pure reads over shared state: the Step-2 engines exist, the
+        database/KSS columns (or row tables, for the reference backend)
+        and the sketch's size columns are materialized, and per-shard KSS
+        slices are cut.  :class:`~repro.megis.service.AnalysisService`
+        calls this before starting its worker threads so no two workers
+        ever race to build the same cache.  (The ternary-tree sketch
+        tables stay lazy — they back :meth:`analyze_metalign`, which the
+        service does not serve, and materializing them would defeat the
+        lazy-sketch open.)
+        """
+        import numpy as np
+
+        engine = self.multissd if self.multissd is not None else self.isp
+        from repro.backends import get_backend
+
+        # Candidate scoring consults the sorted sketch-size columns on
+        # every sample; build them once, before any thread shares them.
+        self.sketch.size_column(np.empty(0, dtype=np.int64))
+        columnar = get_backend(self._backend_spec).columnar
+        if columnar:
+            self.database.column()
+            self.kss.columns()
+        else:
+            # The reference backend walks row objects and the per-level
+            # covered-owner caches; an empty retrieval touches them all.
+            self.kss.retrieve([])
+        if isinstance(engine, MultiSsdStepTwo):
+            for shard in engine.shards:
+                if columnar:
+                    shard.database.column()
+                    shard.kss.columns()
+                else:
+                    shard.kss.retrieve([])
+        return self
 
     # -- single sample ----------------------------------------------------------
 
@@ -450,7 +550,9 @@ class AnalysisSession:
     def ternary_tree(self) -> TernarySearchTree:
         """The CMash lookup structure (built once per session, on demand)."""
         if self._tree is None:
-            self._tree = TernarySearchTree(self.sketch)
+            with self._lock:
+                if self._tree is None:
+                    self._tree = TernarySearchTree(self.sketch)
         return self._tree
 
     def find_candidates_metalign(self, sorted_query: Sequence[int]) -> MetalignResult:
@@ -509,6 +611,14 @@ class AnalysisSession:
         The merged-index cache is LRU-bounded: a long sample stream with
         many distinct candidate sets must not grow memory without bound
         (the per-species cache is bounded by the reference set and stays).
+
+        Thread-safe: the cache lookup, LRU bookkeeping, and hit/miss
+        counters run under the session lock; the merge itself runs outside
+        it, so concurrent samples with *different* candidate sets build in
+        parallel.  Two threads racing on the *same* novel key may both
+        build (both counted as misses — the counters record cache
+        effectiveness, not construction count); the first insertion wins
+        and stays canonical.
         """
         if self.references is None:
             raise ValueError(
@@ -516,23 +626,36 @@ class AnalysisSession:
                 "Step 3 needs an index saved with include_references=True"
             )
         key = frozenset(int(t) for t in candidates)
-        cached = self._unified_cache.pop(key, None)
-        if cached is None:
-            indexes = [self._species_index(taxid) for taxid in sorted(key)]
-            cached = merge_species_indexes(indexes)
-        self._unified_cache[key] = cached  # (re-)insert as most recent
-        if len(self._unified_cache) > self.UNIFIED_CACHE_LIMIT:
-            self._unified_cache.pop(next(iter(self._unified_cache)))
+        with self._lock:
+            cached = self._unified_cache.pop(key, None)
+            if cached is not None:
+                self.cache_stats["unified"].hits += 1
+                self._unified_cache[key] = cached  # re-insert as most recent
+                return cached
+            self.cache_stats["unified"].misses += 1
+        indexes = [self._species_index(taxid) for taxid in sorted(key)]
+        built = merge_species_indexes(indexes)
+        with self._lock:
+            cached = self._unified_cache.pop(key, None)
+            if cached is None:
+                cached = built  # first build wins; a racing loser is dropped
+            self._unified_cache[key] = cached
+            if len(self._unified_cache) > self.UNIFIED_CACHE_LIMIT:
+                self._unified_cache.pop(next(iter(self._unified_cache)))
         return cached
 
     def _species_index(self, taxid: int) -> SpeciesIndex:
-        index = self._species_indexes.get(taxid)
-        if index is None:
-            index = SpeciesIndex.build(
-                taxid, self.references.sequence(taxid), self.config.mapper_k
-            )
-            self._species_indexes[taxid] = index
-        return index
+        with self._lock:
+            index = self._species_indexes.get(taxid)
+            if index is not None:
+                self.cache_stats["species"].hits += 1
+                return index
+            self.cache_stats["species"].misses += 1
+        built = SpeciesIndex.build(
+            taxid, self.references.sequence(taxid), self.config.mapper_k
+        )
+        with self._lock:
+            return self._species_indexes.setdefault(taxid, built)
 
     def map_abundance(
         self, reads: Sequence[Read], candidates: Set[int]
@@ -584,28 +707,63 @@ class AnalysisSession:
         it precedes every bucket and is never hidden) plus per-bucket sort
         components weighted by comparison count (``n log n``); the Step-2
         (intersect) time is apportioned by streamed volume (database range
-        plus query bucket).  Replaying those through the event-queue
-        scheduler, ``serialized_ms``/``overlapped_ms`` expose how much of
-        the serial chain the bucket overlap can hide.
+        plus query bucket) — *unless* the backends recorded real per-bucket
+        wall times covering this sample's buckets exactly
+        (``timings.measured_buckets``), in which case the scheduler replays
+        the measured durations instead of the cost model.  Replaying those
+        through the event-queue scheduler,
+        ``serialized_ms``/``overlapped_ms`` expose how much of the serial
+        chain the bucket overlap can hide.
         """
         sizes = [len(b.kmers) for b in bucket_set.buckets]
         intersect_total = timings.intersect_ms * intersect_share
         if not sizes or sum(sizes) == 0 or intersect_total <= 0:
             return
-        db_lens = [
-            self.database.count_range(b.lo, b.hi) for b in bucket_set.buckets
-        ]
         step_one = _apportion(
             [float(sum(sizes))] + sort_cost_weights(sizes), timings.extract_ms
         )
         lead_ms, sort_ms = step_one[0], step_one[1:]
-        intersect_ms = _apportion(
-            [db + q for db, q in zip(db_lens, sizes)], intersect_total
-        )
+        weights = self._measured_bucket_ms(timings, bucket_set)
+        if weights is None:
+            db_lens = [
+                self.database.count_range(b.lo, b.hi) for b in bucket_set.buckets
+            ]
+            weights = [
+                float(db + q) for db, q in zip(db_lens, sizes)
+            ]
+        intersect_ms = _apportion(weights, intersect_total)
         scheduler = BucketPipelineScheduler(n_engines=max(1, self.config.n_ssds))
         schedule = scheduler.schedule(sort_ms, intersect_ms, lead_ms=lead_ms)
         timings.serialized_ms += schedule.serialized_ms
         timings.overlapped_ms += schedule.overlapped_ms
+
+    @staticmethod
+    def _measured_bucket_ms(
+        timings: PhaseTimings, bucket_set: BucketSet
+    ) -> Optional[List[float]]:
+        """Per-bucket measured intersect durations, or ``None`` to model.
+
+        Valid only when the backends logged exactly one measured slice per
+        bucket, keyed by the bucket's ``[lo, hi)`` range — a sharded or
+        batched Step 2 logs different slices and falls back to the cost
+        model (ROADMAP "measured, not modeled").  The durations drive the
+        schedule as apportionment weights over the measured phase total,
+        so ``serialized_ms`` remains exactly the measured Step-1 + Step-2
+        chain while each bucket's share is measured rather than modeled.
+        """
+        measured = timings.measured_buckets
+        if len(measured) != len(bucket_set.buckets):
+            return None
+        by_range = {
+            (lo, hi): ms for lo, hi, ms in measured
+            if lo is not None and hi is not None
+        }
+        if len(by_range) != len(measured):
+            return None
+        try:
+            return [by_range[(b.lo, b.hi)] for b in bucket_set.buckets]
+        except KeyError:
+            return None
 
     def _finish_step_two(self, result: MegisResult, intersecting, retrieved) -> None:
         """Fold retrieval columns into hit counts and call candidates.

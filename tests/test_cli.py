@@ -114,6 +114,96 @@ class TestIndexLifecycle:
         assert "READS" in capsys.readouterr().err
 
 
+class TestServe:
+    @pytest.fixture(scope="class")
+    def index_path(self, dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("serve") / "world.megis"
+        assert main(["index", "build", str(dataset / "references.fasta"),
+                     str(path), "--shards", "2"]) == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def sample_chunks(self, dataset):
+        from repro.sequences.io import reads_from_fastq
+
+        reads = reads_from_fastq((dataset / "reads.fastq").read_text())
+        size = len(reads) // 3
+        return [reads[i * size:(i + 1) * size] for i in range(3)]
+
+    def _serve(self, monkeypatch, capsys, index_path, lines, *flags):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        code = main(["serve", "--index", str(index_path), *flags])
+        captured = capsys.readouterr()
+        return code, [json.loads(line) for line in
+                      captured.out.strip().splitlines()], captured.err
+
+    def test_jsonl_roundtrip_matches_analyze(self, monkeypatch, capsys,
+                                             index_path, sample_chunks):
+        """Served results == serial session.analyze, in input order."""
+        lines = "".join(
+            json.dumps({"id": f"s{i}",
+                        "reads": [r.sequence for r in chunk]}) + "\n"
+            for i, chunk in enumerate(sample_chunks)
+        )
+        code, records, err = self._serve(
+            monkeypatch, capsys, index_path, lines,
+            "--workers", "2", "--backend", "numpy", "--mmap",
+            "--executor", "threads:2",
+        )
+        assert code == 0
+        assert [r["id"] for r in records] == ["s0", "s1", "s2"]
+        assert "served 3 samples" in err
+
+        from repro.megis.index import MegisIndex
+        from repro.megis.session import AnalysisSession, MegisConfig
+
+        session = AnalysisSession(MegisIndex.open(index_path),
+                                  MegisConfig(backend="numpy"))
+        for record, chunk in zip(records, sample_chunks):
+            expected = session.analyze(chunk)
+            assert record["n_reads"] == len(chunk)
+            assert record["candidates"] == sorted(expected.candidates)
+            assert record["profile"] == {
+                str(t): f
+                for t, f in sorted(expected.profile.fractions.items())
+            }
+
+    def test_malformed_lines_become_error_records(self, monkeypatch, capsys,
+                                                  index_path, sample_chunks):
+        lines = "\n".join([
+            "this is not json",
+            json.dumps({"no_reads_key": True}),
+            json.dumps({"id": "ok",
+                        "reads": [r.sequence for r in sample_chunks[0]]}),
+            json.dumps({"id": "bad", "reads": [1, 2, 3]}),
+        ]) + "\n"
+        code, records, _ = self._serve(monkeypatch, capsys, index_path, lines)
+        assert code == 0
+        assert "bad JSON" in records[0]["error"]
+        assert "expected an object" in records[1]["error"]
+        assert records[2]["id"] == "ok" and "candidates" in records[2]
+        assert "sequence strings" in records[3]["error"]
+
+    def test_statistical_without_references(self, monkeypatch, capsys, dataset,
+                                            tmp_path, sample_chunks):
+        slim = tmp_path / "slim.megis"
+        main(["index", "build", str(dataset / "references.fasta"), str(slim),
+              "--no-references"])
+        capsys.readouterr()
+        code = main(["serve", "--index", str(slim)])
+        assert code == 2
+        assert "statistical" in capsys.readouterr().err
+        lines = json.dumps(
+            {"id": 1, "reads": [r.sequence for r in sample_chunks[0]]}
+        ) + "\n"
+        code, records, _ = self._serve(monkeypatch, capsys, slim, lines,
+                                       "--abundance", "statistical")
+        assert code == 0
+        assert records[0]["candidates"]
+
+
 class TestValidate:
     def test_validate_passes(self, capsys):
         assert main(["validate"]) == 0

@@ -1,0 +1,279 @@
+"""Executor layer, paced backend, and measured-overlap plumbing."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.backends import PhaseTimings, available_backends, get_backend
+from repro.backends.paced import PacedStepTwoBackend
+from repro.megis.executors import (
+    SerialExecutor,
+    ThreadedExecutor,
+    available_executors,
+    get_executor,
+    parse_spec,
+)
+from repro.megis.host import Bucket, BucketSet, KmerBucketPartitioner
+from repro.megis.isp import IspStepTwo
+from repro.megis.session import AnalysisSession, MegisConfig
+
+
+class TestSpecs:
+    def test_families(self):
+        assert available_executors() == ("serial", "threads")
+
+    @pytest.mark.parametrize("spec,expected", [
+        ("serial", ("serial", None)),
+        ("threads", ("threads", None)),
+        ("threads:4", ("threads", 4)),
+    ])
+    def test_parse(self, spec, expected):
+        assert parse_spec(spec) == expected
+
+    @pytest.mark.parametrize("spec", [
+        "fibers", "serial:2", "threads:zero", "threads:0", "threads:-1",
+    ])
+    def test_parse_rejects(self, spec):
+        with pytest.raises(ValueError):
+            parse_spec(spec)
+
+    def test_get_executor_resolution(self):
+        assert get_executor(None) is get_executor("serial")
+        threaded = get_executor("threads:3")
+        assert isinstance(threaded, ThreadedExecutor)
+        assert threaded.workers == 3
+        assert get_executor(threaded) is threaded
+
+    def test_config_validates_executor(self):
+        assert MegisConfig(executor="threads:2").executor == "threads:2"
+        with pytest.raises(ValueError):
+            MegisConfig(executor="fibers")
+
+
+class TestSerialExecutor:
+    def test_runs_inline_in_order(self):
+        order = []
+        executor = SerialExecutor()
+        results = executor.map_ordered(lambda i: (order.append(i), i * 2)[1],
+                                       range(5))
+        assert results == [0, 2, 4, 6, 8]
+        assert order == list(range(5))
+        assert executor.workers == 1
+
+    def test_exception_lands_in_future(self):
+        future = SerialExecutor().submit(lambda: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            future.result()
+
+
+class TestThreadedExecutor:
+    def test_map_ordered_returns_item_order(self):
+        executor = ThreadedExecutor(4)
+        try:
+            barrier = threading.Barrier(4, timeout=10)
+
+            def task(i):
+                if i < 4:
+                    barrier.wait()  # only passable if tasks overlap
+                return i * i
+
+            assert executor.map_ordered(task, range(8)) == [
+                i * i for i in range(8)
+            ]
+        finally:
+            executor.shutdown()
+
+    def test_lazy_pool_and_shutdown(self):
+        executor = ThreadedExecutor(2)
+        assert executor._pool is None
+        assert executor.submit(lambda: 7).result() == 7
+        assert executor._pool is not None
+        executor.shutdown()
+        assert executor._pool is None
+        assert executor.name == "threads:2"
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(0)
+
+
+class TestExecutorDrivenStepTwo:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_concurrent_buckets_bit_identical(self, sorted_db, kss_tables,
+                                              sample, backend):
+        """Per-bucket executor tasks == the serial bucketed run, exactly."""
+        partitioner = KmerBucketPartitioner(k=sorted_db.k, n_buckets=8,
+                                            backend=backend)
+        bucket_set = partitioner.partition(sample.reads)
+        serial = IspStepTwo(sorted_db, kss_tables, backend=backend)
+        threaded = IspStepTwo(sorted_db, kss_tables, backend=backend,
+                              executor="threads:4")
+        expected = serial.run_bucket_set(bucket_set)
+        got = threaded.run_bucket_set(bucket_set)
+        assert got[0] == expected[0]
+        assert got[1] == expected[1]
+        assert threaded.executor_name == "threads:4"
+        # One logical pass over the database either way.
+        assert threaded.timings.db_stream_passes == 1
+        assert threaded.timings.step2_wall_ms > 0
+
+    def test_session_executor_config_is_bit_identical(self, sorted_db,
+                                                      sketch_db, references,
+                                                      sample):
+        from repro.megis.index import MegisIndex
+
+        index = MegisIndex(sorted_db, sketch_db, references)
+        serial = AnalysisSession(index, MegisConfig(
+            backend="numpy", abundance_method="statistical"))
+        threaded = AnalysisSession(index, MegisConfig(
+            backend="numpy", abundance_method="statistical",
+            executor="threads:2"))
+        a = serial.analyze(sample.reads)
+        b = threaded.analyze(sample.reads)
+        assert a.intersecting_kmers == b.intersecting_kmers
+        assert a.sketch_hits == b.sketch_hits
+        assert a.candidates == b.candidates
+        assert a.profile.fractions == b.profile.fractions
+
+
+class TestMeasuredBucketTimings:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_backends_record_per_bucket_wall_times(self, sorted_db, backend):
+        query = sorted_db.kmers[::2]
+        mid = query[len(query) // 2]
+        space = 1 << (2 * sorted_db.k)
+        buckets = [(0, mid, [q for q in query if q < mid]),
+                   (mid, space, [q for q in query if q >= mid])]
+        timings = PhaseTimings()
+        get_backend(backend).intersect_bucketed(sorted_db, buckets, 4, timings)
+        assert [(lo, hi) for lo, hi, _ in timings.measured_buckets] == [
+            (0, mid), (mid, space)
+        ]
+        assert all(ms >= 0 for _, _, ms in timings.measured_buckets)
+
+    def test_scheduler_replays_measured_durations(self):
+        """Measured slices matching the sample's buckets replace the model."""
+        from repro.megis.session import AnalysisSession as Session
+
+        buckets = BucketSet(k=10, buckets=[
+            Bucket(index=0, lo=0, hi=100, kmers=[1, 2]),
+            Bucket(index=1, lo=100, hi=200, kmers=[150]),
+        ])
+        timings = PhaseTimings(intersect_ms=30.0)
+        timings.record_bucket(0, 100, 20.0)
+        timings.record_bucket(100, 200, 10.0)
+        assert Session._measured_bucket_ms(timings, buckets) == [20.0, 10.0]
+        # A sharded/batched run logs different slices -> fall back to model.
+        mismatched = PhaseTimings(intersect_ms=30.0)
+        mismatched.record_bucket(0, 50, 20.0)
+        mismatched.record_bucket(50, 200, 10.0)
+        assert Session._measured_bucket_ms(mismatched, buckets) is None
+        short = PhaseTimings(intersect_ms=30.0)
+        short.record_bucket(0, 100, 20.0)
+        assert Session._measured_bucket_ms(short, buckets) is None
+
+    def test_analyze_models_overlap_from_measured_buckets(self, sorted_db,
+                                                          sketch_db, sample):
+        from repro.megis.index import MegisIndex
+
+        index = MegisIndex(sorted_db, sketch_db)
+        session = AnalysisSession(index, MegisConfig(
+            backend="numpy", abundance_method="statistical", n_buckets=6))
+        result = session.analyze(sample.reads)
+        measured = result.timings.measured_buckets
+        assert len(measured) == result.n_buckets
+        assert result.timings.serialized_ms >= result.timings.overlapped_ms > 0
+
+    def test_merge_and_copy_carry_measured_state(self):
+        a = PhaseTimings(intersect_ms=5.0, step2_wall_ms=4.0)
+        a.record_bucket(0, 10, 2.5)
+        b = a.copy()
+        b.record_bucket(10, 20, 1.5)
+        assert len(a.measured_buckets) == 1 and len(b.measured_buckets) == 2
+        a.merge(b)
+        assert len(a.measured_buckets) == 3
+        assert a.step2_wall_ms == 8.0
+        assert "step2_wall_ms" in a.as_dict()
+
+
+class TestPacedBackend:
+    def test_registered(self):
+        assert "paced" in available_backends()
+        assert get_backend("paced") is get_backend("paced")
+
+    def test_bit_identical_to_inner(self, sorted_db, kss_tables, sample):
+        partitioner = KmerBucketPartitioner(k=sorted_db.k, n_buckets=6,
+                                            backend="numpy")
+        bucket_set = partitioner.partition(sample.reads)
+        paced = PacedStepTwoBackend("numpy", mb_per_s=1e9)
+        assert paced.columnar is True
+        reference = IspStepTwo(sorted_db, kss_tables, backend="numpy")
+        timed = IspStepTwo(sorted_db, kss_tables, backend=paced)
+        assert timed.backend_name == "paced"
+        expected = reference.run_bucket_set(bucket_set)
+        got = timed.run_bucket_set(bucket_set)
+        assert got[0] == expected[0]
+        assert got[1] == expected[1]
+
+    def test_pacing_adds_modeled_stream_wall_time(self, sorted_db):
+        query = sorted_db.kmers[::2]
+        slow = PacedStepTwoBackend("numpy", mb_per_s=0.05)
+        timings = PhaseTimings()
+        start = time.perf_counter()
+        result = slow.intersect(sorted_db, query, 4, timings)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        streamed_mb = len(sorted_db) * 5 / 1e6  # k=20 -> 5-byte records
+        expected_ms = streamed_mb / 0.05 * 1e3
+        assert result == get_backend("numpy").intersect(sorted_db, query, 4)
+        assert elapsed_ms >= 0.8 * expected_ms
+        assert timings.intersect_ms >= 0.8 * expected_ms
+
+    def test_paced_sharded_batch_matches_numpy(self, sorted_db, kss_tables,
+                                               sample):
+        from repro.megis.multissd import MultiSsdStepTwo
+
+        partitioner = KmerBucketPartitioner(k=sorted_db.k, n_buckets=6,
+                                            backend="numpy")
+        samples = [
+            [(b.lo, b.hi, b.kmers)
+             for b in partitioner.partition(reads).buckets]
+            for reads in (sample.reads[:150], sample.reads[150:300])
+        ]
+        reference = MultiSsdStepTwo(sorted_db, kss_tables, n_ssds=3,
+                                    backend="numpy").run_multi(samples)
+        paced = MultiSsdStepTwo(
+            sorted_db, kss_tables, n_ssds=3,
+            backend=PacedStepTwoBackend("numpy", mb_per_s=1e9),
+        ).run_multi(samples)
+        assert paced == reference
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            PacedStepTwoBackend("numpy", mb_per_s=0)
+
+    def test_env_default_bandwidth(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PACED_MBPS", "123.5")
+        assert PacedStepTwoBackend("numpy").mb_per_s == 123.5
+
+    def test_session_accepts_backend_instance(self, sorted_db, sketch_db,
+                                              sample):
+        from repro.megis.index import MegisIndex
+
+        index = MegisIndex(sorted_db, sketch_db)
+        paced = PacedStepTwoBackend("numpy", mb_per_s=1e9)
+        session = AnalysisSession(
+            index, MegisConfig(abundance_method="statistical"), backend=paced
+        )
+        assert session.config.backend == "paced"
+        assert session.backend_name == "paced"
+        reference = AnalysisSession(
+            index, MegisConfig(abundance_method="statistical",
+                               backend="numpy")
+        )
+        a = session.analyze(sample.reads)
+        b = reference.analyze(sample.reads)
+        assert a.candidates == b.candidates
+        assert a.profile.fractions == b.profile.fractions

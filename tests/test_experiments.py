@@ -11,8 +11,9 @@ class TestRunnerInfrastructure:
             "fig03", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
             "fig18", "fig19", "fig20", "fig21", "table2", "energy",
             "accuracy", "kss_size", "ftl_metadata", "index_lifecycle",
-            "ablation_buckets", "ablation_sketch", "backend_scaling",
-            "isp_management", "overprovisioning", "qos_latency",
+            "serving_throughput", "ablation_buckets", "ablation_sketch",
+            "backend_scaling", "isp_management", "overprovisioning",
+            "qos_latency",
         }
         assert set(REGISTRY) == expected
 

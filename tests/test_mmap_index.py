@@ -1,0 +1,155 @@
+"""Memmap-backed index opening: np.memmap CSR columns, zero materialization.
+
+``MegisIndex.open(mmap=True)`` must attach the persisted int64 CSR
+sections — the KSS owner/offset columns per level and each shard's
+database owner CSR — as ``np.memmap`` views of the file, serve queries
+bit-identically to a fully-loaded open, and never stitch or copy the
+owner payload unless a consumer explicitly asks for it (asserted via the
+``owner_column_builds`` counter and memmap type checks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.databases.kss import KssTables
+from repro.databases.serialization import SerializationError, map_sections
+from repro.megis.index import MegisIndex
+from repro.megis.session import AnalysisSession, MegisConfig
+
+
+@pytest.fixture(scope="module")
+def index_path(tmp_path_factory, sorted_db, sketch_db, references):
+    path = tmp_path_factory.mktemp("mmap") / "world.megis"
+    MegisIndex(sorted_db, sketch_db, references).save(path, n_shards=3)
+    return path
+
+
+@pytest.fixture()
+def mapped(index_path):
+    return MegisIndex.open(index_path, mmap=True)
+
+
+def _is_memmap_view(array) -> bool:
+    """True when ``array`` is (a view of) a ``np.memmap``."""
+    while array is not None:
+        if isinstance(array, np.memmap):
+            return True
+        array = getattr(array, "base", None)
+    return False
+
+
+class TestMemmapAttachment:
+    def test_kss_csr_sections_are_memmap_views(self, mapped):
+        assert mapped.mapped is True
+        store = mapped.kss.store()
+        assert isinstance(store.taxids, np.memmap)
+        assert isinstance(store.offsets, np.memmap)
+        assert store.taxids.dtype == np.dtype("<i8")
+        for level in store.levels.values():
+            assert isinstance(level.stored_taxids, np.memmap)
+            assert isinstance(level.stored_offsets, np.memmap)
+            assert isinstance(level.full_taxids, np.memmap)
+            assert isinstance(level.full_offsets, np.memmap)
+
+    def test_shard_owner_columns_are_memmap_views(self, mapped):
+        for shard in mapped.shards(3):
+            taxids, offsets = shard.database.owner_columns()
+            assert isinstance(taxids, np.memmap)
+            assert isinstance(offsets, np.memmap)
+            assert taxids.dtype == np.dtype("<u4")
+            assert offsets.dtype == np.dtype("<u8")
+            # The shard handle's KSS range slices stay memmap-backed too.
+            assert _is_memmap_view(shard.kss.store().taxids)
+
+    def test_sharded_kss_slices_work_unchanged(self, mapped, kss_tables):
+        """KssTables.from_store + slice_range on memmap columns == in-RAM."""
+        store = mapped.kss.store()
+        reloaded = KssTables.from_store(store)
+        space = 1 << (2 * mapped.k)
+        sliced = reloaded.slice_range(0, space // 2)
+        expected = kss_tables.slice_range(0, space // 2)
+        assert len(sliced) == len(expected)
+        queries = [kmer for kmer, _ in expected.entries][:50]
+        assert sliced.retrieve(queries) == expected.retrieve(queries)
+
+    def test_default_open_is_not_mapped(self, index_path):
+        opened = MegisIndex.open(index_path)
+        assert opened.mapped is False
+        assert not isinstance(opened.kss.store().taxids, np.memmap)
+
+
+class TestMemmapServing:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("method,n_ssds", [("mapping", 1),
+                                               ("statistical", 3)])
+    def test_serves_bit_identically(self, index_path, mapped, sample, backend,
+                                    method, n_ssds):
+        config = MegisConfig(backend=backend, abundance_method=method,
+                             n_ssds=n_ssds)
+        expected = AnalysisSession(MegisIndex.open(index_path),
+                                   config).analyze(sample.reads)
+        got = AnalysisSession(mapped, config).analyze(sample.reads)
+        assert got.intersecting_kmers == expected.intersecting_kmers
+        assert got.sketch_hits == expected.sketch_hits
+        assert got.candidates == expected.candidates
+        assert got.profile.fractions == expected.profile.fractions
+
+    def test_query_path_never_materializes_owner_columns(self, index_path,
+                                                         sample):
+        """The stitched parent owner CSR is never built while serving."""
+        mapped = MegisIndex.open(index_path, mmap=True)
+        session = AnalysisSession(
+            mapped, MegisConfig(backend="numpy",
+                                abundance_method="statistical", n_ssds=3)
+        )
+        first = session.analyze(sample.reads)
+        second = session.analyze(sample.reads)
+        assert first.candidates and first.candidates == second.candidates
+        assert mapped.database.owner_column_builds == 0
+        assert mapped.kss.column_builds == 0
+        assert mapped.kss.row_materializations == 0
+        for shard in mapped.shards(3):
+            assert shard.database.owner_column_builds == 0
+
+    def test_explicit_owner_access_materializes_once(self, index_path):
+        mapped = MegisIndex.open(index_path, mmap=True)
+        eager = MegisIndex.open(index_path)
+        taxids, offsets = mapped.database.owner_columns()
+        assert mapped.database.owner_column_builds == 1
+        expected_taxids, expected_offsets = eager.database.owner_columns()
+        assert np.array_equal(taxids, expected_taxids)
+        assert np.array_equal(offsets, expected_offsets)
+        kmer = mapped.database.kmers[len(mapped.database) // 2]
+        assert mapped.database.owners_of(kmer) == eager.database.owners_of(kmer)
+
+
+class TestMapSectionsErrors:
+    def test_rejects_truncated_file(self, tmp_path, index_path):
+        truncated = tmp_path / "trunc.megis"
+        truncated.write_bytes(index_path.read_bytes()[:64])
+        with pytest.raises(SerializationError):
+            map_sections(truncated)
+
+    def test_rejects_bad_magic(self, tmp_path):
+        bogus = tmp_path / "bogus.megis"
+        bogus.write_bytes(b"NOTANIDX" + b"\x00" * 64)
+        with pytest.raises(SerializationError, match="bad index magic"):
+            map_sections(bogus)
+
+    def test_rejects_short_header(self, tmp_path):
+        stub = tmp_path / "stub.megis"
+        stub.write_bytes(b"MEGI")
+        with pytest.raises(SerializationError, match="shorter than header"):
+            map_sections(stub)
+
+    def test_sections_match_bytes_open(self, index_path):
+        from repro.databases.serialization import unpack_sections
+
+        by_map = map_sections(index_path)
+        by_bytes = unpack_sections(index_path.read_bytes())
+        assert set(by_map) == set(by_bytes)
+        for name, view in by_map.items():
+            assert isinstance(view, np.memmap)
+            assert bytes(view) == bytes(by_bytes[name])

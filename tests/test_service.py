@@ -1,0 +1,267 @@
+"""Concurrency determinism suite for the serving API (tentpole lock).
+
+``AnalysisService`` workers share one session; the executor layer runs
+Step-2 bucket/shard tasks on threads.  None of that may change a single
+bit of output: every test here compares concurrent serving against the
+strictly serial path on the golden-fixture world — both backends, both
+abundance methods — and checks that the lock-protected Step-3 cache
+counters stay accurate under concurrent submits.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.index import MegisIndex
+from repro.megis.service import AnalysisService
+from repro.megis.session import AnalysisSession, MegisConfig
+from repro.workloads.cami import CamiDiversity, make_cami_sample
+
+GOLDEN = Path(__file__).parent / "data" / "golden_pipeline.json"
+
+N_CHUNKS = 5
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_world(golden):
+    p = golden["params"]
+    sample = make_cami_sample(
+        CamiDiversity.MEDIUM,
+        n_reads=p["n_reads"],
+        n_genera=p["n_genera"],
+        species_per_genus=p["species_per_genus"],
+        genome_length=p["genome_length"],
+        seed=p["seed"],
+    )
+    sorted_db = SortedKmerDatabase.build(sample.references, k=p["k"])
+    sketch = SketchDatabase.build(
+        sample.references,
+        k_max=p["k"],
+        smaller_ks=tuple(p["smaller_ks"]),
+        sketch_fraction=p["sketch_fraction"],
+    )
+    return sample, MegisIndex(sorted_db, sketch, sample.references)
+
+
+def _golden_config(golden, **overrides) -> MegisConfig:
+    p = golden["params"]
+    defaults = dict(
+        n_buckets=p["n_buckets"], min_containment=p["min_containment"]
+    )
+    defaults.update(overrides)
+    return MegisConfig(**defaults)
+
+
+def _chunks(reads):
+    size = len(reads) // N_CHUNKS
+    return [reads[i * size:(i + 1) * size] for i in range(N_CHUNKS)]
+
+
+def _signature(result):
+    return (
+        result.intersecting_kmers,
+        result.sketch_hits,
+        sorted(result.candidates),
+        sorted(result.profile.fractions.items()),
+    )
+
+
+class TestConcurrentDeterminism:
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    @pytest.mark.parametrize("method", ["mapping", "statistical"])
+    def test_service_bit_identical_to_serial(self, golden_world, golden,
+                                             backend, method):
+        """4 workers + ThreadedExecutor sharded Step 2 == the serial path."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)
+        serial_session = AnalysisSession(
+            index, _golden_config(golden, backend=backend,
+                                  abundance_method=method),
+        )
+        expected = [_signature(serial_session.analyze(c)) for c in chunks]
+        assert any(sig[2] for sig in expected), "chunks must call candidates"
+
+        concurrent_session = AnalysisSession(
+            index, _golden_config(golden, backend=backend,
+                                  abundance_method=method, n_ssds=3,
+                                  executor="threads:4"),
+        )
+        with AnalysisService(concurrent_session, workers=4) as service:
+            futures = service.submit_batch(chunks)
+            got = [_signature(future.result()) for future in futures]
+        assert got == expected
+
+    @pytest.mark.parametrize("method", ["mapping", "statistical"])
+    def test_service_reproduces_golden_numbers(self, golden_world, golden,
+                                               method):
+        """The whole golden sample served concurrently hits the fixture."""
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, backend="numpy",
+                                  abundance_method=method, n_ssds=3,
+                                  executor="threads:4"),
+        )
+        with AnalysisService(session, workers=4) as service:
+            result = service.submit(sample.reads).result()
+        expected = golden["expected"][method]
+        assert len(result.intersecting_kmers) == expected["n_intersecting"]
+        assert sum(result.intersecting_kmers) == expected["intersecting_sum"]
+        assert sorted(result.candidates) == expected["candidates"]
+        got_profile = {str(t): f for t, f in result.profile.fractions.items()}
+        assert set(got_profile) == set(expected["profile"])
+        for taxid, fraction in expected["profile"].items():
+            assert got_profile[taxid] == pytest.approx(
+                fraction, rel=1e-12, abs=1e-15
+            )
+
+    def test_interleaved_submits_preserve_order(self, golden_world, golden):
+        """Futures resolve to their own sample however batches coalesce."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)
+        serial_session = AnalysisSession(
+            index, _golden_config(golden, backend="numpy",
+                                  abundance_method="statistical"),
+        )
+        expected = [_signature(serial_session.analyze(c)) for c in chunks]
+        session = AnalysisSession(
+            index, _golden_config(golden, backend="numpy",
+                                  abundance_method="statistical"),
+        )
+        with AnalysisService(session, workers=3, max_batch=2) as service:
+            futures = [service.submit(c) for c in chunks * 3]
+            got = [_signature(future.result()) for future in futures]
+        assert got == expected * 3
+
+
+class TestCacheCountersUnderContention:
+    def test_unified_cache_counters_account_for_every_lookup(
+        self, sample, sorted_db, sketch_db
+    ):
+        """hits + misses == submitted samples, exactly, under 4 workers."""
+        index = MegisIndex(sorted_db, sketch_db, sample.references)
+        chunks = _chunks(sample.reads)[:2]
+        session = AnalysisSession(
+            index, MegisConfig(backend="numpy", abundance_method="mapping"),
+        )
+        with AnalysisService(session, workers=4) as service:
+            futures = service.submit_batch(chunks * 4)
+            results = [future.result() for future in futures]
+        with_candidates = sum(1 for r in results if r.candidates)
+        assert with_candidates == 8, "every chunk must map candidates"
+        unified = session.cache_stats["unified"]
+        assert unified.lookups == 8
+        distinct = len({frozenset(r.candidates) for r in results})
+        assert unified.misses >= distinct
+        assert unified.hits == 8 - unified.misses
+        species = session.cache_stats["species"]
+        all_species = {t for r in results for t in r.candidates}
+        assert species.misses >= len(all_species)
+        # The cache holds one canonical entry per distinct candidate set,
+        # however many threads raced to build it.
+        assert len(session._unified_cache) == distinct
+
+    def test_serial_counters_are_exact(self, sample, sorted_db, sketch_db):
+        index = MegisIndex(sorted_db, sketch_db, sample.references)
+        chunks = _chunks(sample.reads)[:2]
+        session = AnalysisSession(
+            index, MegisConfig(backend="numpy", abundance_method="mapping"),
+        )
+        with AnalysisService(session, workers=1, max_batch=1) as service:
+            results = [f.result() for f in service.submit_batch(chunks * 3)]
+        distinct = len({frozenset(r.candidates) for r in results})
+        unified = session.cache_stats["unified"]
+        assert unified.lookups == 6
+        assert unified.misses == distinct
+        assert unified.hits == 6 - distinct
+
+
+class TestServiceLifecycle:
+    def test_submit_after_close_raises(self, golden_world, golden):
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        service = AnalysisService(session, workers=2)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(sample.reads[:5])
+
+    def test_failures_propagate_per_future(self, golden_world, golden):
+        """A failing sample rejects its future; drain() still returns."""
+        sample, index = golden_world
+        no_refs = MegisIndex(index.database, index.sketch, references=None)
+        session = AnalysisSession(
+            no_refs, _golden_config(golden, abundance_method="mapping")
+        )
+        with AnalysisService(session, workers=2) as service:
+            future = service.submit(sample.reads[:40])
+            service.drain()
+            with pytest.raises(ValueError, match="no reference sequences"):
+                future.result()
+        assert service.stats.samples_completed == 1
+
+    def test_requires_stateless_session(self, golden_world, golden):
+        from repro.ssd.config import ssd_c
+        from repro.ssd.device import SSD
+
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical"),
+            ssd=SSD(ssd_c()),
+        )
+        with pytest.raises(ValueError, match="stateless"):
+            AnalysisService(session)
+
+    def test_cancelled_future_does_not_poison_its_batch(self, golden_world,
+                                                        golden):
+        """Cancelling a queued sample drops only that sample: batch-mates
+        still resolve to their results and drain() still returns."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)[:4]
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        # One worker, wide backlog: while the worker chews the first
+        # batch, later futures sit queued and can be cancelled before a
+        # worker claims them (claimed futures refuse cancellation).
+        with AnalysisService(session, workers=1, max_batch=2) as svc:
+            futures = svc.submit_batch(chunks * 4)
+            cancelled = [f for f in futures if f.cancel()]
+            svc.drain()
+            kept = [f for f in futures if not f.cancelled()]
+            results = [f.result() for f in kept]
+        assert len(cancelled) + len(kept) == len(futures)
+        assert all(r.candidates is not None for r in results)
+        assert svc.stats.samples_cancelled == len(cancelled)
+        assert svc.stats.samples_completed == len(kept)
+
+    def test_drain_from_another_thread(self, golden_world, golden):
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=2) as service:
+            futures = service.submit_batch(_chunks(sample.reads))
+            drained = threading.Event()
+
+            def waiter():
+                service.drain()
+                drained.set()
+
+            threading.Thread(target=waiter, daemon=True).start()
+            [future.result() for future in futures]
+            assert drained.wait(timeout=30)
+        stats = service.stats
+        assert stats.samples_submitted == stats.samples_completed == N_CHUNKS
+        assert stats.widest_batch <= 2  # default max_batch == workers

@@ -19,15 +19,46 @@ class TestHitGroups:
             9: {12: frozenset({2, 3})},
         }
         groups = StatisticalAbundanceEstimator.hit_groups(retrieved, {1, 2, 3})
-        assert groups == {frozenset({1}): 1, frozenset({2, 3}): 1}
+        assert groups == {(1,): 1, (2, 3): 1}
 
     def test_restricted_to_candidates(self, estimator):
         retrieved = {5: {20: frozenset({1, 99})}}
         groups = StatisticalAbundanceEstimator.hit_groups(retrieved, {1})
-        assert groups == {frozenset({1}): 1}
+        assert groups == {(1,): 1}
 
     def test_empty_levels_skipped(self, estimator):
         assert StatisticalAbundanceEstimator.hit_groups({5: {}}, {1}) == {}
+
+    def test_columnar_matches_reference_fold(self, estimator):
+        """The vectorized CSR grouping = the dict-view fold, keys and order."""
+        from repro.backends.retrieval import RetrievalResult
+
+        retrieved = RetrievalResult.from_query_dicts({
+            5: {20: frozenset({1}), 12: frozenset({1, 2})},
+            9: {12: frozenset({2, 3})},
+            11: {20: frozenset({99}), 12: frozenset({2, 3})},
+            13: {12: frozenset({2, 3})},
+        })
+        columnar = StatisticalAbundanceEstimator.hit_groups(retrieved, {1, 2, 3})
+        reference = StatisticalAbundanceEstimator.hit_groups(
+            retrieved.to_query_dicts(), {1, 2, 3}
+        )
+        # Query 11's most specific level (20) has owners, but none are
+        # candidates: it must contribute nothing (the level still "wins").
+        assert columnar == {(1,): 1, (2, 3): 2}
+        assert columnar == reference
+        assert list(columnar) == list(reference)  # first-occurrence order
+
+    def test_group_keys_are_interned_tuples(self, estimator):
+        from repro.backends.retrieval import RetrievalResult
+
+        retrieved = RetrievalResult.from_query_dicts(
+            {q: {20: frozenset({3, 1})} for q in range(10)}
+        )
+        groups = StatisticalAbundanceEstimator.hit_groups(retrieved, {1, 3})
+        assert groups == {(1, 3): 10}
+        (key,) = groups
+        assert isinstance(key, tuple) and key == tuple(sorted(key))
 
 
 class TestEm:
