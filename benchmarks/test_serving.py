@@ -1,7 +1,11 @@
-"""Serving benchmarks: AnalysisService throughput and the workers floor.
+"""Serving benchmarks: streaming emission, throughput, and the QoS trade.
 
-Pins the structural wins of the concurrent serving API:
+Pins the structural wins of the streaming serving API:
 
+- ``repro serve`` must emit its first result while stdin is still open —
+  the incremental-emission contract that lets the daemon sit under an
+  infinite stream (enforced with a gated fake stdin that refuses to EOF
+  until a result line appears);
 - ``AnalysisService(workers=4)`` over the numpy kernels must serve the
   multi-sample workload at >=2x the samples/sec of ``workers=1`` — and
   produce bit-identical results.  Step 2 runs paced (the modeled flash
@@ -11,15 +15,22 @@ Pins the structural wins of the concurrent serving API:
   work even on a single CPU core: workers coalesce queued samples into
   §4.7 batches (the stream is paid once per batch) and the paced waits of
   independent batches overlap across threads;
+- the ``--batch-window-ms`` knob must show its monotone endpoints on the
+  paced backend: coalescing a burst raises throughput, and delaying a
+  trickle raises p99 latency (the §4.7 trade the ``qos_latency``
+  experiment sweeps);
 - a ThreadedExecutor-driven sharded Step 2 must reproduce the serial
   multi-SSD result exactly while overlapping the shards' paced streams
   (``measured_overlap_saved_ms > 0``).
 """
 
+import json
+import threading
 import time
 
 import pytest
 
+from benchmarks.conftest import emit
 from repro.backends.paced import PacedStepTwoBackend
 from repro.megis.index import MegisIndex
 from repro.megis.multissd import MultiSsdStepTwo
@@ -102,16 +113,165 @@ def test_service_workers_speedup_floor(bench_sorted_db, bench_sketch,
 @pytest.mark.parametrize("workers", [1, 4])
 def test_service_throughput(benchmark, bench_sorted_db, bench_sketch,
                             bench_sample, workers):
-    """Samples/sec through the service at each worker count (CI artifact)."""
+    """Samples/sec through the service at each worker count (CI artifact).
+
+    The uploaded ``BENCH_serving.json`` carries the serving-quality
+    fields alongside the wall time: queue-wait aggregates, batch-width
+    shape, and per-request latency percentiles.
+    """
     samples = _sample_stream(bench_sample)
     session = _paced_session(bench_sorted_db, bench_sketch)
+    captured = {}
 
     def serve_stream():
-        results, _ = _serve(session, samples, workers)
-        return results
+        with AnalysisService(session, workers=workers) as service:
+            service.submit_batch(samples)
+            service.close_submissions()
+            completed = list(service.results())
+        captured["stats"] = service.stats
+        captured["latencies"] = sorted(
+            entry.metrics.latency_ms for entry in completed
+        )
+        captured["batch_sizes"] = [
+            entry.metrics.batch_size for entry in completed
+        ]
+        return [entry.future.result() for entry in completed]
 
     results = benchmark.pedantic(serve_stream, rounds=3, iterations=1)
     assert all(r.candidates is not None for r in results)
+    stats, latencies = captured["stats"], captured["latencies"]
+    benchmark.extra_info["mean_queue_wait_ms"] = round(
+        stats.mean_queue_wait_ms, 3
+    )
+    benchmark.extra_info["max_queue_wait_ms"] = round(
+        stats.queue_wait_max_ms, 3
+    )
+    benchmark.extra_info["peak_queued"] = stats.peak_queued
+    benchmark.extra_info["mean_batch"] = round(stats.mean_batch, 3)
+    benchmark.extra_info["widest_batch"] = stats.widest_batch
+    benchmark.extra_info["p50_latency_ms"] = round(
+        latencies[len(latencies) // 2], 3
+    )
+    benchmark.extra_info["p99_latency_ms"] = round(latencies[-1], 3)
+
+
+def test_batch_window_trade_monotone_endpoints(benchmark):
+    """The qos_latency sweep's report artifact must show the §4.7 trade:
+    under a burst, widening the window raises throughput (one coalesced
+    stream instead of two); under a trickle, it raises p99 latency (pure
+    admission delay).  Endpoints only — the middle of the curve is
+    reported, not asserted, so pacing noise cannot flake CI."""
+    from repro.experiments.qos_latency import run as run_qos
+
+    result = benchmark.pedantic(run_qos, rounds=1, iterations=1)
+    emit(result)
+    burst = {r["window_ms"]: r for r in result.rows if r["regime"] == "burst"}
+    trickle = {r["window_ms"]: r for r in result.rows
+               if r["regime"] == "trickle"}
+    windows = sorted(burst)
+    lo, hi = windows[0], windows[-1]
+    assert burst[hi]["samples_per_s"] > burst[lo]["samples_per_s"], (
+        "burst coalescing must raise throughput: "
+        f"{burst[lo]['samples_per_s']:.1f} -> {burst[hi]['samples_per_s']:.1f}"
+    )
+    assert burst[hi]["batches"] < burst[lo]["batches"]
+    assert trickle[hi]["p99_ms"] > trickle[lo]["p99_ms"], (
+        "trickle admission delay must raise p99: "
+        f"{trickle[lo]['p99_ms']:.1f} -> {trickle[hi]['p99_ms']:.1f} ms"
+    )
+    benchmark.extra_info["burst_samples_per_s"] = {
+        str(w): round(burst[w]["samples_per_s"], 2) for w in windows
+    }
+    benchmark.extra_info["trickle_p99_ms"] = {
+        str(w): round(trickle[w]["p99_ms"], 2) for w in windows
+    }
+
+
+class _GatedStdin:
+    """Fake stdin that refuses to EOF until a result line has streamed out.
+
+    If ``repro serve`` buffered results until EOF (the old lifecycle),
+    this deadlocks the reader and the wait below times the test out —
+    first emission strictly before EOF is the only way through."""
+
+    def __init__(self, lines, first_result_seen):
+        self._lines = list(lines)
+        self._first_result_seen = first_result_seen
+        self.eof_at = None
+
+    def __iter__(self):
+        return self
+
+    def __next__(self):
+        if self._lines:
+            return self._lines.pop(0)
+        assert self._first_result_seen.wait(timeout=120), (
+            "serve emitted nothing while stdin was still open"
+        )
+        self.eof_at = time.perf_counter()
+        raise StopIteration
+
+
+class _RecordingStdout:
+    """Line-buffering stdout stand-in that timestamps the first record."""
+
+    def __init__(self, first_result_seen):
+        self.lines = []
+        self.first_at = None
+        self._first_result_seen = first_result_seen
+        self._buffer = ""
+
+    def write(self, text):
+        self._buffer += text
+        while "\n" in self._buffer:
+            line, self._buffer = self._buffer.split("\n", 1)
+            if line.strip():
+                if self.first_at is None:
+                    self.first_at = time.perf_counter()
+                self.lines.append(line)
+                self._first_result_seen.set()
+        return len(text)
+
+    def flush(self):
+        pass
+
+
+def test_serve_streams_first_result_before_eof(tmp_path, monkeypatch,
+                                               bench_sample):
+    """`repro serve` on a paced-backend stream emits its first result
+    while stdin is still open (the ISSUE's streaming acceptance)."""
+    from repro.cli import main
+    from repro.sequences.io import references_to_fasta
+
+    fasta = tmp_path / "refs.fasta"
+    fasta.write_text(references_to_fasta(bench_sample.references))
+    index_path = tmp_path / "world.megis"
+    assert main(["index", "build", str(fasta), str(index_path)]) == 0
+
+    chunk = len(bench_sample.reads) // 4
+    lines = [
+        json.dumps({"id": f"s{i}", "reads": [
+            r.sequence for r in bench_sample.reads[i * chunk:(i + 1) * chunk]
+        ]}) + "\n"
+        for i in range(4)
+    ]
+    first_result_seen = threading.Event()
+    stdin = _GatedStdin(lines, first_result_seen)
+    stdout = _RecordingStdout(first_result_seen)
+    monkeypatch.setenv("REPRO_PACED_MBPS", str(MB_PER_S))
+    monkeypatch.setattr("sys.stdin", stdin)
+    monkeypatch.setattr("sys.stdout", stdout)
+    code = main(["serve", "--index", str(index_path), "--workers", "2",
+                 "--backend", "paced", "--abundance", "statistical",
+                 "--max-queue", "2"])
+    assert code == 0
+    records = [json.loads(line) for line in stdout.lines]
+    assert {r["id"] for r in records} == {"s0", "s1", "s2", "s3"}
+    assert all(r["schema"] == 1 and "candidates" in r for r in records)
+    assert stdout.first_at is not None and stdin.eof_at is not None
+    assert stdout.first_at < stdin.eof_at, (
+        "first result must stream out before stdin EOF"
+    )
 
 
 def test_threaded_sharded_step2_overlaps_streams(bench_sorted_db, bench_kss):

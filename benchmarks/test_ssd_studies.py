@@ -1,8 +1,8 @@
-"""Benchmarks: SSD-internals studies (overprovisioning, QoS latency)."""
+"""Benchmarks: SSD-internals studies (overprovisioning, random-read QoS)."""
 
 from benchmarks.conftest import emit
 from repro.experiments.overprovisioning import run as run_overprovisioning
-from repro.experiments.qos_latency import run as run_qos
+from repro.experiments.random_read_latency import run as run_random_read
 
 
 def test_overprovisioning(benchmark):
@@ -12,8 +12,8 @@ def test_overprovisioning(benchmark):
     assert achieved == sorted(achieved, reverse=True)
 
 
-def test_qos_latency(benchmark):
-    result = benchmark.pedantic(run_qos, rounds=1, iterations=1)
+def test_random_read_latency(benchmark):
+    result = benchmark.pedantic(run_random_read, rounds=1, iterations=1)
     emit(result)
     for ssd in ("SSD-C", "SSD-P"):
         p99 = [r["p99_us"] for r in result.rows if r["ssd"] == ssd]

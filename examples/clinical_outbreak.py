@@ -16,9 +16,8 @@ turnaround-time advantage at paper scale.
 
 
 from repro.databases.kraken import KrakenDatabase
-from repro.databases.sketch import SketchDatabase
-from repro.databases.sorted_db import SortedKmerDatabase
-from repro.megis.pipeline import MegisPipeline
+from repro.megis.index import IndexBuilder
+from repro.megis.session import AnalysisSession
 from repro.perf.specs import baseline_system
 from repro.perf.timing import TimingModel
 from repro.sequences.generator import GenomeGenerator
@@ -59,9 +58,8 @@ def main() -> None:
     print(f"  pathogen detected: {pathogen in kraken_present}")
 
     print("\nMegIS (full accuracy-optimized database, in-storage):")
-    database = SortedKmerDatabase.build(references, k=20)
-    sketch = SketchDatabase.build(references, k_max=20, smaller_ks=(12, 8))
-    result = MegisPipeline(database, sketch, references).analyze(reads)
+    index = IndexBuilder(k=20).build(references)
+    result = AnalysisSession(index).analyze(reads)
     detected = pathogen in result.present()
     print(f"  pathogen detected: {detected}")
     print(f"  estimated abundance: {result.profile.abundance(pathogen):.1%}")

@@ -13,7 +13,8 @@ Exercises the complete downstream-user path:
 """
 
 from repro.databases.builder import DatabaseBuilder, place_bundle
-from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.megis.index import MegisIndex
+from repro.megis.session import AnalysisSession, MegisConfig
 from repro.reporting import json_report, text_report
 from repro.sequences.io import format_fastq, parse_fastq
 from repro.sequences.quality import QualityFilter
@@ -45,13 +46,12 @@ def main() -> None:
           f"{len(layout.block_sequences)} channels")
 
     print("4. running MegIS (mapping + statistical Step 3)...")
-    mapping = MegisPipeline(
-        bundle.sorted_db, bundle.sketch, bundle.references,
-        config=MegisConfig(abundance_method="mapping"),
+    index = MegisIndex(bundle.sorted_db, bundle.sketch, bundle.references)
+    mapping = AnalysisSession(
+        index, MegisConfig(abundance_method="mapping")
     ).analyze(reads)
-    statistical = MegisPipeline(
-        bundle.sorted_db, bundle.sketch, bundle.references,
-        config=MegisConfig(abundance_method="statistical"),
+    statistical = AnalysisSession(
+        index, MegisConfig(abundance_method="statistical")
     ).analyze(reads)
     truth = sample.present_species()
     print(f"   mapping:     F1 {f1_score(mapping.present(), truth):.3f}, "

@@ -12,9 +12,8 @@ per-sample results are unchanged) and then uses the timing model to
 reproduce the Fig 21 scaling at paper scale.
 """
 
-from repro.databases.sketch import SketchDatabase
-from repro.databases.sorted_db import SortedKmerDatabase
-from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.megis.index import IndexBuilder
+from repro.megis.session import AnalysisSession, MegisConfig
 from repro.perf.specs import baseline_system
 from repro.perf.timing import TimingModel
 from repro.ssd.config import GB, ssd_c, ssd_p
@@ -30,11 +29,8 @@ def main() -> None:
     # references and re-simulate the other samples' reads against the same
     # references with different abundance draws.
     references = base.references
-    database = SortedKmerDatabase.build(references, k=20)
-    sketch = SketchDatabase.build(references, k_max=20, smaller_ks=(12, 8))
-    pipeline = MegisPipeline(
-        database, sketch, references, config=MegisConfig(backend="numpy")
-    )
+    index = IndexBuilder(k=20).build(references)
+    session = AnalysisSession(index, MegisConfig(backend="numpy"))
 
     read_sets = [base.reads]
     truths = [base.present_species()]
@@ -53,7 +49,7 @@ def main() -> None:
         truths.append(truth.present())
 
     print("analyzing the batch (Step 2 batched: database streamed once)...")
-    results = pipeline.analyze_multi(read_sets)
+    results = session.analyze_batch(read_sets)
     for i, (result, truth) in enumerate(zip(results, truths)):
         print(f"  sample {i}: F1 = {f1_score(result.present(), truth):.3f}, "
               f"{len(result.candidates)} candidates")

@@ -1,18 +1,17 @@
 #!/usr/bin/env python
 """Quickstart: analyze one metagenomic sample end to end with MegIS.
 
-Builds a synthetic CAMI-like sample and its reference databases, runs the
-functional MegIS pipeline (host Step 1 -> in-storage Step 2 -> Step 3),
-and compares the result against the ground truth and against the
-accuracy-optimized software baseline (Metalign), which MegIS must match
-exactly.
+Builds a synthetic CAMI-like sample, constructs the index (sorted k-mer
+database + CMash-style sketches) with :class:`IndexBuilder`, serves the
+sample through an :class:`AnalysisSession` (host Step 1 -> in-storage
+Step 2 -> Step 3), and compares the result against the ground truth and
+against the accuracy-optimized software baseline (Metalign), which MegIS
+must match exactly.
 """
 
-from repro.databases.sketch import SketchDatabase
-from repro.databases.sorted_db import SortedKmerDatabase
-from repro.megis.pipeline import MegisConfig, MegisPipeline
+from repro.megis.index import IndexBuilder
+from repro.megis.session import AnalysisSession, MegisConfig
 from repro.taxonomy.metrics import f1_score, l1_norm_error
-from repro.tools.metalign import MetalignPipeline
 from repro.workloads.cami import CamiDiversity, make_cami_sample
 
 
@@ -23,16 +22,14 @@ def main() -> None:
           f"{sample.n_reads} reads, "
           f"{len(sample.present_species())} species truly present")
 
-    print("building the sorted k-mer database and CMash-style sketches...")
-    database = SortedKmerDatabase.build(sample.references, k=20)
-    sketch = SketchDatabase.build(sample.references, k_max=20, smaller_ks=(12, 8))
-    print(f"  database: {len(database)} k-mers "
-          f"({database.size_bytes() / 1e3:.0f} kB)")
+    print("building the index (sorted k-mer database + sketches)...")
+    index = IndexBuilder(k=20).build(sample.references)
+    print(f"  database: {len(index.database)} k-mers "
+          f"({index.database.size_bytes() / 1e3:.0f} kB)")
 
     print("running MegIS (Step 1 host / Step 2 ISP / Step 3 abundance)...")
-    pipeline = MegisPipeline(database, sketch, sample.references,
-                             config=MegisConfig(n_buckets=16))
-    result = pipeline.analyze(sample.reads)
+    session = AnalysisSession(index, MegisConfig(n_buckets=16))
+    result = session.analyze(sample.reads)
     print(f"  {result.query_kmers} query k-mers in {result.n_buckets} buckets, "
           f"{len(result.intersecting_kmers)} intersecting")
     print(f"  candidates: {sorted(result.candidates)}")
@@ -43,8 +40,7 @@ def main() -> None:
           f"{l1_norm_error(result.profile.fractions, sample.truth.fractions):.3f}")
 
     print("verifying MegIS == Metalign (the paper's accuracy claim)...")
-    metalign = MetalignPipeline(database, sketch, sample.references)
-    reference = metalign.analyze(sample.reads)
+    reference = session.analyze_metalign(sample.reads)
     assert result.candidates == reference.candidates
     assert result.profile.fractions == reference.profile.fractions
     print("  identical candidates and abundance profile: OK")

@@ -11,12 +11,18 @@ The commands cover the library's main entry points:
   FASTA+FASTQ pair, or serve the sample from a prebuilt index
   (``--index PATH``) without rebuilding any database;
 - ``serve`` — daemon mode: open an index once (optionally memory-mapped),
-  then serve a stream of samples concurrently through an
+  then serve a *stream* of samples concurrently through an
   :class:`~repro.megis.service.AnalysisService`.  Input is JSONL on
   stdin, one sample per line: ``{"id": ..., "reads": ["ACGT...", ...]}``;
-  output is JSONL on stdout in input order:
-  ``{"id", "n_reads", "candidates", "profile", "samples_batched"}``
-  (or ``{"id", "error"}`` for a rejected line);
+  each result is emitted on stdout the moment it completes (add
+  ``--strict-order`` for input order).  Every output line carries
+  ``"schema": 1`` — either a result
+  (``{"schema", "id", "n_reads", "candidates", "profile",
+  "samples_batched", "queue_wait_ms", "latency_ms"}``) or a structured
+  error object (``{"schema", "id", "error", "line"}``).  ``--max-queue``
+  bounds admission (stdin reading blocks when full), ``--batch-window-ms``
+  holds forming §4.7 batches to coalesce trickling arrivals, and
+  ``--deadline-ms`` bounds per-request queue wait;
 - ``model`` — query the paper-scale performance model (per-configuration
   seconds and speedups for a chosen SSD and sample).
 """
@@ -26,14 +32,19 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import threading
 from pathlib import Path
 
-from repro.backends import available_backends
 from repro.databases.kraken import KrakenDatabase
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.megis.index import IndexBuilder, MegisIndex
 from repro.megis.session import AnalysisSession, MegisConfig
+from repro.options import (
+    add_execution_flags,
+    execution_config_kwargs,
+    positive_int,
+)
 from repro.perf.specs import baseline_system
 from repro.perf.timing import TimingModel
 from repro.sequences.io import (
@@ -94,8 +105,7 @@ def _open_session(args: argparse.Namespace) -> AnalysisSession:
     """An AnalysisSession over the prebuilt index named by ``--index``."""
     index = MegisIndex.open(args.index, mmap=getattr(args, "mmap", False))
     config = MegisConfig(abundance_method=args.abundance,
-                         backend=args.backend, n_ssds=args.ssds,
-                         executor=getattr(args, "executor", None))
+                         **execution_config_kwargs(args))
     return AnalysisSession(index, config)
 
 
@@ -137,7 +147,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             index = MegisIndex(database, sketch, references)
             if args.tool == "megis":
                 config = MegisConfig(abundance_method=args.abundance,
-                                     backend=args.backend, n_ssds=args.ssds)
+                                     **execution_config_kwargs(args))
                 result = AnalysisSession(index, config).analyze(reads)
                 if args.timings:
                     _print_timings(result.timings)
@@ -172,86 +182,154 @@ def _print_timings(timings) -> None:
               f"({timings.overlap_saved_ms:.2f} ms hidden)")
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
-    """Daemon mode: JSONL samples on stdin -> JSONL results on stdout.
+#: Wire-format version stamped on every ``repro serve`` output line.
+SERVE_SCHEMA = 1
 
-    Results are emitted in input order (the service may batch and overlap
-    execution; ordering is restored by resolving futures in sequence).
-    Malformed lines produce an ``{"error": ...}`` object and do not stop
-    the stream.
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Daemon mode: JSONL samples on stdin -> streamed JSONL results.
+
+    A reader thread parses stdin and submits samples; the main thread
+    emits each result the moment it completes (``--strict-order``
+    restores input order).  With ``--max-queue`` the reader blocks when
+    the admission queue is full — backpressure all the way to stdin — so
+    queue memory stays bounded under an infinite stream.  Malformed
+    lines produce a structured error object and do not stop the stream.
     """
     from repro.megis.service import AnalysisService
     from repro.sequences.reads import Read
 
     index = MegisIndex.open(args.index, mmap=args.mmap)
     config = MegisConfig(abundance_method=args.abundance,
-                         backend=args.backend, n_ssds=args.ssds,
-                         executor=args.executor)
+                         **execution_config_kwargs(args))
     session = AnalysisSession(index, config)
     if args.abundance == "mapping" and session.references is None:
         print("index was built with --no-references; mapping-based "
               "abundance is unavailable (use --abundance statistical)",
               file=sys.stderr)
         return 2
-    pending = []  # (request id, n_reads, future | error string), input order
-    with AnalysisService(session, workers=args.workers,
-                         max_batch=args.max_batch) as service:
-        for line_no, line in enumerate(sys.stdin, 1):
-            if not line.strip():
-                continue
-            request_id, reads, error = _parse_serve_line(line, line_no)
-            if error is not None:
-                pending.append((request_id, 0, error))
-                continue
-            sample = [
-                Read(read_id=i, sequence=seq, true_taxid=0)
-                for i, seq in enumerate(reads)
-            ]
-            pending.append((request_id, len(sample), service.submit(sample)))
-        for request_id, n_reads, outcome in pending:
-            if isinstance(outcome, str):
-                record = {"id": request_id, "error": outcome}
-            else:
-                try:
-                    result = outcome.result()
-                    record = {
-                        "id": request_id,
-                        "n_reads": n_reads,
-                        "candidates": sorted(int(t) for t in result.candidates),
-                        "profile": {
-                            str(t): f for t, f in sorted(
-                                result.profile.fractions.items()
-                            )
-                        },
-                        "samples_batched": result.timings.samples_batched,
-                    }
-                except Exception as exc:  # surface per-sample failures
-                    record = {"id": request_id, "error": str(exc)}
+    emit_lock = threading.Lock()  # reader errors vs results, whole lines
+
+    def emit(record) -> None:
+        with emit_lock:
             print(json.dumps(record), flush=True)
+
+    reader_failure = []
+    with AnalysisService(session, workers=args.workers,
+                         max_batch=args.max_batch,
+                         max_queue=args.max_queue,
+                         batch_window_ms=args.batch_window_ms) as service:
+
+        def read_stdin() -> None:
+            # Prefer the raw byte stream so undecodable input is a
+            # per-line error, not a crash (tests may patch in text).
+            stream = getattr(sys.stdin, "buffer", sys.stdin)
+            seen_ids = set()
+            try:
+                for line_no, line in enumerate(stream, 1):
+                    if not line.strip():
+                        continue
+                    request_id, reads, error = _parse_serve_line(
+                        line, line_no, seen_ids=seen_ids,
+                        max_bytes=args.max_line_bytes,
+                    )
+                    if error is not None:
+                        emit({"schema": SERVE_SCHEMA, "id": request_id,
+                              "error": error, "line": line_no})
+                        continue
+                    sample = [
+                        Read(read_id=i, sequence=seq, true_taxid=0)
+                        for i, seq in enumerate(reads)
+                    ]
+                    service.submit(sample,
+                                   tag=(request_id, line_no, len(sample)),
+                                   deadline_ms=args.deadline_ms)
+            except BaseException as exc:
+                reader_failure.append(exc)
+            finally:
+                service.close_submissions()
+
+        reader = threading.Thread(target=read_stdin, name="serve-stdin",
+                                  daemon=True)
+        reader.start()
+        for completed in service.results(strict_order=args.strict_order):
+            request_id, line_no, n_reads = completed.tag
+            metrics = completed.metrics
+            try:
+                result = completed.future.result()
+                record = {
+                    "schema": SERVE_SCHEMA,
+                    "id": request_id,
+                    "n_reads": n_reads,
+                    "candidates": sorted(int(t) for t in result.candidates),
+                    "profile": {
+                        str(t): f for t, f in sorted(
+                            result.profile.fractions.items()
+                        )
+                    },
+                    "samples_batched": result.timings.samples_batched,
+                    "queue_wait_ms": round(metrics.queue_wait_ms, 3),
+                    "latency_ms": round(metrics.latency_ms, 3),
+                }
+            except Exception as exc:  # surface per-sample failures
+                record = {"schema": SERVE_SCHEMA, "id": request_id,
+                          "error": str(exc), "line": line_no}
+            emit(record)
+        reader.join()
         stats = service.stats
-    print(f"served {stats.samples_completed} samples in "
-          f"{stats.batches_dispatched} batches "
-          f"(widest {stats.widest_batch}) with {args.workers} workers",
-          file=sys.stderr)
+    if reader_failure:
+        raise reader_failure[0]
+    summary = (f"served {stats.samples_completed} samples in "
+               f"{stats.batches_dispatched} batches "
+               f"(widest {stats.widest_batch}) with {args.workers} workers; "
+               f"peak queued {stats.peak_queued}, mean queue wait "
+               f"{stats.mean_queue_wait_ms:.1f} ms")
+    if stats.samples_expired:
+        summary += f", {stats.samples_expired} past deadline"
+    print(summary, file=sys.stderr)
     return 0
 
 
-def _parse_serve_line(line: str, line_no: int):
-    """One JSONL request -> (id, read sequences, error)."""
+def _parse_serve_line(line, line_no: int, seen_ids=None, max_bytes=None):
+    """One JSONL request -> (id, read sequences, error).
+
+    Accepts ``bytes`` (the production path reads ``sys.stdin.buffer``) or
+    ``str``.  Every rejection returns an error *message*; the caller wraps
+    it into the structured ``{"schema", "id", "error", "line"}`` object.
+    ``seen_ids`` (a mutable set) makes duplicate ids a rejection;
+    ``max_bytes`` bounds the accepted line length.
+    """
+    raw_len = len(line) if isinstance(line, bytes) else len(line.encode("utf-8"))
+    if max_bytes is not None and raw_len > max_bytes:
+        return line_no, None, (
+            f"line too long ({raw_len} bytes > --max-line-bytes {max_bytes})"
+        )
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return line_no, None, f"not valid UTF-8 ({exc})"
     try:
         request = json.loads(line)
     except ValueError as exc:
-        return line_no, None, f"line {line_no}: bad JSON ({exc})"
+        return line_no, None, f"bad JSON ({exc})"
     if not isinstance(request, dict) or "reads" not in request:
-        return line_no, None, f"line {line_no}: expected an object with 'reads'"
+        return line_no, None, "expected an object with 'reads'"
     request_id = request.get("id", line_no)
+    if request_id is not None and not isinstance(request_id,
+                                                 (str, int, float, bool)):
+        return line_no, None, (
+            f"'id' must be a JSON scalar, got {type(request_id).__name__}"
+        )
+    if seen_ids is not None:
+        if request_id in seen_ids:
+            return request_id, None, f"duplicate id {request_id!r}"
+        seen_ids.add(request_id)
     reads = request["reads"]
     if not isinstance(reads, list) or not all(
         isinstance(seq, str) for seq in reads
     ):
-        return request_id, None, (
-            f"line {line_no}: 'reads' must be a list of sequence strings"
-        )
+        return request_id, None, "'reads' must be a list of sequence strings"
     return request_id, reads, None
 
 
@@ -326,15 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--k", type=int, default=20)
     analyze.add_argument("--abundance", choices=("mapping", "statistical"),
                          default="mapping")
-    analyze.add_argument("--backend", choices=available_backends(), default=None,
-                         help="Step-2 execution backend for megis "
-                              "(default: REPRO_BACKEND env var or 'python')")
-    analyze.add_argument("--ssds", type=int, default=1,
-                         help="shard the sorted database across N SSDs for "
-                              "Step 2 (megis only, §6.1; results identical)")
-    analyze.add_argument("--executor", default=None, metavar="SPEC",
-                         help="Step-2 execution policy: serial (default), "
-                              "threads, or threads:N (results identical)")
+    add_execution_flags(analyze)
     analyze.add_argument("--mmap", action="store_true",
                          help="with --index: memory-map the CSR sections "
                               "instead of loading them (for databases "
@@ -345,26 +415,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = sub.add_parser(
         "serve", help="serve a stream of samples from a prebuilt index "
-                      "(JSONL on stdin -> JSONL on stdout)"
+                      "(JSONL on stdin -> streamed JSONL on stdout)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "wire format (schema 1):\n"
+            "  Each stdin line is one request: "
+            '{"id": ..., "reads": ["ACGT...", ...]}.\n'
+            "  Results are emitted the moment they complete (use "
+            "--strict-order for\n"
+            "  input order); every stdout line carries \"schema\": 1.\n"
+            "  Malformed input never stops the stream: bad JSON, a missing "
+            "or invalid\n"
+            "  'reads' list, a non-scalar or duplicate id, undecodable "
+            "UTF-8, and lines\n"
+            "  over --max-line-bytes each produce one structured error "
+            "object\n"
+            '  {"schema": 1, "id": ..., "error": ..., "line": N} on '
+            "stdout.  Blank\n"
+            "  lines are skipped.  Requests queued past --deadline-ms fail "
+            "with the\n"
+            "  same error shape instead of occupying a batch slot.\n"
+        ),
     )
     serve.add_argument("--index", required=True, metavar="PATH",
                        help="prebuilt index (`repro index build`)")
-    serve.add_argument("--workers", type=int, default=1,
+    serve.add_argument("--workers", type=positive_int, default=1,
                        help="worker threads sharing the session (also the "
                             "default §4.7 batch width)")
-    serve.add_argument("--max-batch", type=int, default=None,
+    serve.add_argument("--max-batch", type=positive_int, default=None,
                        help="widest multi-sample batch one worker may "
                             "coalesce (default: --workers)")
+    serve.add_argument("--max-queue", type=positive_int, default=None,
+                       help="bound the admission queue: stdin reading "
+                            "blocks while N samples are queued "
+                            "(backpressure; default: unbounded)")
+    serve.add_argument("--batch-window-ms", type=float, default=0.0,
+                       help="hold a forming batch up to this long after "
+                            "its first sample arrived so trickling "
+                            "arrivals coalesce into one §4.7 batch "
+                            "(throughput up, tail latency up)")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="fail requests still queued after this many "
+                            "ms instead of serving them late")
+    serve.add_argument("--strict-order", action="store_true",
+                       help="emit results in input order instead of "
+                            "completion order")
+    serve.add_argument("--max-line-bytes", type=positive_int,
+                       default=32 * 1024 * 1024,
+                       help="reject stdin lines longer than this "
+                            "(default: 32 MiB)")
     serve.add_argument("--abundance", choices=("mapping", "statistical"),
                        default="mapping")
-    serve.add_argument("--backend", choices=available_backends(), default=None,
-                       help="Step-2 execution backend "
-                            "(default: REPRO_BACKEND env var or 'python')")
-    serve.add_argument("--ssds", type=int, default=1,
-                       help="shard Step 2 across N SSDs (§6.1)")
-    serve.add_argument("--executor", default=None, metavar="SPEC",
-                       help="Step-2 execution policy: serial, threads, "
-                            "threads:N")
+    add_execution_flags(serve)
     serve.add_argument("--mmap", action="store_true",
                        help="memory-map the index's CSR sections (serve "
                             "databases larger than RAM)")

@@ -2,34 +2,39 @@
 
 from __future__ import annotations
 
+import argparse
 import sys
 
-from repro.backends import available_backends
 from repro.experiments.runner import REGISTRY, run_all
+from repro.options import add_execution_flags
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run paper-reproduction experiments and print their "
+                    "result tables.",
+        epilog="experiments: " + ", ".join(sorted(REGISTRY)),
+    )
+    parser.add_argument(
+        "names", nargs="+", metavar="NAME",
+        help="experiment names from the registry, or 'all'",
+    )
+    # The runner sets the process-wide backend default; the executor and
+    # SSD-shard knobs are per-experiment concerns, so only --backend here.
+    add_execution_flags(parser, ssds=False, executor=False)
+    return parser
 
 
 def main(argv) -> int:
-    backend = None
-    args = list(argv)
-    if "--backend" in args:
-        i = args.index("--backend")
-        try:
-            backend = args[i + 1]
-        except IndexError:
-            print(f"error: --backend requires a value {available_backends()}")
-            return 2
-        if backend not in available_backends():
-            print(f"error: unknown backend {backend!r}; "
-                  f"available: {', '.join(available_backends())}")
-            return 2
-        del args[i : i + 2]
-    if not args or args[0] in {"-h", "--help"}:
-        print("usage: python -m repro.experiments [--backend NAME] <name>|all")
-        print("experiments:", ", ".join(sorted(REGISTRY)))
-        print("backends:", ", ".join(available_backends()))
-        return 0
-    names = None if args[0] == "all" else args
-    for result in run_all(names, backend=backend):
+    args = build_parser().parse_args(argv)
+    names = None if args.names == ["all"] else args.names
+    unknown = sorted(set(names or ()) - set(REGISTRY))
+    if unknown:
+        print(f"error: unknown experiments {unknown}; "
+              f"known: {', '.join(sorted(REGISTRY))}", file=sys.stderr)
+        return 2
+    for result in run_all(names, backend=args.backend):
         print(result.format_table())
         print()
     return 0

@@ -88,6 +88,7 @@ REGISTRY: Dict[str, str] = {
     "isp_management": "repro.experiments.isp_management",
     "overprovisioning": "repro.experiments.overprovisioning",
     "qos_latency": "repro.experiments.qos_latency",
+    "random_read_latency": "repro.experiments.random_read_latency",
 }
 
 

@@ -16,6 +16,7 @@ are re-exported from :mod:`repro.megis.session`, their new home.
 
 from __future__ import annotations
 
+import warnings
 from typing import List, Optional, Sequence
 
 from repro.databases.sketch import SketchDatabase
@@ -63,6 +64,13 @@ class MegisPipeline:
         ssd: Optional[SSD] = None,
         config: Optional[MegisConfig] = None,
     ):
+        warnings.warn(
+            "MegisPipeline is deprecated; build a MegisIndex (or "
+            "MegisIndex.open a saved one) and serve samples through "
+            "AnalysisSession instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._session = AnalysisSession(
             MegisIndex(database, sketch, references), config=config, ssd=ssd
         )

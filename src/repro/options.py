@@ -1,0 +1,91 @@
+"""Shared execution-policy flags for every CLI surface.
+
+``repro analyze``, ``repro serve``, and ``python -m repro.experiments``
+all expose the same three knobs — the Step-2 ``--backend``, the
+``--executor`` policy (``serial`` / ``threads`` / ``threads:N``), and the
+``--ssds`` shard count — and used to each carry their own copy of the
+registration and validation logic.  This module is the single source:
+:func:`add_execution_flags` registers the flags on an argparse parser and
+:func:`execution_config_kwargs` turns the parsed namespace into the
+matching :class:`~repro.megis.session.MegisConfig` keyword arguments.
+
+Executor specs are validated *at parse time* (argparse ``type=``), so a
+typo like ``--executor thread:4`` fails with a usage error naming the
+accepted forms instead of surfacing later as a ``ValueError`` mid-run.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, Optional
+
+from repro.backends import available_backends
+from repro.megis.executors import available_executors, parse_spec
+
+
+def executor_spec(value: str) -> str:
+    """argparse ``type=`` validator for ``--executor`` specs.
+
+    Returns the spec unchanged when :func:`repro.megis.executors.parse_spec`
+    accepts it; raises ``ArgumentTypeError`` (a usage error) otherwise.
+    """
+    try:
+        parse_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
+    return value
+
+
+def positive_int(value: str) -> int:
+    """argparse ``type=`` validator for counts that must be >= 1."""
+    try:
+        parsed = int(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}") from exc
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"expected a value >= 1, got {parsed}")
+    return parsed
+
+
+def add_execution_flags(
+    parser: argparse.ArgumentParser,
+    *,
+    ssds: bool = True,
+    executor: bool = True,
+) -> None:
+    """Register the shared ``--backend`` / ``--executor`` / ``--ssds`` flags."""
+    parser.add_argument(
+        "--backend", choices=available_backends(), default=None,
+        help="Step-2 execution backend "
+             "(default: REPRO_BACKEND env var or 'python')",
+    )
+    if executor:
+        parser.add_argument(
+            "--executor", type=executor_spec, default=None, metavar="SPEC",
+            help="Step-2 execution policy: "
+                 f"{', '.join(available_executors())} or threads:N "
+                 "(results identical)",
+        )
+    if ssds:
+        parser.add_argument(
+            "--ssds", type=positive_int, default=1,
+            help="shard the sorted database across N SSDs for Step 2 "
+                 "(§6.1; results identical)",
+        )
+
+
+def execution_config_kwargs(args: argparse.Namespace) -> Dict[str, object]:
+    """The ``MegisConfig`` kwargs carried by the shared execution flags."""
+    return {
+        "backend": args.backend,
+        "executor": getattr(args, "executor", None),
+        "n_ssds": getattr(args, "ssds", 1),
+    }
+
+
+__all__ = [
+    "add_execution_flags",
+    "execution_config_kwargs",
+    "executor_spec",
+    "positive_int",
+]

@@ -191,9 +191,17 @@ class MetalignPipeline:
         min_containment: float = 0.15,
         mapper_k: int = 15,
     ):
+        import warnings
+
         from repro.megis.index import MegisIndex
         from repro.megis.session import AnalysisSession, MegisConfig
 
+        warnings.warn(
+            "MetalignPipeline is deprecated; build a MegisIndex and call "
+            "AnalysisSession.analyze_metalign instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._session = AnalysisSession(
             MegisIndex(database, sketch, references),
             config=MegisConfig(

@@ -141,7 +141,8 @@ class TestServe:
 
     def test_jsonl_roundtrip_matches_analyze(self, monkeypatch, capsys,
                                              index_path, sample_chunks):
-        """Served results == serial session.analyze, in input order."""
+        """Served results == serial session.analyze; --strict-order
+        restores input order however batches coalesce."""
         lines = "".join(
             json.dumps({"id": f"s{i}",
                         "reads": [r.sequence for r in chunk]}) + "\n"
@@ -150,11 +151,12 @@ class TestServe:
         code, records, err = self._serve(
             monkeypatch, capsys, index_path, lines,
             "--workers", "2", "--backend", "numpy", "--mmap",
-            "--executor", "threads:2",
+            "--executor", "threads:2", "--strict-order",
         )
         assert code == 0
         assert [r["id"] for r in records] == ["s0", "s1", "s2"]
         assert "served 3 samples" in err
+        assert "peak queued" in err
 
         from repro.megis.index import MegisIndex
         from repro.megis.session import AnalysisSession, MegisConfig
@@ -163,15 +165,20 @@ class TestServe:
                                   MegisConfig(backend="numpy"))
         for record, chunk in zip(records, sample_chunks):
             expected = session.analyze(chunk)
+            assert record["schema"] == 1
             assert record["n_reads"] == len(chunk)
             assert record["candidates"] == sorted(expected.candidates)
             assert record["profile"] == {
                 str(t): f
                 for t, f in sorted(expected.profile.fractions.items())
             }
+            assert record["queue_wait_ms"] >= 0
+            assert record["latency_ms"] >= record["queue_wait_ms"]
 
     def test_malformed_lines_become_error_records(self, monkeypatch, capsys,
                                                   index_path, sample_chunks):
+        """Each malformed line yields one structured error object; errors
+        stream out as parsed, so match on content, not position."""
         lines = "\n".join([
             "this is not json",
             json.dumps({"no_reads_key": True}),
@@ -181,10 +188,72 @@ class TestServe:
         ]) + "\n"
         code, records, _ = self._serve(monkeypatch, capsys, index_path, lines)
         assert code == 0
-        assert "bad JSON" in records[0]["error"]
-        assert "expected an object" in records[1]["error"]
-        assert records[2]["id"] == "ok" and "candidates" in records[2]
-        assert "sequence strings" in records[3]["error"]
+        assert all(r["schema"] == 1 for r in records)
+        by_line = {r["line"]: r for r in records if "error" in r}
+        assert set(by_line) == {1, 2, 4}
+        assert "bad JSON" in by_line[1]["error"]
+        assert "expected an object" in by_line[2]["error"]
+        assert "sequence strings" in by_line[4]["error"]
+        assert by_line[4]["id"] == "bad"
+        ok = next(r for r in records if "error" not in r)
+        assert ok["id"] == "ok" and "candidates" in ok
+
+    def test_duplicate_ids_rejected_on_the_wire(self, monkeypatch, capsys,
+                                                index_path, sample_chunks):
+        reads = [r.sequence for r in sample_chunks[0]]
+        lines = "".join([
+            json.dumps({"id": "twin", "reads": reads}) + "\n",
+            "\n",  # blank lines are skipped, not errors
+            json.dumps({"id": "twin", "reads": reads}) + "\n",
+        ])
+        code, records, err = self._serve(monkeypatch, capsys, index_path,
+                                         lines)
+        assert code == 0
+        assert len(records) == 2
+        errors = [r for r in records if "error" in r]
+        assert len(errors) == 1
+        assert "duplicate id 'twin'" in errors[0]["error"]
+        assert errors[0]["line"] == 3
+        assert "served 1 samples" in err
+
+    def test_deadline_zero_expires_every_request(self, monkeypatch, capsys,
+                                                 index_path, sample_chunks):
+        """--deadline-ms 0: claim time is strictly after enqueue, so every
+        request fails with a structured deadline error."""
+        lines = json.dumps(
+            {"id": "late", "reads": [r.sequence for r in sample_chunks[0]]}
+        ) + "\n"
+        code, records, err = self._serve(monkeypatch, capsys, index_path,
+                                         lines, "--deadline-ms", "0")
+        assert code == 0
+        assert records[0]["id"] == "late"
+        assert "deadline" in records[0]["error"]
+        assert "1 past deadline" in err
+
+    def test_bounded_queue_reports_peak_at_bound(self, monkeypatch, capsys,
+                                                 index_path, sample_chunks):
+        """--max-queue N: stdin reading blocks when full, so the queue
+        high-water mark never exceeds the configured bound."""
+        lines = "".join(
+            json.dumps({"id": i,
+                        "reads": [r.sequence for r in sample_chunks[0]]})
+            + "\n"
+            for i in range(6)
+        )
+        code, records, err = self._serve(monkeypatch, capsys, index_path,
+                                         lines, "--max-queue", "2",
+                                         "--max-batch", "1")
+        assert code == 0
+        assert len(records) == 6
+        assert "peak queued 2" in err
+
+    def test_help_documents_malformed_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        text = capsys.readouterr().out
+        assert "Malformed input never stops the stream" in text
+        assert "--max-line-bytes" in text
+        assert '"schema": 1' in text
 
     def test_statistical_without_references(self, monkeypatch, capsys, dataset,
                                             tmp_path, sample_chunks):
@@ -202,6 +271,88 @@ class TestServe:
                                        "--abundance", "statistical")
         assert code == 0
         assert records[0]["candidates"]
+
+
+class TestParseServeLine:
+    """Edge-case coverage for the wire parser itself."""
+
+    def _parse(self, line, line_no=1, **kwargs):
+        from repro.cli import _parse_serve_line
+
+        return _parse_serve_line(line, line_no, **kwargs)
+
+    def test_accepts_bytes_and_str(self):
+        payload = {"id": "x", "reads": ["ACGT"]}
+        for line in (json.dumps(payload), json.dumps(payload).encode()):
+            request_id, reads, error = self._parse(line)
+            assert error is None
+            assert (request_id, reads) == ("x", ["ACGT"])
+
+    def test_non_utf8_bytes_are_an_error_not_a_crash(self):
+        request_id, reads, error = self._parse(b'{"id": "\xff\xfe", "reads": []}',
+                                               line_no=7)
+        assert reads is None
+        assert request_id == 7
+        assert "not valid UTF-8" in error
+
+    def test_oversized_payload_rejected_without_parsing(self):
+        line = json.dumps({"id": "big", "reads": ["A" * 1000]})
+        request_id, reads, error = self._parse(line, line_no=3, max_bytes=64)
+        assert reads is None
+        assert request_id == 3
+        assert "line too long" in error and "--max-line-bytes 64" in error
+        # Under the limit the same line parses fine.
+        _, reads, error = self._parse(line, max_bytes=len(line.encode()))
+        assert error is None and len(reads) == 1
+
+    def test_duplicate_id_rejected_second_time(self):
+        seen = set()
+        line = json.dumps({"id": 9, "reads": ["ACGT"]})
+        _, reads, error = self._parse(line, seen_ids=seen)
+        assert error is None and reads == ["ACGT"]
+        request_id, reads, error = self._parse(line, line_no=2, seen_ids=seen)
+        assert reads is None and request_id == 9
+        assert "duplicate id 9" in error
+
+    def test_missing_id_defaults_to_line_number(self):
+        seen = set()
+        request_id, reads, error = self._parse(
+            json.dumps({"reads": ["ACGT"]}), line_no=5, seen_ids=seen)
+        assert error is None and request_id == 5
+        assert seen == {5}
+
+    def test_non_scalar_id_rejected(self):
+        request_id, reads, error = self._parse(
+            json.dumps({"id": {"nested": 1}, "reads": ["ACGT"]}), line_no=2)
+        assert reads is None and request_id == 2
+        assert "'id' must be a JSON scalar" in error
+
+    def test_non_utf8_stdin_serves_error_record(self, monkeypatch, capsys,
+                                                tmp_path):
+        """End to end: a binary-garbage line becomes an error object and
+        later valid lines still get served."""
+        import io
+
+        from repro.workloads.cami import CamiDiversity, make_cami_sample
+        from repro.sequences.io import references_to_fasta
+
+        sample = make_cami_sample(CamiDiversity.LOW, n_reads=40, seed=3)
+        fasta = tmp_path / "refs.fasta"
+        fasta.write_text(references_to_fasta(sample.references))
+        index_path = tmp_path / "w.megis"
+        assert main(["index", "build", str(fasta), str(index_path)]) == 0
+        capsys.readouterr()
+        good = json.dumps({"id": "ok", "reads":
+                           [r.sequence for r in sample.reads[:10]]})
+        raw = b'{"id": "\xff", "reads": []}\n' + good.encode() + b"\n"
+        monkeypatch.setattr("sys.stdin",
+                            io.TextIOWrapper(io.BytesIO(raw), encoding="utf-8"))
+        assert main(["serve", "--index", str(index_path)]) == 0
+        records = [json.loads(line) for line in
+                   capsys.readouterr().out.strip().splitlines()]
+        by_id = {r["id"]: r for r in records}
+        assert "not valid UTF-8" in by_id[1]["error"]
+        assert "candidates" in by_id["ok"]
 
 
 class TestValidate:

@@ -168,3 +168,21 @@ class TestAccelerator:
     def test_invalid_channels(self):
         with pytest.raises(ValueError):
             accelerator_report(0)
+
+
+class TestDeprecationShims:
+    def test_both_shims_warn_on_construction(self, sorted_db, sketch_db,
+                                             sample):
+        """The facades still work but announce their replacement: the
+        suite-wide filterwarnings ignore covers the legacy tests above;
+        this is the one place the warnings themselves are asserted."""
+        with pytest.warns(DeprecationWarning,
+                          match="MegisPipeline is deprecated"):
+            pipeline = MegisPipeline(sorted_db, sketch_db, sample.references)
+        with pytest.warns(DeprecationWarning,
+                          match="MetalignPipeline is deprecated"):
+            metalign = MetalignPipeline(sorted_db, sketch_db,
+                                        sample.references)
+        # Shims stay functional: both delegate to a live AnalysisSession.
+        assert pipeline.session.analyze(sample.reads[:20]).profile is not None
+        assert metalign.session is not None

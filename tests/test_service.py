@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -19,7 +20,11 @@ import pytest
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
 from repro.megis.index import MegisIndex
-from repro.megis.service import AnalysisService
+from repro.megis.service import (
+    AdmissionFull,
+    AnalysisService,
+    DeadlineExceeded,
+)
 from repro.megis.session import AnalysisSession, MegisConfig
 from repro.workloads.cami import CamiDiversity, make_cami_sample
 
@@ -246,6 +251,19 @@ class TestServiceLifecycle:
         assert svc.stats.samples_cancelled == len(cancelled)
         assert svc.stats.samples_completed == len(kept)
 
+    def test_submit_after_close_submissions_raises(self, golden_world,
+                                                   golden):
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=1) as service:
+            future = service.submit(sample.reads[:20])
+            service.close_submissions()
+            with pytest.raises(RuntimeError, match="closed"):
+                service.submit(sample.reads[:20])
+            assert future.result().profile is not None
+
     def test_drain_from_another_thread(self, golden_world, golden):
         sample, index = golden_world
         session = AnalysisSession(
@@ -265,3 +283,254 @@ class TestServiceLifecycle:
         stats = service.stats
         assert stats.samples_submitted == stats.samples_completed == N_CHUNKS
         assert stats.widest_batch <= 2  # default max_batch == workers
+
+
+class TestBoundedAdmission:
+    """Backpressure and rejection semantics of the bounded queue."""
+
+    def _gated_session(self, golden_world, golden):
+        """A session whose analyze blocks until ``gate`` is set, plus the
+        ``started`` event it sets on first entry (so tests can hold the
+        single worker busy deterministically)."""
+        _, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        started, gate = threading.Event(), threading.Event()
+        real_analyze = session.analyze
+
+        def gated_analyze(reads, with_abundance=True):
+            started.set()
+            assert gate.wait(timeout=30)
+            return real_analyze(reads, with_abundance)
+
+        session.analyze = gated_analyze
+        return session, started, gate
+
+    def test_full_queue_rejects_and_counts(self, golden_world, golden):
+        """block=False (or a timed-out blocking submit) raises a
+        structured AdmissionFull; stats count rejections separately from
+        accepted samples."""
+        sample, index = golden_world
+        session, started, gate = self._gated_session(golden_world, golden)
+        chunks = _chunks(sample.reads)
+        with AnalysisService(session, workers=1, max_queue=2) as service:
+            head = service.submit(chunks[0])
+            assert started.wait(timeout=10)  # worker busy, queue empty
+            queued = [service.submit(chunks[1]), service.submit(chunks[2])]
+            with pytest.raises(AdmissionFull) as excinfo:
+                service.submit(chunks[3], block=False)
+            assert excinfo.value.queued == 2
+            assert excinfo.value.max_queue == 2
+            with pytest.raises(AdmissionFull):
+                service.submit(chunks[3], timeout=0.05)
+            assert service.stats.samples_rejected == 2
+            assert service.stats.samples_submitted == 3
+            gate.set()
+            results = [f.result(timeout=30) for f in [head] + queued]
+        assert all(r.profile is not None for r in results)
+        stats = service.stats
+        assert stats.samples_completed == 3
+        assert stats.samples_rejected == 2
+        assert stats.peak_queued == 2
+
+    def test_blocked_submit_admits_when_space_frees(self, golden_world,
+                                                    golden):
+        """A blocking submit parks until a worker claims from the queue,
+        so the high-water mark never exceeds the bound."""
+        sample, _ = golden_world
+        session, started, gate = self._gated_session(golden_world, golden)
+        chunks = _chunks(sample.reads)
+        with AnalysisService(session, workers=1, max_queue=1) as service:
+            head = service.submit(chunks[0])
+            assert started.wait(timeout=10)
+            service.submit(chunks[1])  # fills the queue
+            admitted = []
+            blocked = threading.Thread(
+                target=lambda: admitted.append(service.submit(chunks[2]))
+            )
+            blocked.start()
+            time.sleep(0.1)
+            assert not admitted, "submit must park while the queue is full"
+            gate.set()  # worker drains; the parked submit admits
+            blocked.join(timeout=30)
+            assert admitted
+            head.result(timeout=30)
+            service.drain()
+        stats = service.stats
+        assert stats.samples_submitted == stats.samples_completed == 3
+        assert stats.peak_queued == 1
+
+
+class TestDeadlines:
+    def test_expired_request_fails_without_running(self, golden_world,
+                                                   golden):
+        """deadline_ms=0 always expires (claim strictly follows enqueue);
+        the future carries DeadlineExceeded and nothing is analyzed."""
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=1) as service:
+            future = service.submit(sample.reads[:40], tag="late",
+                                    deadline_ms=0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                future.result(timeout=30)
+            service.drain()
+        assert excinfo.value.tag == "late"
+        assert excinfo.value.deadline_ms == 0
+        stats = service.stats
+        assert stats.samples_expired == 1
+        assert stats.samples_completed == 0
+        assert stats.batches_dispatched == 0
+
+    def test_expired_request_still_reaches_the_stream(self, golden_world,
+                                                      golden):
+        sample, index = golden_world
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=1) as service:
+            service.submit(sample.reads[:30], tag="dead", deadline_ms=0)
+            service.submit(sample.reads[30:60], tag="alive")
+            service.close_submissions()
+            emitted = list(service.results())
+        by_tag = {entry.tag: entry for entry in emitted}
+        assert set(by_tag) == {"dead", "alive"}
+        with pytest.raises(DeadlineExceeded):
+            by_tag["dead"].future.result()
+        assert by_tag["dead"].metrics.batch_size == 0
+        assert by_tag["alive"].future.result().profile is not None
+        assert by_tag["alive"].metrics.batch_size == 1
+
+
+class TestCompletionStream:
+    def test_strict_order_restores_submission_order(self, golden_world,
+                                                    golden):
+        """results(strict_order=True) emits in admission order with the
+        same signatures as the serial path, whatever the workers did."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)
+        serial = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        expected = [_signature(serial.analyze(c)) for c in chunks]
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=3, max_batch=1) as service:
+            for i, chunk in enumerate(chunks):
+                service.submit(chunk, tag=f"s{i}")
+            service.close_submissions()
+            emitted = list(service.results(strict_order=True))
+        assert [entry.tag for entry in emitted] == [
+            f"s{i}" for i in range(N_CHUNKS)
+        ]
+        assert [_signature(e.future.result()) for e in emitted] == expected
+        for entry in emitted:
+            metrics = entry.metrics
+            assert metrics.batch_size == 1
+            assert metrics.service_ms > 0
+            assert metrics.latency_ms >= metrics.queue_wait_ms >= 0
+
+    def test_as_completed_emits_everything_once(self, golden_world, golden):
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=2) as service:
+            service.submit_batch(chunks, tag=None)
+            service.close_submissions()
+            emitted = list(service.as_completed())
+        # Untagged requests are labelled by admission sequence.
+        assert sorted(entry.tag for entry in emitted) == list(range(N_CHUNKS))
+        stats = service.stats
+        assert stats.samples_completed == N_CHUNKS
+        assert stats.queue_wait_total_ms >= stats.queue_wait_max_ms >= 0
+        assert stats.mean_queue_wait_ms >= 0
+
+    def test_results_streams_while_service_runs(self, golden_world, golden):
+        """A consumer sees early completions while later samples are
+        still being submitted — the incremental-emission contract."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        seen = []
+        with AnalysisService(session, workers=1, max_batch=1) as service:
+            consumer_done = threading.Event()
+
+            def consume():
+                for entry in service.results():
+                    seen.append((entry.tag, time.perf_counter()))
+                consumer_done.set()
+
+            threading.Thread(target=consume, daemon=True).start()
+            service.submit(chunks[0], tag="first").result(timeout=30)
+            deadline = time.monotonic() + 30
+            while not seen and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert seen and seen[0][0] == "first", (
+                "first result must stream out before later submissions"
+            )
+            submitted_second_at = time.perf_counter()
+            service.submit(chunks[1], tag="second").result(timeout=30)
+            service.close_submissions()
+            assert consumer_done.wait(timeout=30)
+        assert [tag for tag, _ in seen] == ["first", "second"]
+        assert seen[0][1] < submitted_second_at
+
+
+class TestBatchWindow:
+    def test_window_coalesces_trickling_arrivals(self, golden_world, golden):
+        """With a wide-open window, samples arriving over ~50 ms coalesce
+        into ONE §4.7 batch; the window collapses the moment the batch
+        fills, so the test doesn't pay the full window."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)[:4]
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=1, max_batch=4,
+                             batch_window_ms=30_000) as service:
+            futures = [service.submit(chunks[0])]
+            time.sleep(0.05)
+            futures += [service.submit(c) for c in chunks[1:]]
+            results = [f.result(timeout=60) for f in futures]
+        assert all(r.profile is not None for r in results)
+        stats = service.stats
+        assert stats.batches_dispatched == 1
+        assert stats.widest_batch == 4
+        assert stats.mean_batch == 4.0
+
+    def test_zero_window_dispatches_eagerly(self, golden_world, golden):
+        """The control: no window, one worker, sequential waits — every
+        sample rides its own batch."""
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)[:3]
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=1, max_batch=4) as service:
+            for chunk in chunks:
+                service.submit(chunk).result(timeout=30)
+        assert service.stats.batches_dispatched == 3
+        assert service.stats.widest_batch == 1
+
+    def test_window_results_stay_bit_identical(self, golden_world, golden):
+        sample, index = golden_world
+        chunks = _chunks(sample.reads)
+        serial = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        expected = [_signature(serial.analyze(c)) for c in chunks]
+        session = AnalysisSession(
+            index, _golden_config(golden, abundance_method="statistical")
+        )
+        with AnalysisService(session, workers=2, max_batch=3,
+                             batch_window_ms=20) as service:
+            futures = [service.submit(c) for c in chunks]
+            got = [_signature(f.result(timeout=60)) for f in futures]
+        assert got == expected
