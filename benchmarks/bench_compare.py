@@ -1,0 +1,124 @@
+"""Diff two pytest-benchmark JSON artifacts (``BENCH_*.json``).
+
+CI uploads one ``BENCH_*.json`` per benchmark suite; this helper turns a
+pair of them — say, last week's artifact and today's — into a
+per-benchmark comparison table so a serving or kernel regression is a
+one-command diff instead of manual JSON spelunking:
+
+    python benchmarks/bench_compare.py OLD.json NEW.json [--threshold 1.25]
+
+Benchmarks are matched by full name (which includes parametrization, so
+``threads:4`` and ``processes:4`` substrate rows compare independently).
+The exit status is the regression verdict: 0 when every benchmark present
+in both files stayed under ``threshold`` x its old mean, 1 otherwise —
+usable directly as a CI gate.  Benchmarks present in only one file are
+reported as added/removed, never as regressions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def load_benchmarks(path) -> Dict[str, dict]:
+    """Benchmarks from one pytest-benchmark JSON file, keyed by name."""
+    payload = json.loads(Path(path).read_text())
+    out: Dict[str, dict] = {}
+    for bench in payload.get("benchmarks", []):
+        out[bench["name"]] = {
+            "mean_s": float(bench["stats"]["mean"]),
+            "stddev_s": float(bench["stats"].get("stddev", 0.0)),
+            "extra_info": bench.get("extra_info", {}),
+        }
+    return out
+
+
+def compare(old: Dict[str, dict], new: Dict[str, dict]) -> List[dict]:
+    """Per-benchmark comparison rows, sorted worst regression first.
+
+    ``ratio`` is new mean / old mean (>1 = slower).  Added/removed
+    benchmarks carry ``ratio=None`` and a matching ``status``.
+    """
+    rows: List[dict] = []
+    for name in sorted(set(old) | set(new)):
+        before, after = old.get(name), new.get(name)
+        if before is None:
+            rows.append({"name": name, "old_mean_s": None,
+                         "new_mean_s": after["mean_s"], "ratio": None,
+                         "status": "added"})
+        elif after is None:
+            rows.append({"name": name, "old_mean_s": before["mean_s"],
+                         "new_mean_s": None, "ratio": None,
+                         "status": "removed"})
+        else:
+            ratio = (
+                after["mean_s"] / before["mean_s"]
+                if before["mean_s"] > 0 else float("inf")
+            )
+            rows.append({
+                "name": name, "old_mean_s": before["mean_s"],
+                "new_mean_s": after["mean_s"], "ratio": ratio,
+                "status": "slower" if ratio > 1.0 else "faster",
+            })
+    rows.sort(key=lambda r: -(r["ratio"] if r["ratio"] is not None else 0.0))
+    return rows
+
+
+def regressions(rows: List[dict], threshold: float) -> List[dict]:
+    """Rows whose new mean exceeds ``threshold`` x the old mean."""
+    return [
+        row for row in rows
+        if row["ratio"] is not None and row["ratio"] > threshold
+    ]
+
+
+def format_rows(rows: List[dict]) -> str:
+    def _ms(value: Optional[float]) -> str:
+        return f"{value * 1e3:.3f}" if value is not None else "-"
+
+    lines = [f"{'benchmark':<60} {'old ms':>10} {'new ms':>10} "
+             f"{'ratio':>7}  status"]
+    for row in rows:
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "-"
+        lines.append(
+            f"{row['name']:<60} {_ms(row['old_mean_s']):>10} "
+            f"{_ms(row['new_mean_s']):>10} {ratio:>7}  {row['status']}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two pytest-benchmark JSON artifacts; exit 1 on "
+                    "regression past the threshold.",
+    )
+    parser.add_argument("old", help="baseline BENCH_*.json")
+    parser.add_argument("new", help="candidate BENCH_*.json")
+    parser.add_argument(
+        "--threshold", type=float, default=1.25,
+        help="regression gate: fail when a new mean exceeds this multiple "
+             "of the old mean (default 1.25)",
+    )
+    args = parser.parse_args(argv)
+    if args.threshold <= 0:
+        parser.error(f"--threshold must be positive, got {args.threshold}")
+    rows = compare(load_benchmarks(args.old), load_benchmarks(args.new))
+    print(format_rows(rows))
+    failed = regressions(rows, args.threshold)
+    if failed:
+        print(f"\n{len(failed)} benchmark(s) regressed past "
+              f"{args.threshold:.2f}x:")
+        for row in failed:
+            print(f"  {row['name']}: {row['ratio']:.2f}x")
+        return 1
+    print(f"\nno regressions past {args.threshold:.2f}x "
+          f"({len(rows)} benchmark(s) compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

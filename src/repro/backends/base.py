@@ -62,6 +62,10 @@ class PhaseTimings:
     abundance_ms: float = 0.0
     db_kmers_streamed: int = 0
     query_kmers_streamed: int = 0
+    #: Modeled KSS-table bytes streamed during taxID retrieval (§4.3.2's
+    #: second flash stream).  Counted by the paced backend so the
+    #: intersect/retrieve overlap ratio is reproducible in serving runs.
+    kss_bytes_streamed: int = 0
     buckets_processed: int = 0
     db_stream_passes: int = 0
     samples_batched: int = 1
@@ -140,6 +144,7 @@ class PhaseTimings:
         self.abundance_ms += other.abundance_ms
         self.db_kmers_streamed += other.db_kmers_streamed
         self.query_kmers_streamed += other.query_kmers_streamed
+        self.kss_bytes_streamed += other.kss_bytes_streamed
         self.buckets_processed += other.buckets_processed
         self.db_stream_passes += other.db_stream_passes
         self.serialized_ms += other.serialized_ms
@@ -166,6 +171,7 @@ class PhaseTimings:
             "total_ms": self.total_ms,
             "db_kmers_streamed": self.db_kmers_streamed,
             "query_kmers_streamed": self.query_kmers_streamed,
+            "kss_bytes_streamed": self.kss_bytes_streamed,
             "buckets_processed": self.buckets_processed,
             "db_stream_passes": self.db_stream_passes,
             "samples_batched": self.samples_batched,

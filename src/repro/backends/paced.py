@@ -205,7 +205,19 @@ class PacedStepTwoBackend(StepTwoBackend):
         sorted_intersecting: Sequence[int],
         timings: Optional[PhaseTimings] = None,
     ) -> RetrievalResult:
-        # Retrieval streams the KSS range, not the sorted database; its
-        # modeled volume is already folded into the perf model, so pacing
-        # sticks to the dominant database stream and delegates here.
-        return self._inner.retrieve(kss, sorted_intersecting, timings)
+        # Retrieval streams the KSS range — §4.3.2's second flash stream.
+        # Its volume is the (sliced) KSS table size: a sharded Step 2
+        # passes each shard's prefix-aligned KSS range, so per-shard
+        # retrieval pays only its own range's stream time, and the
+        # intersect/retrieve overlap ratio matches the model.
+        scratch = PhaseTimings(backend=self.name)
+        result = self._inner.retrieve(kss, sorted_intersecting, scratch)
+        streamed = int(kss.size_bytes())
+        scratch.kss_bytes_streamed += streamed
+        wait_s = streamed / (self.mb_per_s * 1e6)
+        if wait_s >= _MIN_SLEEP_S:
+            time.sleep(wait_s)
+            scratch.retrieve_ms += wait_s * 1e3
+        if timings is not None:
+            timings.merge(scratch)
+        return result

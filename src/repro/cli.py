@@ -125,12 +125,13 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
                   "abundance is unavailable (use --abundance statistical)",
                   file=sys.stderr)
             return 2
-        if args.tool == "megis":
-            result = session.analyze(reads)
-            if args.timings:
-                _print_timings(result.timings)
-        else:
-            result = session.analyze_metalign(reads)
+        with session:  # close() reaps any forked process-pool workers
+            if args.tool == "megis":
+                result = session.analyze(reads)
+                if args.timings:
+                    _print_timings(result.timings)
+            else:
+                result = session.analyze_metalign(reads)
         profile = result.profile
     else:
         if args.reads is None:
@@ -148,7 +149,8 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             if args.tool == "megis":
                 config = MegisConfig(abundance_method=args.abundance,
                                      **execution_config_kwargs(args))
-                result = AnalysisSession(index, config).analyze(reads)
+                with AnalysisSession(index, config) as session:
+                    result = session.analyze(reads)
                 if args.timings:
                     _print_timings(result.timings)
             else:
@@ -215,10 +217,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(json.dumps(record), flush=True)
 
     reader_failure = []
-    with AnalysisService(session, workers=args.workers,
-                         max_batch=args.max_batch,
-                         max_queue=args.max_queue,
-                         batch_window_ms=args.batch_window_ms) as service:
+    # ``session`` closes after the service: its close() reaps the forked
+    # process-pool workers of an ``--executor processes[:N]`` session.
+    with session, AnalysisService(session, workers=args.workers,
+                                  max_batch=args.max_batch,
+                                  max_queue=args.max_queue,
+                                  batch_window_ms=args.batch_window_ms) as service:
 
         def read_stdin() -> None:
             # Prefer the raw byte stream so undecodable input is a
@@ -435,6 +439,23 @@ def build_parser() -> argparse.ArgumentParser:
             "  lines are skipped.  Requests queued past --deadline-ms fail "
             "with the\n"
             "  same error shape instead of occupying a batch slot.\n"
+            "\n"
+            "process-backed serving (--executor processes[:N]):\n"
+            "  N worker processes are forked after the index is opened and "
+            "warmed\n"
+            "  (with --mmap, after the CSR sections are memory-mapped), so "
+            "the whole\n"
+            "  index is shared copy-on-write — no per-worker duplication — "
+            "and each\n"
+            "  worker owns a subset of the database shards.  A worker that "
+            "crashes or\n"
+            "  is killed mid-batch is respawned automatically and its "
+            "in-flight batch\n"
+            "  retried once; if the retry also dies, only that batch's "
+            "requests fail\n"
+            "  (structured error objects on stdout) — queued samples are "
+            "never\n"
+            "  dropped and the respawned worker keeps serving the stream.\n"
         ),
     )
     serve.add_argument("--index", required=True, metavar="PATH",

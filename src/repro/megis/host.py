@@ -23,6 +23,8 @@ charge for it.
 
 from __future__ import annotations
 
+import time
+from bisect import bisect_right
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
@@ -59,6 +61,9 @@ class Bucket:
     hi: int
     kmers: KmerColumn = field(default_factory=list)
     pinned: bool = True  # False -> spilled to the SSD during extraction
+    #: Measured wall time of this bucket's sort/dedup/exclusion pass
+    #: (ms), recorded by the partitioner; ``None`` when unmeasured.
+    sort_ms: Optional[float] = None
 
     def byte_size(self, kmer_bytes: int) -> int:
         return len(self.kmers) * kmer_bytes
@@ -85,6 +90,24 @@ class BucketSet:
     k: int
     buckets: List[Bucket]
     spilled_bytes: int = 0
+    #: Measured wall time of the serial Step-1 head (extraction, the
+    #: preliminary boundary pass, and bucket assignment) that precedes
+    #: every bucket sort; ``None`` when unmeasured.
+    lead_ms: Optional[float] = None
+
+    def measured_step_one_ms(self) -> Optional[List[float]]:
+        """``[lead, sort_0, ..., sort_n]`` wall times when all measured.
+
+        The §4.2.1 scheduler consumes these in place of the ``n log n``
+        cost-model apportionment (ROADMAP "measured, not modeled");
+        ``None`` if the partitioner did not record a complete set.
+        """
+        if self.lead_ms is None:
+            return None
+        sorts = [bucket.sort_ms for bucket in self.buckets]
+        if any(ms is None for ms in sorts):
+            return None
+        return [self.lead_ms, *sorts]
 
     def merged_sorted(self) -> List[int]:
         """Global sorted k-mer list (bucket concatenation in range order)."""
@@ -175,11 +198,23 @@ class KmerBucketPartitioner:
     # -- main entry --------------------------------------------------------------
 
     def partition(self, reads: Sequence[Read]) -> BucketSet:
-        """Run Step 1 over a sample's reads."""
-        # The vectorized selection (columnar backend, k-mers fit uint64)
-        # buffers the extracted arrays for one np.unique pass; the Counter
-        # path folds each read in immediately so peak memory stays
-        # O(distinct k-mers), as before.
+        """Run Step 1 over a sample's reads.
+
+        The serial head — extraction, the preliminary boundary pass, and
+        bucket *assignment* — runs first and is timed as the set's
+        ``lead_ms``; each bucket's sort/dedup/frequency-exclusion then
+        runs (and is timed) per bucket, so the §4.2.1 scheduler can
+        replay measured Step-1 durations instead of the ``n log n`` cost
+        model.  Because the buckets partition the key space, per-bucket
+        dedup + exclusion concatenates to exactly the global result the
+        single-pass layout produced — bucket contents are bit-identical.
+
+        The vectorized path (columnar backend, k-mers fit uint64) groups
+        the raw extracted stream by bucket with one stable argsort over
+        the bucket ids (radix, O(n)); the Counter path folds each read
+        in immediately so peak memory stays O(distinct k-mers).
+        """
+        lead_start = time.perf_counter()
         vectorized = self._backend.columnar and self.k <= 31
         arrays: List[np.ndarray] = []
         counts: Counter = Counter()
@@ -194,21 +229,66 @@ class KmerBucketPartitioner:
             if remaining > 0:
                 preliminary.extend(int(x) for x in kmers[:remaining].tolist())
 
-        selected = (
-            self._select_vectorized(arrays) if vectorized else self._select(counts)
-        )
         boundaries = self._boundaries(preliminary)
         space = 1 << (2 * self.k)
         edges = [0] + boundaries + [space]
-        columns = self._backend.split_column(selected, boundaries, self.k)
-        buckets = [
-            Bucket(index=i, lo=edges[i], hi=edges[i + 1], kmers=column)
-            for i, column in enumerate(columns)
-        ]
+        if vectorized:
+            raw_buckets = self._group_vectorized(arrays, boundaries, len(edges) - 1)
+        else:
+            raw_buckets = self._group_counted(counts, boundaries, len(edges) - 1)
+        lead_ms = (time.perf_counter() - lead_start) * 1e3
 
-        bucket_set = BucketSet(k=self.k, buckets=buckets)
+        buckets = []
+        for i, raw in enumerate(raw_buckets):
+            sort_start = time.perf_counter()
+            if vectorized:
+                column = self._select_vectorized([raw])
+            else:
+                column = self._select(raw)
+            buckets.append(Bucket(
+                index=i, lo=edges[i], hi=edges[i + 1], kmers=column,
+                sort_ms=(time.perf_counter() - sort_start) * 1e3,
+            ))
+
+        bucket_set = BucketSet(k=self.k, buckets=buckets, lead_ms=lead_ms)
         self._assign_pinning(bucket_set)
         return bucket_set
+
+    def _group_vectorized(
+        self, arrays: Sequence[np.ndarray], boundaries: Sequence[int],
+        n_buckets: int,
+    ) -> List[np.ndarray]:
+        """Group the raw (unsorted, with duplicates) stream by bucket.
+
+        One ``searchsorted`` assigns ids and one stable argsort over the
+        ids (radix for integer keys) groups the stream — the scatter
+        pass of the paper's bucketing, all charged to ``lead_ms``.
+        Within-bucket order stays the arrival order; the per-bucket
+        ``np.unique`` does the actual sorting, on the bucket's clock.
+        """
+        merged = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.uint64)
+        if not boundaries:
+            return [merged]
+        ids = np.searchsorted(
+            np.asarray(boundaries, dtype=merged.dtype), merged, side="right"
+        )
+        order = np.argsort(ids, kind="stable")
+        grouped = merged[order]
+        counts_per = np.bincount(ids, minlength=n_buckets)
+        offsets = np.concatenate([[0], np.cumsum(counts_per)])
+        return [
+            grouped[offsets[i]:offsets[i + 1]] for i in range(n_buckets)
+        ]
+
+    @staticmethod
+    def _group_counted(
+        counts: Counter, boundaries: Sequence[int], n_buckets: int
+    ) -> List[Counter]:
+        """Scatter the accumulated (k-mer -> count) pairs into buckets."""
+        raw_buckets: List[Counter] = [Counter() for _ in range(n_buckets)]
+        for kmer, count in counts.items():
+            raw_buckets[bisect_right(boundaries, kmer)][kmer] = count
+        return raw_buckets
 
     def _select_vectorized(self, arrays: Sequence[np.ndarray]) -> KmerColumn:
         """Frequency exclusion in one ``np.unique`` pass (sorted output).

@@ -1,0 +1,302 @@
+"""Shard-per-process analysis execution (the process-pool serving tier).
+
+The GIL caps what :class:`~repro.megis.service.AnalysisService` can get
+out of threads: Step 1 (k-mer extraction) and mapping-based Step 3 are
+pure-Python loops, so thread workers serialize exactly where the paper's
+pipeline is busiest.  :class:`ProcessAnalysisRunner` moves those phases —
+and the sharded Step-2 kernels — into a :class:`ProcessExecutor` pool
+forked *after* the session is warmed (and, for ``open(mmap=True)``
+indexes, after the CSR sections are memmapped), so every worker shares
+the parent's engine state copy-on-write: zero per-worker index
+duplication, verifiable through :meth:`probe_workers` against the
+database's column-build counters.
+
+Data parallelism is shard-per-process (§6.1 mapped onto processes):
+the sorted database is cut into ``max(n_ssds, workers)`` contiguous
+lexicographic ranges and each worker *owns* a contiguous group of
+shards for the session's lifetime (tasks are pinned with
+``ProcessExecutor.submit_to``).  A batch runs in three fan-outs —
+
+1. Step 1 per sample on any worker (extraction parallelizes freely);
+2. Step 2 per worker-group: each worker streams its own shard group
+   once for the whole batch, mirroring
+   :meth:`~repro.megis.multissd.MultiSsdStepTwo.run_multi`'s kernels;
+3. Step 3 per sample on any worker (mapping/EM over the merged
+   retrieval).
+
+— and the parent merges per-shard results in ascending range order with
+:meth:`~repro.backends.retrieval.RetrievalResult.concatenate`, so the
+output is bit-identical to the serial engines (the golden-fixture tests
+pin this).  Task functions are module-level (they cross the worker pipe
+by reference) and reach the forked state through
+:func:`~repro.megis.executors.worker_state`.
+
+Crash semantics come from the pool: a worker that dies mid-task is
+respawned (a fresh fork of the *current* parent, shards intact) and the
+task retried once; a second death surfaces as
+:class:`~repro.megis.executors.WorkerCrashed` from ``analyze_batch``,
+which :class:`~repro.megis.service.AnalysisService` turns into a
+structured per-request error without dropping queued samples.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backends import PhaseTimings, get_backend
+from repro.backends.retrieval import RetrievalResult
+from repro.megis.executors import ProcessExecutor, worker_state
+from repro.megis.multissd import DatabaseShard
+from repro.sequences.reads import Read
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.megis.session import AnalysisSession, MegisResult
+
+
+# -- module-level task functions (pickled by reference across the pipe) -------
+
+def _task_step1(reads: Sequence[Read]) -> Tuple[Any, float]:
+    """Step 1 for one sample inside a worker: partition + wall time."""
+    runner = worker_state()
+    start = time.perf_counter()
+    buckets = runner.session._partitioner.partition(reads)
+    return buckets, (time.perf_counter() - start) * 1e3
+
+
+def _task_step2(
+    shard_indexes: Sequence[int],
+    sample_buckets: List[List[Tuple[Optional[int], Optional[int], Any]]],
+) -> Tuple[List[Tuple[List[List[int]], List[RetrievalResult]]], PhaseTimings]:
+    """Step 2 over this worker's shard group, batched across samples.
+
+    Mirrors :meth:`MultiSsdStepTwo.run_multi`'s per-shard kernel calls
+    exactly — one ``intersect_sharded_multi`` stream per shard for the
+    whole batch, then per-sample retrieval against the shard's KSS range
+    — so the merged result is bit-identical to the serial fan-out.
+    """
+    runner = worker_state()
+    backend = runner.backend
+    st = PhaseTimings(backend=backend.name)
+    out = []
+    for index in shard_indexes:
+        shard: DatabaseShard = runner.shards[index]
+        per_sample = backend.intersect_sharded_multi(
+            [(shard.lo, shard.hi, shard.database)], sample_buckets,
+            runner.channels, st,
+        )
+        retrievals = [
+            backend.retrieve(shard.kss, partial, st) for partial in per_sample
+        ]
+        out.append((per_sample, retrievals))
+    return out, st
+
+
+def _task_step3(
+    reads: Sequence[Read], retrieved: RetrievalResult, with_abundance: bool
+) -> Tuple[Dict, set, Any, Any, float]:
+    """Step 3 for one sample inside a worker: hits, candidates, profile."""
+    from repro.megis.session import MegisResult
+
+    runner = worker_state()
+    session = runner.session
+    result = MegisResult()
+    session._finish_step_two(result, [], retrieved)
+    abundance_ms = 0.0
+    if with_abundance:
+        start = time.perf_counter()
+        session._estimate_abundance(result, reads, retrieved)
+        abundance_ms = (time.perf_counter() - start) * 1e3
+    return (
+        result.sketch_hits, result.candidates, result.profile,
+        result.merge_stats, abundance_ms,
+    )
+
+
+def _task_probe() -> Dict[str, int]:
+    """Counters read from *inside* a worker — the COW-sharing witness.
+
+    If the fork duplicated (rather than COW-shared) the parent's warmed
+    engine state, the worker's database would have to rebuild its
+    columns and these counters would exceed the parent's snapshot.
+    """
+    runner = worker_state()
+    database = runner.session.database
+    return {
+        "pid": os.getpid(),
+        "column_builds": database.column_builds,
+        "owner_column_builds": database.owner_column_builds,
+        "shards": len(runner.shards),
+    }
+
+
+class ProcessAnalysisRunner:
+    """Drive one session's analyses through a forked worker pool.
+
+    Built by :meth:`AnalysisSession.warm` when the session's executor
+    spec is ``processes``/``processes:N``; the constructor is the fork
+    point — everything warmed before it (columns, KSS blocks, memmap
+    sections, shard handles) is inherited copy-on-write by the workers.
+    The runner itself is the pool's ``state`` object: it crosses into
+    the children by fork inheritance, never by pickling.
+    """
+
+    def __init__(self, session: "AnalysisSession", workers: int):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.session = session
+        self.workers = workers
+        self.backend = get_backend(session._backend_spec)
+        self.channels = session._n_channels
+        #: At least one shard per worker; honoring a larger configured
+        #: SSD count keeps the modeled fan-out width.
+        shard_count = max(session.config.n_ssds, workers)
+        self.shards: List[DatabaseShard] = list(session.index.shards(shard_count))
+        self._warm_shards()
+        #: Contiguous shard groups: worker *w* owns ``groups[w]``.  The
+        #: groups partition ``range(shard_count)`` in ascending order, so
+        #: iterating workers then shards yields ascending ranges — the
+        #: precondition for ``RetrievalResult.concatenate``.
+        self.groups: List[List[int]] = [
+            list(range(
+                shard_count * w // workers, shard_count * (w + 1) // workers
+            ))
+            for w in range(workers)
+        ]
+        self.pool = ProcessExecutor(workers, state=self)
+        self.pool.start()  # <- the fork
+
+    def _warm_shards(self) -> None:
+        """Materialize every shard's columns pre-fork (COW prerequisite)."""
+        if self.backend.columnar:
+            for shard in self.shards:
+                shard.database.column()
+                shard.kss.columns()
+        else:
+            for shard in self.shards:
+                shard.kss.retrieve([])
+
+    def after_fork(self) -> None:
+        """Child-side repair, run first thing inside every forked worker.
+
+        A respawn fork can happen while serving threads hold the session
+        lock in the parent, so the child gets a fresh lock; nulling the
+        runner hook makes any in-worker ``session.analyze`` take the
+        plain serial path instead of recursing into the (parent-owned)
+        pool.
+        """
+        session = self.session
+        session._lock = threading.RLock()
+        session._process_workers = None
+        session._runner = None
+
+    # -- serving ---------------------------------------------------------------
+
+    def analyze(self, reads: Sequence[Read],
+                with_abundance: bool = True) -> "MegisResult":
+        return self.analyze_batch([reads], with_abundance)[0]
+
+    def analyze_batch(
+        self, samples: Sequence[Sequence[Read]], with_abundance: bool = True
+    ) -> List["MegisResult"]:
+        """The three fan-outs; semantics match ``AnalysisSession.analyze_batch``.
+
+        Thread-safe — :class:`AnalysisService` workers call this
+        concurrently and the pool interleaves their tasks; each batch's
+        results are assembled from its own futures only.
+        """
+        from repro.megis.session import MegisResult
+
+        if not samples:
+            return []
+        session = self.session
+        pool = self.pool
+        backend_name = self.backend.name
+
+        # Fan-out 1 — Step 1 per sample, any worker.
+        step1 = [pool.submit(_task_step1, list(reads)) for reads in samples]
+        partitioned = [future.result() for future in step1]
+        bucket_sets = [buckets for buckets, _ in partitioned]
+        sample_buckets = [
+            [(b.lo, b.hi, b.kmers) for b in buckets.buckets]
+            for buckets in bucket_sets
+        ]
+
+        # Fan-out 2 — Step 2 per worker-group, pinned to the shard owner;
+        # each worker streams its shard group once for the whole batch.
+        batch_timings = PhaseTimings(
+            backend=backend_name, samples_batched=len(samples)
+        )
+        start = time.perf_counter()
+        step2 = [
+            pool.submit_to(worker, _task_step2, group, sample_buckets)
+            for worker, group in enumerate(self.groups) if group
+        ]
+        outcomes = [future.result() for future in step2]
+        batch_timings.step2_wall_ms += (time.perf_counter() - start) * 1e3
+        per_shard: List[Tuple[List[List[int]], List[RetrievalResult]]] = []
+        for shard_results, st in outcomes:
+            batch_timings.merge(st)
+            per_shard.extend(shard_results)
+        merged: List[Tuple[List[int], RetrievalResult]] = []
+        for s in range(len(samples)):
+            intersecting = [
+                kmer for per_sample, _ in per_shard for kmer in per_sample[s]
+            ]
+            retrieved = RetrievalResult.concatenate(
+                [retrievals[s] for _, retrievals in per_shard]
+            )
+            merged.append((intersecting, retrieved))
+
+        # Fan-out 3 — Step 3 per sample, any worker.
+        step3 = [
+            pool.submit(_task_step3, list(reads), retrieved, with_abundance)
+            for reads, (_, retrieved) in zip(samples, merged)
+        ]
+
+        total_query = sum(buckets.total_kmers() for buckets in bucket_sets)
+        results: List[MegisResult] = []
+        for (reads, buckets, (_, extract_ms), (intersecting, retrieved),
+             future) in zip(samples, bucket_sets, partitioned, merged, step3):
+            hits, candidates, profile, merge_stats, abundance_ms = future.result()
+            result = MegisResult(timings=PhaseTimings(backend=backend_name))
+            result.timings.extract_ms += extract_ms
+            result.timings.merge(batch_timings)
+            result.intersecting_kmers = intersecting
+            result.sketch_hits = hits
+            result.candidates = candidates
+            result.profile = profile
+            result.merge_stats = merge_stats
+            result.n_buckets = len(buckets)
+            result.spilled_bytes = buckets.spilled_bytes
+            result.query_kmers = buckets.total_kmers()
+            result.transfer_batches = session._count_batches(
+                buckets, session._partitioner.kmer_bytes
+            )
+            share = buckets.total_kmers() / total_query if total_query else 0.0
+            session._model_overlap(result.timings, buckets, intersect_share=share)
+            result.timings.abundance_ms += abundance_ms
+            results.append(result)
+        return results
+
+    # -- introspection / lifecycle ---------------------------------------------
+
+    @property
+    def respawns(self) -> int:
+        return self.pool.respawns
+
+    def probe_workers(self) -> List[Dict[str, int]]:
+        """Each worker's in-process view of the shared engine counters."""
+        futures = [
+            self.pool.submit_to(worker, _task_probe)
+            for worker in range(self.workers)
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self.pool.shutdown(wait=True)
+
+
+__all__ = ["ProcessAnalysisRunner"]

@@ -44,6 +44,17 @@ how submissions interleave, because batching itself is result-preserving
 :class:`RequestMetrics` (queue wait, batch width, service and end-to-end
 wall time) and :class:`ServiceStats` aggregates them.
 
+A *process-backed* session (``executor="processes[:N]"``) changes the
+execution substrate, not the service contract: ``session.warm()`` at
+construction forks the worker pool (after any memmapping), the service's
+threads dispatch batches into it, and every streaming knob above keeps
+its semantics.  Crash handling composes the same way — a worker that dies
+mid-batch is respawned and the batch retried once inside the pool; if the
+retry also dies, :meth:`_run_batch`'s existing failure path turns the
+resulting :class:`~repro.megis.executors.WorkerCrashed` into a structured
+per-request error on the completion stream while every queued sample
+proceeds on the respawned worker.
+
 ``repro serve`` (:mod:`repro.cli`) exposes this as a JSONL stdin/stdout
 protocol that emits each result as it completes.
 """
@@ -517,6 +528,11 @@ class AnalysisService:
         if batch:
             self._run_batch(batch)
 
+    @property
+    def process_backed(self) -> bool:
+        """True when batches dispatch into the session's forked worker pool."""
+        return self.session._process_workers is not None
+
     def _run_batch(self, batch: List[_Request]) -> None:
         samples = [request.reads for request in batch]
         started = time.perf_counter()
@@ -533,7 +549,10 @@ class AnalysisService:
                 request.future.set_result(result)
         except BaseException as exc:
             # A failing sample fails its whole batch: each future carries
-            # the exception (a lost future would deadlock drain()).
+            # the exception (a lost future would deadlock drain()).  This
+            # is also where a process-pool WorkerCrashed (worker died and
+            # its retry died too) becomes the batch's structured error —
+            # queued requests outside the batch are untouched.
             for request in batch:
                 if not request.future.done():
                     request.future.set_exception(exc)

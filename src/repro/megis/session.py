@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import os
 import threading
 from collections import deque
 from contextlib import contextmanager
@@ -67,6 +68,7 @@ from repro.tools.metalign import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (index -> session)
     from repro.databases.kss import KssTables
     from repro.megis.index import MegisIndex
+    from repro.megis.procpool import ProcessAnalysisRunner
 
 
 @dataclass
@@ -92,8 +94,11 @@ class MegisConfig:
     n_ssds: int = 1
     #: Execution policy for Step-2 bucket/shard tasks
     #: (:mod:`repro.megis.executors`): ``None``/"serial" runs inline,
-    #: "threads" / "threads:N" dispatches on a thread pool.  Results are
-    #: bit-identical across policies; only wall-clock overlap changes.
+    #: "threads" / "threads:N" dispatches on a thread pool, and
+    #: "processes" / "processes:N" forks an analysis worker pool at
+    #: :meth:`AnalysisSession.warm` time (shard-per-process Step 2 plus
+    #: out-of-GIL Steps 1/3).  Results are bit-identical across
+    #: policies; only wall-clock overlap changes.
     executor: Optional[str] = None
 
     def __post_init__(self):
@@ -312,6 +317,34 @@ class AnalysisSession:
             executor if executor is not None and not isinstance(executor, str)
             else config.executor
         )
+        #: Process-backed serving (the fork-after-mmap tier): a
+        #: "processes[:N]" spec is consumed here rather than handed to
+        #: the engines — :meth:`warm` forks a
+        #: :class:`~repro.megis.procpool.ProcessAnalysisRunner` pool and
+        #: the engines inside each forked worker run serial.
+        self._process_workers: Optional[int] = None
+        self._runner: Optional["ProcessAnalysisRunner"] = None
+        if isinstance(self._executor_spec, str):
+            family, workers = parse_spec(self._executor_spec)
+            if family == "processes":
+                self._process_workers = workers or (os.cpu_count() or 1)
+                self._executor_spec = None
+        elif self._executor_spec is not None:
+            from repro.megis.executors import ProcessExecutor
+
+            if isinstance(self._executor_spec, ProcessExecutor):
+                raise ValueError(
+                    "pass executor='processes[:N]' rather than a "
+                    "ProcessExecutor instance: the session must own the "
+                    "fork point, and the engines' per-bucket closures "
+                    "cannot cross a process pipe"
+                )
+        if self._process_workers is not None and ssd is not None:
+            raise ValueError(
+                "a functional-SSD session is stateful (serial command "
+                "processing) and cannot be process-backed; drop "
+                "executor='processes' or the ssd"
+            )
         self.database = index.database
         self.sketch = index.sketch
         self.references = index.references
@@ -431,12 +464,53 @@ class AnalysisSession:
                     shard.kss.columns()
                 else:
                     shard.kss.retrieve([])
+        # Process-backed serving forks *here* — after every column /
+        # memmap section above is materialized, so the workers inherit
+        # the warmed engine state copy-on-write (the fork-after-mmap
+        # contract; its COW sharing is asserted by the pool tests).
+        if self._process_workers is not None and self._runner is None:
+            with self._lock:
+                if self._runner is None:
+                    from repro.megis.procpool import ProcessAnalysisRunner
+
+                    self._runner = ProcessAnalysisRunner(
+                        self, self._process_workers
+                    )
         return self
+
+    def close(self) -> None:
+        """Shut down the forked worker pool, if one exists.
+
+        Safe on any session; a process-backed session re-forks on the
+        next :meth:`warm` / analysis call after closing.
+        """
+        with self._lock:
+            runner, self._runner = self._runner, None
+        if runner is not None:
+            runner.close()
+
+    def __enter__(self) -> "AnalysisSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _process_runner(self) -> Optional["ProcessAnalysisRunner"]:
+        """The forked runner for process-backed sessions (forking on
+        first use via :meth:`warm`), else ``None``."""
+        if self._process_workers is None:
+            return None
+        if self._runner is None:
+            self.warm()
+        return self._runner
 
     # -- single sample ----------------------------------------------------------
 
     def analyze(self, reads: Sequence[Read], with_abundance: bool = True) -> MegisResult:
         """Run the three steps for one sample against the open index."""
+        runner = self._process_runner()
+        if runner is not None:
+            return runner.analyze(reads, with_abundance)
         result = MegisResult(timings=PhaseTimings(backend=self.isp.backend_name))
         if self._processor is not None:
             self._processor.megis_init(MegisInit(0, host_buffer_bytes=1 << 30))
@@ -493,6 +567,9 @@ class AnalysisSession:
         """
         if not samples:
             return []
+        runner = self._process_runner()
+        if runner is not None:
+            return runner.analyze_batch(samples, with_abundance)
         backend = self.isp.backend_name
         results = [MegisResult(timings=PhaseTimings(backend=backend)) for _ in samples]
         if self._processor is not None:
@@ -703,9 +780,12 @@ class AnalysisSession:
         """Model the §4.2.1 bucket pipeline over the measured phase times.
 
         The measured Step-1 (extract) wall time splits into a serial head
-        (the linear extraction/selection scan, one comparison per k-mer —
-        it precedes every bucket and is never hidden) plus per-bucket sort
-        components weighted by comparison count (``n log n``); the Step-2
+        (extraction, boundary selection, and bucket assignment — it
+        precedes every bucket and is never hidden) plus per-bucket sort
+        components.  When the partitioner recorded real per-bucket wall
+        times (``BucketSet.measured_step_one_ms``) those are the split
+        weights; otherwise the ``n log n`` comparison-count model
+        apportions.  Likewise the Step-2
         (intersect) time is apportioned by streamed volume (database range
         plus query bucket) — *unless* the backends recorded real per-bucket
         wall times covering this sample's buckets exactly
@@ -719,9 +799,10 @@ class AnalysisSession:
         intersect_total = timings.intersect_ms * intersect_share
         if not sizes or sum(sizes) == 0 or intersect_total <= 0:
             return
-        step_one = _apportion(
-            [float(sum(sizes))] + sort_cost_weights(sizes), timings.extract_ms
-        )
+        step_one_weights = bucket_set.measured_step_one_ms()
+        if step_one_weights is None:
+            step_one_weights = [float(sum(sizes))] + sort_cost_weights(sizes)
+        step_one = _apportion(step_one_weights, timings.extract_ms)
         lead_ms, sort_ms = step_one[0], step_one[1:]
         weights = self._measured_bucket_ms(timings, bucket_set)
         if weights is None:

@@ -2,8 +2,8 @@
 
 ``repro analyze``, ``repro serve``, and ``python -m repro.experiments``
 all expose the same three knobs — the Step-2 ``--backend``, the
-``--executor`` policy (``serial`` / ``threads`` / ``threads:N``), and the
-``--ssds`` shard count — and used to each carry their own copy of the
+``--executor`` policy (``serial`` / ``threads[:N]`` / ``processes[:N]``),
+and the ``--ssds`` shard count — and used to each carry their own copy of the
 registration and validation logic.  This module is the single source:
 :func:`add_execution_flags` registers the flags on an argparse parser and
 :func:`execution_config_kwargs` turns the parsed namespace into the
@@ -62,9 +62,10 @@ def add_execution_flags(
     if executor:
         parser.add_argument(
             "--executor", type=executor_spec, default=None, metavar="SPEC",
-            help="Step-2 execution policy: "
-                 f"{', '.join(available_executors())} or threads:N "
-                 "(results identical)",
+            help="execution policy: "
+                 f"{', '.join(available_executors())}, sized as e.g. "
+                 "threads:N or processes:N (results identical; processes "
+                 "forks workers after the index is warmed/memmapped)",
         )
     if ssds:
         parser.add_argument(

@@ -1,0 +1,107 @@
+"""The BENCH_*.json diff helper: matching, ratios, and the CI gate."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.bench_compare import (
+    compare,
+    format_rows,
+    load_benchmarks,
+    main,
+    regressions,
+)
+
+
+def _artifact(means: dict) -> dict:
+    return {
+        "benchmarks": [
+            {"name": name, "stats": {"mean": mean, "stddev": mean / 10},
+             "extra_info": {"executor": "threads:4"}}
+            for name, mean in means.items()
+        ]
+    }
+
+
+@pytest.fixture
+def artifacts(tmp_path):
+    old = tmp_path / "old.json"
+    new = tmp_path / "new.json"
+    old.write_text(json.dumps(_artifact(
+        {"test_serve[threads:4]": 0.100, "test_serve[processes:4]": 0.080,
+         "test_gone": 0.050}
+    )))
+    new.write_text(json.dumps(_artifact(
+        {"test_serve[threads:4]": 0.150, "test_serve[processes:4]": 0.060,
+         "test_added": 0.010}
+    )))
+    return old, new
+
+
+class TestCompare:
+    def test_load_keys_by_name(self, artifacts):
+        old, _ = artifacts
+        loaded = load_benchmarks(old)
+        assert set(loaded) == {
+            "test_serve[threads:4]", "test_serve[processes:4]", "test_gone"
+        }
+        assert loaded["test_serve[threads:4]"]["mean_s"] == 0.100
+        assert loaded["test_gone"]["extra_info"]["executor"] == "threads:4"
+
+    def test_rows_cover_both_sides_sorted_worst_first(self, artifacts):
+        old, new = artifacts
+        rows = compare(load_benchmarks(old), load_benchmarks(new))
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["test_serve[threads:4]"]["ratio"] == pytest.approx(1.5)
+        assert by_name["test_serve[threads:4]"]["status"] == "slower"
+        assert by_name["test_serve[processes:4]"]["ratio"] == pytest.approx(
+            0.75
+        )
+        assert by_name["test_serve[processes:4]"]["status"] == "faster"
+        assert by_name["test_added"]["status"] == "added"
+        assert by_name["test_gone"]["status"] == "removed"
+        # Worst regression leads the table.
+        assert rows[0]["name"] == "test_serve[threads:4]"
+
+    def test_regression_gate_threshold(self, artifacts):
+        old, new = artifacts
+        rows = compare(load_benchmarks(old), load_benchmarks(new))
+        assert [r["name"] for r in regressions(rows, 1.25)] == [
+            "test_serve[threads:4]"
+        ]
+        assert regressions(rows, 1.6) == []
+        # Added/removed benchmarks are never regressions.
+        assert all(r["ratio"] is not None for r in regressions(rows, 0.01))
+
+    def test_format_includes_every_row(self, artifacts):
+        old, new = artifacts
+        table = format_rows(compare(load_benchmarks(old),
+                                    load_benchmarks(new)))
+        for name in ("test_serve[threads:4]", "test_added", "test_gone"):
+            assert name in table
+        assert "1.50x" in table
+
+
+class TestMain:
+    def test_exit_one_on_regression(self, artifacts, capsys):
+        old, new = artifacts
+        assert main([str(old), str(new)]) == 1
+        out = capsys.readouterr().out
+        assert "regressed past 1.25x" in out
+        assert "test_serve[threads:4]: 1.50x" in out
+
+    def test_exit_zero_under_threshold(self, artifacts, capsys):
+        old, new = artifacts
+        assert main([str(old), str(new), "--threshold", "2.0"]) == 0
+        assert "no regressions past 2.00x" in capsys.readouterr().out
+
+    def test_self_compare_is_clean(self, artifacts):
+        old, _ = artifacts
+        assert main([str(old), str(old)]) == 0
+
+    def test_rejects_bad_threshold(self, artifacts):
+        old, new = artifacts
+        with pytest.raises(SystemExit):
+            main([str(old), str(new), "--threshold", "0"])

@@ -23,22 +23,35 @@ from repro.megis.session import AnalysisSession, MegisConfig
 
 class TestSpecs:
     def test_families(self):
-        assert available_executors() == ("serial", "threads")
+        assert available_executors() == ("serial", "threads", "processes")
 
     @pytest.mark.parametrize("spec,expected", [
         ("serial", ("serial", None)),
         ("threads", ("threads", None)),
         ("threads:4", ("threads", 4)),
+        ("processes", ("processes", None)),
+        ("processes:4", ("processes", 4)),
     ])
     def test_parse(self, spec, expected):
         assert parse_spec(spec) == expected
 
     @pytest.mark.parametrize("spec", [
         "fibers", "serial:2", "threads:zero", "threads:0", "threads:-1",
+        "processes:0", "processes:-3", "processes:two",
     ])
     def test_parse_rejects(self, spec):
         with pytest.raises(ValueError):
             parse_spec(spec)
+
+    def test_errors_enumerate_registered_families(self):
+        """Usage errors list the live registry, not a hard-coded string."""
+        with pytest.raises(ValueError) as unknown:
+            parse_spec("fibers")
+        for family in available_executors():
+            assert family in str(unknown.value)
+        assert "'processes:N'" in str(unknown.value)
+        with pytest.raises(ValueError, match="spec 'processes:0'"):
+            parse_spec("processes:0")
 
     def test_get_executor_resolution(self):
         assert get_executor(None) is get_executor("serial")
@@ -199,6 +212,51 @@ class TestMeasuredBucketTimings:
         assert "step2_wall_ms" in a.as_dict()
 
 
+class TestMeasuredStepOne:
+    def test_measured_step_one_requires_complete_set(self):
+        buckets = [
+            Bucket(index=0, lo=0, hi=10, kmers=[1], sort_ms=2.0),
+            Bucket(index=1, lo=10, hi=20, kmers=[12], sort_ms=3.0),
+        ]
+        measured = BucketSet(k=5, buckets=buckets, lead_ms=1.0)
+        assert measured.measured_step_one_ms() == [1.0, 2.0, 3.0]
+        # No lead (or any unmeasured sort) -> fall back to the cost model.
+        assert BucketSet(k=5, buckets=buckets).measured_step_one_ms() is None
+        buckets[1].sort_ms = None
+        assert measured.measured_step_one_ms() is None
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_partitioner_records_step_one_wall_times(self, sorted_db, sample,
+                                                     backend):
+        partitioner = KmerBucketPartitioner(k=sorted_db.k, n_buckets=6,
+                                            backend=backend)
+        bucket_set = partitioner.partition(sample.reads)
+        assert bucket_set.lead_ms is not None and bucket_set.lead_ms > 0
+        assert all(b.sort_ms is not None and b.sort_ms >= 0
+                   for b in bucket_set.buckets)
+        measured = bucket_set.measured_step_one_ms()
+        assert measured is not None
+        assert len(measured) == len(bucket_set.buckets) + 1
+
+    def test_grouped_partition_is_bit_identical_across_backends(self, sorted_db,
+                                                                sample):
+        """The grouped (lead/sort split) restructure changes timing
+        attribution only: bucket contents stay identical between the
+        vectorized and Counter paths."""
+        columnar = KmerBucketPartitioner(k=sorted_db.k, n_buckets=8,
+                                         backend="numpy")
+        counted = KmerBucketPartitioner(k=sorted_db.k, n_buckets=8,
+                                        backend="python")
+        a = columnar.partition(sample.reads)
+        b = counted.partition(sample.reads)
+        assert [(x.lo, x.hi) for x in a.buckets] == [
+            (x.lo, x.hi) for x in b.buckets
+        ]
+        for bucket_a, bucket_b in zip(a.buckets, b.buckets):
+            assert [int(v) for v in bucket_a.kmers] == list(bucket_b.kmers)
+            assert bucket_a.is_sorted()
+
+
 class TestPacedBackend:
     def test_registered(self):
         assert "paced" in available_backends()
@@ -257,6 +315,30 @@ class TestPacedBackend:
     def test_env_default_bandwidth(self, monkeypatch):
         monkeypatch.setenv("REPRO_PACED_MBPS", "123.5")
         assert PacedStepTwoBackend("numpy").mb_per_s == 123.5
+
+    def test_retrieve_paces_by_kss_stream_volume(self, sorted_db, kss_tables):
+        """KSS retrieval (§4.3.2's second flash stream) is paced too."""
+        query = [int(x) for x in sorted_db.kmers[::3]]
+        reference = get_backend("numpy").retrieve(kss_tables, query)
+        streamed = kss_tables.size_bytes()
+        assert streamed > 0
+        mb_per_s = streamed / 1e6 / 0.15  # ~150 ms modeled stream
+        paced = PacedStepTwoBackend("numpy", mb_per_s=mb_per_s)
+        timings = PhaseTimings()
+        start = time.perf_counter()
+        result = paced.retrieve(kss_tables, query, timings)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+        expected_ms = streamed / (mb_per_s * 1e6) * 1e3
+        assert result == reference  # pacing adds wall time, never work
+        assert elapsed_ms >= 0.8 * expected_ms
+        assert timings.retrieve_ms >= 0.8 * expected_ms
+        assert timings.kss_bytes_streamed == streamed
+        assert "kss_bytes_streamed" in timings.as_dict()
+
+    def test_kss_bytes_streamed_merges(self):
+        a = PhaseTimings(kss_bytes_streamed=100)
+        a.merge(PhaseTimings(kss_bytes_streamed=50))
+        assert a.kss_bytes_streamed == 150
 
     def test_session_accepts_backend_instance(self, sorted_db, sketch_db,
                                               sample):
