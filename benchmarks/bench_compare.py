@@ -12,7 +12,8 @@ Benchmarks are matched by full name (which includes parametrization, so
 The exit status is the regression verdict: 0 when every benchmark present
 in both files stayed under ``threshold`` x its old mean, 1 otherwise —
 usable directly as a CI gate.  Benchmarks present in only one file are
-reported as added/removed, never as regressions.
+reported as added/removed, and a zero-mean baseline (sub-resolution
+timer) as unmeasurable — never as regressions.
 """
 
 from __future__ import annotations
@@ -41,7 +42,10 @@ def compare(old: Dict[str, dict], new: Dict[str, dict]) -> List[dict]:
     """Per-benchmark comparison rows, sorted worst regression first.
 
     ``ratio`` is new mean / old mean (>1 = slower).  Added/removed
-    benchmarks carry ``ratio=None`` and a matching ``status``.
+    benchmarks carry ``ratio=None`` and a matching ``status``, and so
+    does a zero-mean baseline (a timer too coarse to measure the old
+    run): no finite ratio exists, so the row is ``"unmeasurable"`` and
+    never trips the regression gate.
     """
     rows: List[dict] = []
     for name in sorted(set(old) | set(new)):
@@ -54,11 +58,12 @@ def compare(old: Dict[str, dict], new: Dict[str, dict]) -> List[dict]:
             rows.append({"name": name, "old_mean_s": before["mean_s"],
                          "new_mean_s": None, "ratio": None,
                          "status": "removed"})
+        elif before["mean_s"] <= 0:
+            rows.append({"name": name, "old_mean_s": before["mean_s"],
+                         "new_mean_s": after["mean_s"], "ratio": None,
+                         "status": "unmeasurable"})
         else:
-            ratio = (
-                after["mean_s"] / before["mean_s"]
-                if before["mean_s"] > 0 else float("inf")
-            )
+            ratio = after["mean_s"] / before["mean_s"]
             rows.append({
                 "name": name, "old_mean_s": before["mean_s"],
                 "new_mean_s": after["mean_s"], "ratio": ratio,

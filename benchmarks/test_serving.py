@@ -21,9 +21,14 @@ Pins the structural wins of the streaming serving API:
   experiment sweeps);
 - a ThreadedExecutor-driven sharded Step 2 must reproduce the serial
   multi-SSD result exactly while overlapping the shards' paced streams
-  (``measured_overlap_saved_ms > 0``).
+  (``measured_overlap_saved_ms > 0``);
+- ``repro gateway`` must serve four concurrent TCP clients bit-identically
+  to serial analyze, and a per-client token bucket must shed a flooding
+  client into structured rejections while its victims come out whole —
+  both land as rows in the ``BENCH_serving.json`` CI artifact.
 """
 
+import asyncio
 import json
 import os
 import threading
@@ -384,6 +389,176 @@ def test_serve_streams_first_result_before_eof(tmp_path, monkeypatch,
     assert stdout.first_at is not None and stdin.eof_at is not None
     assert stdout.first_at < stdin.eof_at, (
         "first result must stream out before stdin EOF"
+    )
+
+
+async def _gateway_client(host, port, requests, gap_s=0.0):
+    """One TCP client: JSONL frames in, every record (results, errors,
+    drain summaries) collected until the gateway closes the stream."""
+    reader, writer = await asyncio.open_connection(host, port)
+    records = []
+
+    async def _read():
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            records.append(json.loads(line))
+
+    read_task = asyncio.ensure_future(_read())
+    for i, request in enumerate(requests):
+        if i and gap_s:
+            await asyncio.sleep(gap_s)
+        writer.write((json.dumps(request) + "\n").encode("utf-8"))
+        await writer.drain()
+    writer.write_eof()
+    await read_task
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return records
+
+
+def _gateway_round(session, by_client, gaps=None, rate_limit=None,
+                   rate_burst=8.0):
+    """One start -> serve -> drain cycle over real localhost TCP."""
+    from repro.megis.gateway import AnalysisGateway
+
+    gaps = gaps or [0.0] * len(by_client)
+
+    async def go():
+        gateway = AnalysisGateway(session, workers=4, max_batch=4,
+                                  rate_limit=rate_limit,
+                                  rate_burst=rate_burst)
+        host, port = await gateway.start()
+        start = time.perf_counter()
+        per_client = await asyncio.gather(*(
+            _gateway_client(host, port, requests, gap_s=gap)
+            for requests, gap in zip(by_client, gaps)
+        ))
+        elapsed = time.perf_counter() - start
+        await gateway.drain()
+        return per_client, elapsed, gateway.stats
+
+    return asyncio.run(go())
+
+
+def _gateway_expectations(session, samples):
+    """Serial reference frames (gateway must reproduce them exactly)."""
+    from repro.sequences.reads import Read
+
+    expected = {}
+    for i, sample in enumerate(samples):
+        result = session.analyze([
+            Read(read_id=j, sequence=read.sequence, true_taxid=0)
+            for j, read in enumerate(sample)
+        ])
+        expected[f"s{i}"] = (
+            sorted(int(t) for t in result.candidates),
+            {str(t): f for t, f in sorted(result.profile.fractions.items())},
+        )
+    requests = [
+        {"id": f"s{i}", "reads": [read.sequence for read in sample]}
+        for i, sample in enumerate(samples)
+    ]
+    return expected, requests
+
+
+def test_gateway_multiclient_throughput(benchmark, bench_sorted_db,
+                                        bench_sketch, bench_sample):
+    """Samples/sec through `repro gateway` with four concurrent TCP
+    clients (CI artifact row in ``BENCH_serving.json``).
+
+    Every frame is asserted bit-identical to serial ``session.analyze``
+    and every client must come out of each round whole — the same
+    completion-parity fairness the gateway_qos experiment sweeps."""
+    samples = _sample_stream(bench_sample)
+    session = _paced_session(bench_sorted_db, bench_sketch)
+    expected, requests = _gateway_expectations(session, samples)
+    n_clients = 4
+    per = N_SAMPLES // n_clients
+    by_client = [requests[c * per:(c + 1) * per] for c in range(n_clients)]
+    captured = {}
+
+    def serve_round():
+        per_client, elapsed, stats = _gateway_round(session, by_client)
+        captured["elapsed"] = elapsed
+        captured["stats"] = stats
+        return per_client
+
+    per_client = benchmark.pedantic(serve_round, rounds=3, iterations=1)
+    for client_records in per_client:
+        results = [r for r in client_records
+                   if "error" not in r and not r.get("event")]
+        assert len(results) == per, "every client must come out whole"
+        for record in results:
+            assert (record["candidates"], record["profile"]) \
+                == expected[record["id"]]
+    stats = captured["stats"]
+    assert stats.requests_admitted == stats.requests_completed == N_SAMPLES
+    benchmark.extra_info["clients"] = n_clients
+    benchmark.extra_info["n_samples"] = N_SAMPLES
+    benchmark.extra_info["samples_per_s"] = round(
+        N_SAMPLES / captured["elapsed"], 2
+    )
+
+
+def test_gateway_rate_limit_fairness(benchmark, bench_sorted_db,
+                                     bench_sketch, bench_sample):
+    """Flooding client under a token bucket: victims untouched, flooder
+    sheds into structured ``rate_limited`` frames, nothing is lost.
+
+    The latency comparison across scenarios lives in the gateway_qos
+    experiment; this row pins the fairness accounting into the CI
+    artifact."""
+    samples = _sample_stream(bench_sample)
+    session = _paced_session(bench_sorted_db, bench_sketch)
+    expected, requests = _gateway_expectations(session, samples)
+    per = N_SAMPLES // 4
+    flooder_load = [dict(r, id=f"{r['id']}/flood") for r in requests]
+    for request in flooder_load:
+        expected[request["id"]] = expected[request["id"].split("/")[0]]
+    victims = [requests[c * per:(c + 1) * per] for c in range(1, 4)]
+    by_client = [flooder_load] + victims
+    gaps = [0.0] + [0.05] * len(victims)
+    captured = {}
+
+    def serve_round():
+        per_client, elapsed, stats = _gateway_round(
+            session, by_client, gaps=gaps,
+            rate_limit=1.0, rate_burst=float(per + 1),
+        )
+        captured["elapsed"] = elapsed
+        captured["stats"] = stats
+        return per_client
+
+    per_client = benchmark.pedantic(serve_round, rounds=2, iterations=1)
+    flooder, *victim_records = per_client
+    rejected = [r for r in flooder if "error" in r]
+    served = [r for r in flooder if "error" not in r and not r.get("event")]
+    assert rejected, "the flooder must burn through its burst"
+    assert all("rate_limited" in r["error"] for r in rejected)
+    assert len(served) + len(rejected) == len(flooder_load)
+    for client_records in victim_records:
+        results = [r for r in client_records
+                   if "error" not in r and not r.get("event")]
+        assert len(results) == per, "victims must be untouched by the flood"
+        for record in results:
+            assert (record["candidates"], record["profile"]) \
+                == expected[record["id"]]
+    for record in served:
+        assert (record["candidates"], record["profile"]) \
+            == expected[record["id"]]
+    stats = captured["stats"]
+    assert stats.rate_limited == len(rejected)
+    assert stats.requests_admitted == stats.requests_completed
+    benchmark.extra_info["flooder_rejected"] = len(rejected)
+    benchmark.extra_info["flooder_served"] = len(served)
+    benchmark.extra_info["victim_samples"] = per * len(victims)
+    benchmark.extra_info["samples_per_s"] = round(
+        (len(served) + per * len(victims)) / captured["elapsed"], 2
     )
 
 

@@ -23,6 +23,13 @@ The commands cover the library's main entry points:
   bounds admission (stdin reading blocks when full), ``--batch-window-ms``
   holds forming §4.7 batches to coalesce trickling arrivals, and
   ``--deadline-ms`` bounds per-request queue wait;
+- ``gateway`` — the multi-client flavour of ``serve``: an asyncio TCP
+  server speaking the same schema-1 JSONL wire format to many concurrent
+  connections over one warmed session, with per-client token-bucket rate
+  limiting (``--rate-limit``/``--rate-burst``), a connection cap
+  (``--max-clients``), per-request admission rejection
+  (``--admission-timeout-ms``), and graceful drain on SIGTERM (finish
+  every accepted request, emit a drain summary frame per connection);
 - ``model`` — query the paper-scale performance model (per-configuration
   seconds and speedups for a chosen SSD and sample).
 """
@@ -38,12 +45,14 @@ from pathlib import Path
 from repro.databases.kraken import KrakenDatabase
 from repro.databases.sketch import SketchDatabase
 from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis import wire
 from repro.megis.index import IndexBuilder, MegisIndex
 from repro.megis.session import AnalysisSession, MegisConfig
 from repro.options import (
     add_execution_flags,
+    add_gateway_flags,
+    add_serving_flags,
     execution_config_kwargs,
-    positive_int,
 )
 from repro.perf.specs import baseline_system
 from repro.perf.timing import TimingModel
@@ -184,8 +193,12 @@ def _print_timings(timings) -> None:
               f"({timings.overlap_saved_ms:.2f} ms hidden)")
 
 
-#: Wire-format version stamped on every ``repro serve`` output line.
-SERVE_SCHEMA = 1
+#: Wire-format version stamped on every serving output line (the format
+#: itself lives in :mod:`repro.megis.wire`, shared with ``repro gateway``).
+SERVE_SCHEMA = wire.SCHEMA
+
+#: Request-line parser, re-exported for callers that predate ``wire``.
+_parse_serve_line = wire.parse_request_line
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -196,9 +209,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     restores input order).  With ``--max-queue`` the reader blocks when
     the admission queue is full — backpressure all the way to stdin — so
     queue memory stays bounded under an infinite stream.  Malformed
-    lines produce a structured error object and do not stop the stream.
+    lines and per-line submit failures produce a structured error object
+    and do not stop the stream; a consumer that closes stdout stops the
+    server cleanly (submitters parked on backpressure are unblocked,
+    accepted samples drain, exit status 1).
     """
-    from repro.megis.service import AnalysisService
+    from repro.megis.service import AnalysisService, ServiceClosed
     from repro.sequences.reads import Read
 
     index = MegisIndex.open(args.index, mmap=args.mmap)
@@ -211,10 +227,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     emit_lock = threading.Lock()  # reader errors vs results, whole lines
+    emit_failed = []
 
-    def emit(record) -> None:
+    def emit(record) -> bool:
         with emit_lock:
-            print(json.dumps(record), flush=True)
+            if emit_failed:
+                return False
+            try:
+                print(json.dumps(record), flush=True)
+                return True
+            except (BrokenPipeError, OSError, ValueError):
+                # The consumer closed stdout.  Stop admitting so a reader
+                # parked on --max-queue backpressure wakes up instead of
+                # deadlocking the drain; accepted samples still finish.
+                emit_failed.append(True)
+                service.close_submissions()
+                return False
 
     reader_failure = []
     # ``session`` closes after the service: its close() reaps the forked
@@ -233,21 +261,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 for line_no, line in enumerate(stream, 1):
                     if not line.strip():
                         continue
-                    request_id, reads, error = _parse_serve_line(
+                    request_id, reads, error = wire.parse_request_line(
                         line, line_no, seen_ids=seen_ids,
                         max_bytes=args.max_line_bytes,
                     )
                     if error is not None:
-                        emit({"schema": SERVE_SCHEMA, "id": request_id,
-                              "error": error, "line": line_no})
+                        emit(wire.error_record(request_id, error, line_no))
                         continue
                     sample = [
                         Read(read_id=i, sequence=seq, true_taxid=0)
                         for i, seq in enumerate(reads)
                     ]
-                    service.submit(sample,
-                                   tag=(request_id, line_no, len(sample)),
-                                   deadline_ms=args.deadline_ms)
+                    try:
+                        service.submit(sample,
+                                       tag=(request_id, line_no, len(sample)),
+                                       deadline_ms=args.deadline_ms)
+                    except ServiceClosed:
+                        # The emitter lost stdout and closed admissions.
+                        break
+                    except Exception as exc:
+                        # One failed submission is one structured error
+                        # line — the stream keeps serving (and the stderr
+                        # summary still prints at the end).
+                        emit(wire.error_record(
+                            request_id, f"submit failed: {exc}", line_no
+                        ))
             except BaseException as exc:
                 reader_failure.append(exc)
             finally:
@@ -261,28 +299,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics = completed.metrics
             try:
                 result = completed.future.result()
-                record = {
-                    "schema": SERVE_SCHEMA,
-                    "id": request_id,
-                    "n_reads": n_reads,
-                    "candidates": sorted(int(t) for t in result.candidates),
-                    "profile": {
-                        str(t): f for t, f in sorted(
-                            result.profile.fractions.items()
-                        )
-                    },
-                    "samples_batched": result.timings.samples_batched,
-                    "queue_wait_ms": round(metrics.queue_wait_ms, 3),
-                    "latency_ms": round(metrics.latency_ms, 3),
-                }
+                record = wire.result_record(request_id, n_reads, result,
+                                            metrics)
             except Exception as exc:  # surface per-sample failures
-                record = {"schema": SERVE_SCHEMA, "id": request_id,
-                          "error": str(exc), "line": line_no}
+                record = wire.error_record(request_id, str(exc), line_no)
             emit(record)
         reader.join()
         stats = service.stats
-    if reader_failure:
-        raise reader_failure[0]
     summary = (f"served {stats.samples_completed} samples in "
                f"{stats.batches_dispatched} batches "
                f"(widest {stats.widest_batch}) with {args.workers} workers; "
@@ -290,51 +313,87 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                f"{stats.mean_queue_wait_ms:.1f} ms")
     if stats.samples_expired:
         summary += f", {stats.samples_expired} past deadline"
+    if emit_failed:
+        summary += "; output consumer went away, stopped early"
+    print(summary, file=sys.stderr)
+    if reader_failure:
+        raise reader_failure[0]
+    return 1 if emit_failed else 0
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    """Multi-client TCP serving: the gateway flavour of ``serve``.
+
+    Binds an asyncio TCP server (``--host``/``--port``; port 0 picks a
+    free port, printed on stderr) over one warmed session and serves
+    until SIGTERM/SIGINT, then drains gracefully: admission stops, every
+    accepted request finishes, and each open connection receives a drain
+    summary frame before close.
+    """
+    import asyncio
+    import signal
+
+    from repro.megis.gateway import AnalysisGateway
+
+    index = MegisIndex.open(args.index, mmap=args.mmap)
+    config = MegisConfig(abundance_method=args.abundance,
+                         **execution_config_kwargs(args))
+    session = AnalysisSession(index, config)
+    if args.abundance == "mapping" and session.references is None:
+        print("index was built with --no-references; mapping-based "
+              "abundance is unavailable (use --abundance statistical)",
+              file=sys.stderr)
+        return 2
+    gateway = AnalysisGateway(
+        session,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        batch_window_ms=args.batch_window_ms,
+        deadline_ms=args.deadline_ms,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        max_clients=args.max_clients,
+        admission_timeout_ms=args.admission_timeout_ms,
+        max_line_bytes=args.max_line_bytes,
+    )
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms/loops without signal handler support
+        host, port = await gateway.start()
+        print(f"gateway listening on {host}:{port}", file=sys.stderr,
+              flush=True)
+        await stop.wait()
+        print("gateway draining...", file=sys.stderr, flush=True)
+        await gateway.drain()
+
+    with session:  # close() reaps any forked process-pool workers
+        asyncio.run(run())
+    gw = gateway.stats
+    stats = gateway.last_service_stats
+    summary = (f"served {gw.requests_completed} requests from "
+               f"{gw.clients_connected} clients with {args.workers} workers")
+    if stats is not None:
+        summary += (f"; {stats.batches_dispatched} batches "
+                    f"(widest {stats.widest_batch}), peak queued "
+                    f"{stats.peak_queued}, mean queue wait "
+                    f"{stats.mean_queue_wait_ms:.1f} ms")
+    if gw.rate_limited:
+        summary += f"; {gw.rate_limited} rate-limited"
+    if gw.admission_rejected:
+        summary += f"; {gw.admission_rejected} rejected at admission"
+    if gw.requests_failed:
+        summary += f"; {gw.requests_failed} failed"
     print(summary, file=sys.stderr)
     return 0
-
-
-def _parse_serve_line(line, line_no: int, seen_ids=None, max_bytes=None):
-    """One JSONL request -> (id, read sequences, error).
-
-    Accepts ``bytes`` (the production path reads ``sys.stdin.buffer``) or
-    ``str``.  Every rejection returns an error *message*; the caller wraps
-    it into the structured ``{"schema", "id", "error", "line"}`` object.
-    ``seen_ids`` (a mutable set) makes duplicate ids a rejection;
-    ``max_bytes`` bounds the accepted line length.
-    """
-    raw_len = len(line) if isinstance(line, bytes) else len(line.encode("utf-8"))
-    if max_bytes is not None and raw_len > max_bytes:
-        return line_no, None, (
-            f"line too long ({raw_len} bytes > --max-line-bytes {max_bytes})"
-        )
-    if isinstance(line, bytes):
-        try:
-            line = line.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            return line_no, None, f"not valid UTF-8 ({exc})"
-    try:
-        request = json.loads(line)
-    except ValueError as exc:
-        return line_no, None, f"bad JSON ({exc})"
-    if not isinstance(request, dict) or "reads" not in request:
-        return line_no, None, "expected an object with 'reads'"
-    request_id = request.get("id", line_no)
-    if request_id is not None and not isinstance(request_id,
-                                                 (str, int, float, bool)):
-        return line_no, None, (
-            f"'id' must be a JSON scalar, got {type(request_id).__name__}"
-        )
-    if seen_ids is not None:
-        if request_id in seen_ids:
-            return request_id, None, f"duplicate id {request_id!r}"
-        seen_ids.add(request_id)
-    reads = request["reads"]
-    if not isinstance(reads, list) or not all(
-        isinstance(seq, str) for seq in reads
-    ):
-        return request_id, None, "'reads' must be a list of sequence strings"
-    return request_id, reads, None
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -364,6 +423,45 @@ def _cmd_model(args: argparse.Namespace) -> int:
         total = breakdown.total_seconds
         print(f"  {name:10s} {total:9.1f} s   MS speedup {total / ms:6.2f}x")
     return 0
+
+
+#: Shared --help epilog paragraph: the schema-1 wire format both serving
+#: front doors speak (kept identical so the surfaces cannot drift).
+_WIRE_EPILOG = (
+    "wire format (schema 1):\n"
+    "  Each input line is one request: "
+    '{"id": ..., "reads": ["ACGT...", ...]}.\n'
+    "  Every output line carries \"schema\": 1 — either a result\n"
+    '  ({"schema", "id", "n_reads", "candidates", "profile", '
+    '"samples_batched",\n'
+    '  "queue_wait_ms", "latency_ms"}) or a structured error object\n'
+    '  {"schema": 1, "id": ..., "error": ..., "line": N}.\n'
+    "  Malformed input never stops the stream: bad JSON, a missing or "
+    "invalid\n"
+    "  'reads' list, a non-scalar or duplicate id, undecodable UTF-8, "
+    "and lines\n"
+    "  over --max-line-bytes each produce one error object.\n"
+)
+
+#: Shared --help epilog paragraph: the fork-after-warm process pool.
+_PROCESS_EPILOG = (
+    "process-backed serving (--executor processes[:N]):\n"
+    "  N worker processes are forked after the index is opened and "
+    "warmed\n"
+    "  (with --mmap, after the CSR sections are memory-mapped), so "
+    "the whole\n"
+    "  index is shared copy-on-write — no per-worker duplication — "
+    "and each\n"
+    "  worker owns a subset of the database shards.  A worker that "
+    "crashes or\n"
+    "  is killed mid-batch is respawned automatically and its "
+    "in-flight batch\n"
+    "  retried once; if the retry also dies, only that batch's "
+    "requests fail\n"
+    "  (structured error objects) — queued samples are never dropped "
+    "and the\n"
+    "  respawned worker keeps serving the stream.\n"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -422,76 +520,84 @@ def build_parser() -> argparse.ArgumentParser:
                       "(JSONL on stdin -> streamed JSONL on stdout)",
         formatter_class=argparse.RawDescriptionHelpFormatter,
         epilog=(
-            "wire format (schema 1):\n"
-            "  Each stdin line is one request: "
-            '{"id": ..., "reads": ["ACGT...", ...]}.\n'
-            "  Results are emitted the moment they complete (use "
+            _WIRE_EPILOG
+            + "  Results are emitted the moment they complete (use "
             "--strict-order for\n"
-            "  input order); every stdout line carries \"schema\": 1.\n"
-            "  Malformed input never stops the stream: bad JSON, a missing "
-            "or invalid\n"
-            "  'reads' list, a non-scalar or duplicate id, undecodable "
-            "UTF-8, and lines\n"
-            "  over --max-line-bytes each produce one structured error "
-            "object\n"
-            '  {"schema": 1, "id": ..., "error": ..., "line": N} on '
-            "stdout.  Blank\n"
-            "  lines are skipped.  Requests queued past --deadline-ms fail "
-            "with the\n"
-            "  same error shape instead of occupying a batch slot.\n"
+            "  input order).  Blank lines are skipped.  Requests queued "
+            "past\n"
+            "  --deadline-ms fail with the error shape instead of "
+            "occupying a batch\n"
+            "  slot.\n"
             "\n"
-            "process-backed serving (--executor processes[:N]):\n"
-            "  N worker processes are forked after the index is opened and "
-            "warmed\n"
-            "  (with --mmap, after the CSR sections are memory-mapped), so "
-            "the whole\n"
-            "  index is shared copy-on-write — no per-worker duplication — "
-            "and each\n"
-            "  worker owns a subset of the database shards.  A worker that "
-            "crashes or\n"
-            "  is killed mid-batch is respawned automatically and its "
-            "in-flight batch\n"
-            "  retried once; if the retry also dies, only that batch's "
-            "requests fail\n"
-            "  (structured error objects on stdout) — queued samples are "
-            "never\n"
-            "  dropped and the respawned worker keeps serving the stream.\n"
+            + _PROCESS_EPILOG
         ),
     )
-    serve.add_argument("--index", required=True, metavar="PATH",
-                       help="prebuilt index (`repro index build`)")
-    serve.add_argument("--workers", type=positive_int, default=1,
-                       help="worker threads sharing the session (also the "
-                            "default §4.7 batch width)")
-    serve.add_argument("--max-batch", type=positive_int, default=None,
-                       help="widest multi-sample batch one worker may "
-                            "coalesce (default: --workers)")
-    serve.add_argument("--max-queue", type=positive_int, default=None,
-                       help="bound the admission queue: stdin reading "
-                            "blocks while N samples are queued "
-                            "(backpressure; default: unbounded)")
-    serve.add_argument("--batch-window-ms", type=float, default=0.0,
-                       help="hold a forming batch up to this long after "
-                            "its first sample arrived so trickling "
-                            "arrivals coalesce into one §4.7 batch "
-                            "(throughput up, tail latency up)")
-    serve.add_argument("--deadline-ms", type=float, default=None,
-                       help="fail requests still queued after this many "
-                            "ms instead of serving them late")
+    add_serving_flags(serve)
     serve.add_argument("--strict-order", action="store_true",
                        help="emit results in input order instead of "
                             "completion order")
-    serve.add_argument("--max-line-bytes", type=positive_int,
-                       default=32 * 1024 * 1024,
-                       help="reject stdin lines longer than this "
-                            "(default: 32 MiB)")
-    serve.add_argument("--abundance", choices=("mapping", "statistical"),
-                       default="mapping")
-    add_execution_flags(serve)
-    serve.add_argument("--mmap", action="store_true",
-                       help="memory-map the index's CSR sections (serve "
-                            "databases larger than RAM)")
     serve.set_defaults(func=_cmd_serve)
+
+    gateway = sub.add_parser(
+        "gateway", help="serve many concurrent TCP clients from a prebuilt "
+                        "index (JSONL frames, per-client rate limiting, "
+                        "graceful drain)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            _WIRE_EPILOG
+            + "  Each client's results are emitted in completion order on "
+            "its own\n"
+            "  connection.  Blank lines are skipped.  Requests queued past\n"
+            "  --deadline-ms fail with the error shape instead of "
+            "occupying a batch\n"
+            "  slot.\n"
+            "\n"
+            "rate limiting and admission:\n"
+            "  Every connection gets its own token bucket: --rate-burst "
+            "tokens up\n"
+            "  front, refilled at --rate-limit per second.  A request "
+            "arriving with\n"
+            "  an empty bucket is answered with an error frame "
+            "('rate_limited:\n"
+            "  retry_after_ms=N') and the connection stays up.  The shared "
+            "admission\n"
+            "  queue (--max-queue) backpressures all clients; "
+            "--admission-timeout-ms\n"
+            "  bounds how long one submission may wait before an "
+            "'admission_full'\n"
+            "  error frame.  --max-clients refuses extra connections with "
+            "one error\n"
+            "  frame instead of a silent close.\n"
+            "\n"
+            "drain and resume:\n"
+            "  On SIGTERM/SIGINT the gateway stops admitting, finishes "
+            "every\n"
+            "  accepted request, emits one drain summary frame per open "
+            "connection\n"
+            '  ({"schema": 1, "event": "drain", ...per-client counters}), '
+            "then\n"
+            "  closes.  The warmed session survives a drain: programmatic "
+            "users can\n"
+            "  call AnalysisGateway.start() again to resume serving "
+            "without\n"
+            "  re-reading the index.\n"
+            "\n"
+            + _PROCESS_EPILOG
+            + "\n"
+            "serve vs gateway:\n"
+            "  `serve` is the single-client pipe (one stdin stream, "
+            "optional\n"
+            "  --strict-order); `gateway` is the shared network front door "
+            "(many\n"
+            "  clients, per-client fairness and rate limits, graceful "
+            "drain).  Both\n"
+            "  speak the same schema-1 frames over the same "
+            "AnalysisService.\n"
+        ),
+    )
+    add_serving_flags(gateway)
+    add_gateway_flags(gateway)
+    gateway.set_defaults(func=_cmd_gateway)
 
     model = sub.add_parser("model", help="paper-scale performance model")
     model.add_argument("--ssd", choices=("SSD-C", "SSD-P"), default="SSD-C")

@@ -88,6 +88,8 @@ REGISTRY: Dict[str, str] = {
     "isp_management": "repro.experiments.isp_management",
     "overprovisioning": "repro.experiments.overprovisioning",
     "qos_latency": "repro.experiments.qos_latency",
+    "gateway_qos": "repro.experiments.gateway_qos",
+    "overlap_report": "repro.experiments.overlap_report",
     "random_read_latency": "repro.experiments.random_read_latency",
 }
 

@@ -21,6 +21,11 @@ An efficient pipeline between the host and the SSD (paper §4):
   (serial reference / thread pool) the Step-2 engines dispatch through;
 - :mod:`repro.megis.service` — :class:`AnalysisService`, the concurrent
   futures-based serving front-end over one shared session;
+- :mod:`repro.megis.wire` — the versioned JSONL wire format shared by
+  ``repro serve`` and ``repro gateway``;
+- :mod:`repro.megis.gateway` — :class:`AnalysisGateway`, the asyncio
+  multi-client TCP front door with per-client rate limiting and
+  graceful drain;
 - :mod:`repro.megis.pipeline` — the deprecated per-call facade.
 """
 
@@ -35,6 +40,7 @@ from repro.megis.executors import (
     get_executor,
 )
 from repro.megis.ftl import DatabaseLayout, MegisFtl
+from repro.megis.gateway import AnalysisGateway, GatewayStats, TokenBucket
 from repro.megis.host import Bucket, BucketSet, KmerBucketPartitioner
 from repro.megis.index import IndexBuilder, MegisIndex
 from repro.megis.isp import IntersectUnit, IspStepTwo, TaxIdRetriever
@@ -53,6 +59,7 @@ from repro.megis.session import (
 
 __all__ = [
     "AcceleratorReport",
+    "AnalysisGateway",
     "AnalysisService",
     "AnalysisSession",
     "Bucket",
@@ -64,6 +71,7 @@ __all__ = [
     "DatabaseLayout",
     "DatabaseShard",
     "Executor",
+    "GatewayStats",
     "IndexBuilder",
     "IntersectUnit",
     "IspStepTwo",
@@ -83,6 +91,7 @@ __all__ = [
     "ServiceStats",
     "StepTwoBackend",
     "TaxIdRetriever",
+    "TokenBucket",
     "ThreadedExecutor",
     "accelerator_report",
     "available_backends",

@@ -1,0 +1,620 @@
+"""Asyncio TCP gateway in front of a shared :class:`AnalysisService`.
+
+``repro serve`` talks to exactly one client over stdin/stdout; the
+gateway (stage 3 of the distributed serving tier) opens the same
+schema-1 JSONL wire format (:mod:`repro.megis.wire`) to many concurrent
+TCP clients over one warmed :class:`~repro.megis.session.AnalysisSession`:
+
+- **Per-client rate limiting.** Each connection gets its own
+  :class:`TokenBucket` (``rate_limit`` requests/s refill, ``rate_burst``
+  capacity).  A request arriving with an empty bucket is answered with a
+  structured ``rate_limited`` error frame carrying ``retry_after_ms`` —
+  the connection stays up and later requests are served.
+- **Bounded global admission.** The shared service's ``max_queue`` bound
+  still applies; ``admission_timeout_ms`` decides how long a submission
+  may wait for space.  :class:`~repro.megis.service.AdmissionFull` and
+  :class:`~repro.megis.service.DeadlineExceeded` become per-request
+  error frames, never dropped connections.
+- **Per-client fairness.** Every connection owns a private outbox queue
+  and writer coroutine; a client that stops reading stalls only its own
+  ``writer.drain()``, and each client's submissions are sequential, so
+  one flooding or slow client cannot starve the others' completion
+  streams.
+- **Event-loop bridge.** The threaded service's completion stream is
+  pumped from a dedicated thread into the loop via
+  ``loop.call_soon_threadsafe``; submissions run in a thread pool via
+  ``run_in_executor`` so blocking backpressure never blocks the loop.
+- **Graceful drain + resume.** :meth:`AnalysisGateway.drain` stops
+  admitting, finishes every accepted request, emits a drain summary
+  frame on each open connection, and leaves the session warm —
+  :meth:`AnalysisGateway.start` afterwards resumes serving on the same
+  warmed columns (a fresh :class:`AnalysisService` is built per
+  serving period).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.megis import wire
+from repro.megis.service import AdmissionFull, AnalysisService, ServiceClosed
+from repro.megis.session import AnalysisSession
+from repro.sequences.reads import Read
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` capacity.
+
+    Starts full so a client may burst up to ``burst`` requests
+    immediately; sustained throughput converges to ``rate``.  Monotonic
+    clock, injectable for tests.
+    """
+
+    def __init__(self, rate: float, burst: float, clock=time.monotonic):
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        if burst < 1:
+            raise ValueError(f"burst must be at least 1, got {burst}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._refilled_at) * self.rate
+        )
+        self._refilled_at = now
+
+    def try_acquire(self) -> bool:
+        """Consume one token if available; never blocks."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_ms(self) -> float:
+        """Wall time until one full token will have refilled."""
+        self._refill()
+        return max(0.0, (1.0 - self._tokens) / self.rate * 1e3)
+
+
+@dataclass
+class ClientStats:
+    """Per-connection counters, reported in the drain summary frame."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    malformed: int = 0
+    rate_limited: int = 0
+    rejected: int = 0
+
+
+@dataclass
+class GatewayStats:
+    """Lifetime counters across all connections and serving periods."""
+
+    clients_connected: int = 0
+    clients_rejected: int = 0
+    requests_admitted: int = 0
+    requests_completed: int = 0
+    requests_failed: int = 0
+    malformed: int = 0
+    rate_limited: int = 0
+    admission_rejected: int = 0
+    #: Completions whose client had already disconnected.
+    results_dropped: int = 0
+    drains: int = 0
+
+
+#: Outbox sentinel: flush everything queued before it, then end the writer.
+_CLOSE = object()
+
+
+class _Client:
+    """One live connection: outbox, writer task, counters, rate bucket."""
+
+    def __init__(self, cid: int, writer: asyncio.StreamWriter,
+                 bucket: Optional[TokenBucket]):
+        self.cid = cid
+        self.writer = writer
+        self.bucket = bucket
+        self.outbox: "asyncio.Queue[object]" = asyncio.Queue()
+        self.stats = ClientStats()
+        self.seen_ids: set = set()
+        self.connected = True
+        self.writer_task: Optional[asyncio.Task] = None
+        # Touched from the pump callback (loop thread) and the submit
+        # pool; the lock keeps inflight/eof consistent across both.
+        self._lock = threading.Lock()
+        self._inflight = 0
+        self._eof = False
+        self.drained = asyncio.Event()
+
+    def begin_request(self) -> None:
+        with self._lock:
+            self._inflight += 1
+
+    def end_request(self) -> bool:
+        """Drop one in-flight request; True when EOF'd and now idle."""
+        with self._lock:
+            self._inflight -= 1
+            return self._eof and self._inflight == 0
+
+    def mark_eof(self) -> bool:
+        """Client half-closed its send side; True when already idle."""
+        with self._lock:
+            self._eof = True
+            return self._inflight == 0
+
+
+class _FrameReader:
+    """Newline framing over raw reads, resilient to oversized frames.
+
+    ``StreamReader.readline`` raises ``LimitOverrunError`` and leaves the
+    buffer mid-frame; this reader instead reports an oversized frame as
+    an ``("overflow", n_bytes)`` event after discarding through its
+    terminating newline, so one huge line costs an error record — not the
+    connection.
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, max_line_bytes: int):
+        self._reader = reader
+        self._max = max_line_bytes
+        self._buf = bytearray()
+        self._eof = False
+
+    async def next_frame(self) -> Tuple[str, object]:
+        """Return ("line", bytes) | ("overflow", dropped_len) | ("eof", None)."""
+        while True:
+            newline = self._buf.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buf[:newline])
+                del self._buf[: newline + 1]
+                return "line", line
+            if len(self._buf) > self._max:
+                dropped = await self._discard_to_newline()
+                return "overflow", dropped
+            if self._eof:
+                if self._buf:
+                    line = bytes(self._buf)
+                    self._buf.clear()
+                    return "line", line
+                return "eof", None
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                self._eof = True
+            else:
+                self._buf.extend(chunk)
+
+    async def _discard_to_newline(self) -> int:
+        dropped = len(self._buf)
+        self._buf.clear()
+        while not self._eof:
+            newline_chunk = await self._reader.read(65536)
+            if not newline_chunk:
+                self._eof = True
+                break
+            newline = newline_chunk.find(b"\n")
+            if newline >= 0:
+                dropped += newline
+                self._buf.extend(newline_chunk[newline + 1:])
+                return dropped
+            dropped += len(newline_chunk)
+        return dropped
+
+
+class AnalysisGateway:
+    """Multi-client TCP front door over one warmed analysis session.
+
+    The session must outlive the gateway; :meth:`start` warms it (a
+    no-op after the first time) and builds a fresh
+    :class:`AnalysisService` for this serving period, so
+    ``start → drain → start`` resumes against the same warmed columns
+    without re-reading the index.
+    """
+
+    def __init__(
+        self,
+        session: AnalysisSession,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        max_batch: Optional[int] = None,
+        with_abundance: bool = True,
+        max_queue: Optional[int] = None,
+        batch_window_ms: float = 0.0,
+        deadline_ms: Optional[float] = None,
+        rate_limit: Optional[float] = None,
+        rate_burst: float = 8.0,
+        max_clients: Optional[int] = None,
+        admission_timeout_ms: Optional[float] = None,
+        max_line_bytes: int = 32 * 1024 * 1024,
+    ):
+        self.session = session
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_batch = max_batch
+        self.with_abundance = with_abundance
+        self.max_queue = max_queue
+        self.batch_window_ms = batch_window_ms
+        self.deadline_ms = deadline_ms
+        self.rate_limit = rate_limit
+        self.rate_burst = rate_burst
+        self.max_clients = max_clients
+        self.admission_timeout_ms = admission_timeout_ms
+        self.max_line_bytes = max_line_bytes
+
+        self.stats = GatewayStats()
+        #: Stats of the service most recently drained (for CLI summaries).
+        self.last_service_stats = None
+
+        self._service: Optional[AnalysisService] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._submit_pool: Optional[ThreadPoolExecutor] = None
+        self._pump_thread: Optional[threading.Thread] = None
+        self._pump_done: Optional[asyncio.Event] = None
+        self._clients: Dict[int, _Client] = {}
+        self._reader_tasks: Dict[int, asyncio.Task] = {}
+        self._next_cid = 0
+        self._started = False
+        self._draining = False
+
+    @property
+    def bound_address(self) -> Tuple[str, int]:
+        """The (host, port) actually bound (port 0 picks a free one)."""
+        if self._server is None:
+            raise RuntimeError("gateway is not started")
+        sock = self._server.sockets[0]
+        addr = sock.getsockname()
+        return addr[0], addr[1]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Begin (or resume) a serving period; returns the bound address."""
+        if self._started:
+            raise RuntimeError("gateway is already started")
+        self._loop = asyncio.get_running_loop()
+        await self._loop.run_in_executor(None, self.session.warm)
+        self._service = AnalysisService(
+            self.session,
+            workers=self.workers,
+            max_batch=self.max_batch,
+            with_abundance=self.with_abundance,
+            max_queue=self.max_queue,
+            batch_window_ms=self.batch_window_ms,
+        )
+        self._submit_pool = ThreadPoolExecutor(
+            max_workers=self.max_clients or 16,
+            thread_name_prefix="gateway-submit",
+        )
+        self._pump_done = asyncio.Event()
+        self._pump_thread = threading.Thread(
+            target=self._pump, name="gateway-pump", daemon=True
+        )
+        self._pump_thread.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host=self.host, port=self.port
+        )
+        self._draining = False
+        self._started = True
+        return self.bound_address
+
+    def _pump(self) -> None:
+        """Service completion stream -> loop thread, one callback each."""
+        try:
+            for completed in self._service.results():
+                self._loop.call_soon_threadsafe(self._route, completed)
+        finally:
+            self._loop.call_soon_threadsafe(self._pump_done.set)
+
+    def _route(self, completed) -> None:
+        """Deliver one completion to its client's outbox (loop thread)."""
+        cid, request_id, line_no, n_reads = completed.tag
+        try:
+            result = completed.future.result()
+        except Exception as exc:
+            record = wire.error_record(request_id, str(exc), line_no)
+            failed = True
+        else:
+            record = wire.result_record(
+                request_id, n_reads, result, completed.metrics
+            )
+            failed = False
+        client = self._clients.get(cid)
+        if client is not None and client.connected:
+            if failed:
+                client.stats.failed += 1
+                self.stats.requests_failed += 1
+            else:
+                client.stats.completed += 1
+                self.stats.requests_completed += 1
+            client.outbox.put_nowait(record)
+        else:
+            self.stats.results_dropped += 1
+            if failed:
+                self.stats.requests_failed += 1
+            else:
+                self.stats.requests_completed += 1
+        if client is not None and client.end_request():
+            client.drained.set()
+
+    async def drain(self) -> None:
+        """Stop admitting, finish every accepted request, close clients.
+
+        Safe to call on a never-started or already-drained gateway (a
+        no-op then).  After it returns the session is still warm and
+        :meth:`start` resumes serving.
+        """
+        if not self._started or self._draining:
+            return
+        self._draining = True
+
+        # No new connections.
+        self._server.close()
+        await self._server.wait_closed()
+
+        # Stop the per-connection readers: no further submissions begin.
+        for task in list(self._reader_tasks.values()):
+            task.cancel()
+        if self._reader_tasks:
+            await asyncio.gather(
+                *self._reader_tasks.values(), return_exceptions=True
+            )
+        self._reader_tasks.clear()
+
+        # Every submission already handed to the pool settles (each one
+        # pushes its own outcome frame), then the service stops admitting.
+        pool = self._submit_pool
+        await self._loop.run_in_executor(
+            None, lambda: pool.shutdown(wait=True)
+        )
+        self._service.close_submissions()
+
+        # The pump ends only after the completion stream is exhausted —
+        # every accepted request has been routed to an outbox.
+        await self._pump_done.wait()
+        await self._loop.run_in_executor(None, self._service.close)
+        self._pump_thread.join()
+
+        # Per-connection drain summary, then flush and close.
+        writer_tasks = []
+        for client in self._clients.values():
+            if client.connected:
+                client.outbox.put_nowait(
+                    wire.drain_record(client.cid, client.stats)
+                )
+                client.outbox.put_nowait(_CLOSE)
+                if client.writer_task is not None:
+                    writer_tasks.append(client.writer_task)
+        if writer_tasks:
+            await asyncio.gather(*writer_tasks, return_exceptions=True)
+        for client in self._clients.values():
+            client.connected = False
+            await self._close_transport(client.writer)
+        self._clients.clear()
+
+        self.last_service_stats = self._service.stats
+        self._service = None
+        self._submit_pool = None
+        self._pump_thread = None
+        self._server = None
+        self._started = False
+        self.stats.drains += 1
+
+    async def __aenter__(self) -> "AnalysisGateway":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.drain()
+
+    # -- per-connection handling -----------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if self._draining or (
+            self.max_clients is not None
+            and len(self._clients) >= self.max_clients
+        ):
+            self.stats.clients_rejected += 1
+            reason = (
+                "gateway is draining"
+                if self._draining
+                else f"too many clients (max {self.max_clients})"
+            )
+            try:
+                writer.write(wire.encode(wire.error_record(None, reason, None)))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            await self._close_transport(writer)
+            return
+
+        cid = self._next_cid
+        self._next_cid += 1
+        bucket = (
+            TokenBucket(self.rate_limit, self.rate_burst)
+            if self.rate_limit is not None
+            else None
+        )
+        client = _Client(cid, writer, bucket)
+        self._clients[cid] = client
+        self.stats.clients_connected += 1
+        client.writer_task = asyncio.ensure_future(self._write_outbox(client))
+        task = asyncio.ensure_future(self._read_requests(client, reader))
+        self._reader_tasks[cid] = task
+        try:
+            await asyncio.shield(task)
+        except asyncio.CancelledError:
+            # Drain cancelled the reader; it leaves the connection to
+            # drain() (summary frame + close). Nothing more to do here.
+            return
+        finally:
+            self._reader_tasks.pop(cid, None)
+        await self._finish_client(client)
+
+    async def _write_outbox(self, client: _Client) -> None:
+        """The client's private writer: a slow reader stalls only itself."""
+        while True:
+            record = await client.outbox.get()
+            if record is _CLOSE:
+                return
+            try:
+                client.writer.write(wire.encode(record))
+                await client.writer.drain()
+            except (ConnectionError, OSError):
+                client.connected = False
+                return
+
+    async def _read_requests(
+        self, client: _Client, reader: asyncio.StreamReader
+    ) -> None:
+        """Parse and submit this client's requests, one at a time."""
+        frames = _FrameReader(reader, self.max_line_bytes)
+        line_no = 0
+        while True:
+            try:
+                kind, payload = await frames.next_frame()
+            except (ConnectionError, OSError):
+                client.connected = False
+                return
+            if kind == "eof":
+                return
+            line_no += 1
+            if kind == "overflow":
+                self._client_error(
+                    client, line_no,
+                    f"line too long ({payload} bytes > "
+                    f"--max-line-bytes {self.max_line_bytes})",
+                )
+                continue
+            if not payload.strip():
+                continue
+            request_id, reads, error = wire.parse_request_line(
+                payload, line_no, seen_ids=client.seen_ids,
+                max_bytes=self.max_line_bytes,
+            )
+            if error is not None:
+                self._client_error(client, line_no, error,
+                                   request_id=request_id)
+                continue
+            if client.bucket is not None and not client.bucket.try_acquire():
+                client.stats.rate_limited += 1
+                self.stats.rate_limited += 1
+                client.outbox.put_nowait(wire.error_record(
+                    request_id,
+                    "rate_limited: retry_after_ms="
+                    f"{client.bucket.retry_after_ms():.0f}",
+                    line_no,
+                ))
+                continue
+            # Submission may block on admission backpressure — run it in
+            # the pool so the loop (and other clients) keep moving; await
+            # it so this client's requests stay sequential.
+            await self._loop.run_in_executor(
+                self._submit_pool,
+                self._submit_sync, client, request_id, reads, line_no,
+            )
+
+    def _client_error(self, client: _Client, line_no: int, message: str,
+                      request_id=None) -> None:
+        client.stats.malformed += 1
+        self.stats.malformed += 1
+        client.outbox.put_nowait(
+            wire.error_record(request_id, message, line_no)
+        )
+
+    def _submit_sync(self, client: _Client, request_id, reads,
+                     line_no: int) -> None:
+        """Runs in the submit pool; pushes its own outcome frames."""
+        sample = [
+            Read(read_id=i, sequence=seq, true_taxid=0)
+            for i, seq in enumerate(reads)
+        ]
+        timeout_ms = self.admission_timeout_ms
+        block = timeout_ms is None or timeout_ms > 0
+        timeout = (
+            timeout_ms / 1e3 if timeout_ms is not None and timeout_ms > 0
+            else None
+        )
+        client.begin_request()
+        try:
+            self._service.submit(
+                sample,
+                tag=(client.cid, request_id, line_no, len(sample)),
+                deadline_ms=self.deadline_ms,
+                block=block,
+                timeout=timeout,
+            )
+        except AdmissionFull as exc:
+            self._submit_rejected(
+                client, request_id, line_no, f"admission_full: {exc}"
+            )
+        except ServiceClosed:
+            self._submit_rejected(
+                client, request_id, line_no, "gateway is draining"
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self._submit_rejected(
+                client, request_id, line_no, f"submit failed: {exc}"
+            )
+        else:
+            client.stats.submitted += 1
+            self.stats.requests_admitted += 1
+
+    def _submit_rejected(self, client: _Client, request_id, line_no: int,
+                         message: str) -> None:
+        client.stats.rejected += 1
+        self.stats.admission_rejected += 1
+        # Enqueue the rejection frame BEFORE releasing the in-flight slot:
+        # call_soon_threadsafe callbacks run FIFO, so the frame reaches the
+        # outbox ahead of any _CLOSE a drained-triggered flush appends.
+        self._loop.call_soon_threadsafe(
+            client.outbox.put_nowait,
+            wire.error_record(request_id, message, line_no),
+        )
+        if client.end_request():
+            self._loop.call_soon_threadsafe(client.drained.set)
+
+    async def _finish_client(self, client: _Client) -> None:
+        """Client EOF: finish its in-flight requests, flush, close."""
+        if client.mark_eof():
+            client.drained.set()
+        await client.drained.wait()
+        client.outbox.put_nowait(_CLOSE)
+        if client.writer_task is not None:
+            await client.writer_task
+        client.connected = False
+        await self._close_transport(client.writer)
+        self._clients.pop(client.cid, None)
+
+    @staticmethod
+    async def _close_transport(writer: asyncio.StreamWriter) -> None:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+__all__ = [
+    "AnalysisGateway",
+    "ClientStats",
+    "GatewayStats",
+    "TokenBucket",
+]

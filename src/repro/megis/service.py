@@ -89,6 +89,19 @@ class AdmissionFull(RuntimeError):
         self.max_queue = max_queue
 
 
+class ServiceClosed(RuntimeError):
+    """Submission refused because the service is closed (or draining).
+
+    A subclass of the historical bare ``RuntimeError`` so existing
+    ``except RuntimeError`` callers keep working; the gateway catches it
+    specifically to answer late submissions with a structured
+    ``draining`` error frame instead of tearing down the connection.
+    """
+
+    def __init__(self) -> None:
+        super().__init__("AnalysisService is closed")
+
+
 class DeadlineExceeded(RuntimeError):
     """A sample spent longer queued than its per-request deadline."""
 
@@ -303,7 +316,7 @@ class AnalysisService:
         futures: List["Future[MegisResult]"] = []
         with self._state:
             if not self._open:
-                raise RuntimeError("AnalysisService is closed")
+                raise ServiceClosed()
             for reads in samples:
                 future: "Future[MegisResult]" = Future()
                 self._enqueue(reads, future, kwargs.get("tag"),
@@ -355,7 +368,7 @@ class AnalysisService:
 
         Workers drain the queue and exit; a :meth:`results` iterator ends
         once everything accepted has been emitted.  Blocked submitters
-        are woken and raise ``RuntimeError``.
+        are woken and raise :class:`ServiceClosed`.
         """
         with self._state:
             self._open = False
@@ -379,7 +392,7 @@ class AnalysisService:
     def _admit(self, block: bool, timeout: Optional[float]) -> None:
         """Wait for (or demand) queue space; caller holds the lock."""
         if not self._open:
-            raise RuntimeError("AnalysisService is closed")
+            raise ServiceClosed()
         if self.max_queue is None:
             return
         if not block:
@@ -392,7 +405,7 @@ class AnalysisService:
             timeout=timeout,
         )
         if not self._open:
-            raise RuntimeError("AnalysisService is closed")
+            raise ServiceClosed()
         if not admitted:
             self.stats.samples_rejected += 1
             raise AdmissionFull(len(self._queue), self.max_queue)
@@ -583,5 +596,6 @@ __all__ = [
     "CompletedRequest",
     "DeadlineExceeded",
     "RequestMetrics",
+    "ServiceClosed",
     "ServiceStats",
 ]

@@ -1,0 +1,127 @@
+"""The versioned JSONL wire format shared by ``repro serve`` and ``repro gateway``.
+
+Both serving front doors — the stdin/stdout daemon (``repro serve``) and
+the asyncio TCP gateway (``repro gateway``) — speak the same schema-1
+newline-delimited JSON protocol, and this module is its single source of
+truth so the two can never drift:
+
+- a **request** is one line: ``{"id": ..., "reads": ["ACGT...", ...]}``
+  (:func:`parse_request_line` validates it and returns the rejection
+  message for malformed input instead of raising);
+- a **result** line carries ``{"schema", "id", "n_reads", "candidates",
+  "profile", "samples_batched", "queue_wait_ms", "latency_ms"}``
+  (:func:`result_record`);
+- an **error** line carries ``{"schema", "id", "error", "line"}``
+  (:func:`error_record`) — malformed frames, per-sample failures,
+  deadline expiries, rate-limit and admission rejections all use it;
+- the gateway additionally emits **event** frames (``{"schema",
+  "event": "drain", ...}``) at drain time — same schema version, an
+  ``event`` key instead of ``id`` (:func:`drain_record`).
+
+Every emitted line carries ``"schema": `` :data:`SCHEMA` so clients can
+version-gate their parsers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+#: Wire-format version stamped on every output line.
+SCHEMA = 1
+
+
+def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
+    """One JSONL request -> (id, read sequences, error).
+
+    Accepts ``bytes`` (the production paths read raw byte streams) or
+    ``str``.  Every rejection returns an error *message*; the caller wraps
+    it into the structured ``{"schema", "id", "error", "line"}`` object.
+    ``seen_ids`` (a mutable set) makes duplicate ids a rejection;
+    ``max_bytes`` bounds the accepted line length.
+    """
+    raw_len = len(line) if isinstance(line, bytes) else len(line.encode("utf-8"))
+    if max_bytes is not None and raw_len > max_bytes:
+        return line_no, None, (
+            f"line too long ({raw_len} bytes > --max-line-bytes {max_bytes})"
+        )
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return line_no, None, f"not valid UTF-8 ({exc})"
+    try:
+        request = json.loads(line)
+    except ValueError as exc:
+        return line_no, None, f"bad JSON ({exc})"
+    if not isinstance(request, dict) or "reads" not in request:
+        return line_no, None, "expected an object with 'reads'"
+    request_id = request.get("id", line_no)
+    if request_id is not None and not isinstance(request_id,
+                                                 (str, int, float, bool)):
+        return line_no, None, (
+            f"'id' must be a JSON scalar, got {type(request_id).__name__}"
+        )
+    if seen_ids is not None:
+        if request_id in seen_ids:
+            return request_id, None, f"duplicate id {request_id!r}"
+        seen_ids.add(request_id)
+    reads = request["reads"]
+    if not isinstance(reads, list) or not all(
+        isinstance(seq, str) for seq in reads
+    ):
+        return request_id, None, "'reads' must be a list of sequence strings"
+    return request_id, reads, None
+
+
+def result_record(request_id, n_reads: int, result, metrics) -> dict:
+    """The schema-1 result line for one completed sample."""
+    return {
+        "schema": SCHEMA,
+        "id": request_id,
+        "n_reads": n_reads,
+        "candidates": sorted(int(t) for t in result.candidates),
+        "profile": {
+            str(t): f for t, f in sorted(result.profile.fractions.items())
+        },
+        "samples_batched": result.timings.samples_batched,
+        "queue_wait_ms": round(metrics.queue_wait_ms, 3),
+        "latency_ms": round(metrics.latency_ms, 3),
+    }
+
+
+def error_record(request_id, message: str, line_no: Optional[int]) -> dict:
+    """The schema-1 structured error line (malformed input, per-sample
+    failure, rate-limit / admission rejection, ...)."""
+    return {"schema": SCHEMA, "id": request_id, "error": message,
+            "line": line_no}
+
+
+def drain_record(client: int, stats) -> dict:
+    """The gateway's per-connection drain summary frame."""
+    return {
+        "schema": SCHEMA,
+        "event": "drain",
+        "client": client,
+        "submitted": stats.submitted,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "malformed": stats.malformed,
+        "rate_limited": stats.rate_limited,
+        "rejected": stats.rejected,
+    }
+
+
+def encode(record: dict) -> bytes:
+    """One wire frame: the record as compact JSON plus the newline."""
+    return json.dumps(record).encode("utf-8") + b"\n"
+
+
+__all__ = [
+    "SCHEMA",
+    "drain_record",
+    "encode",
+    "error_record",
+    "parse_request_line",
+    "result_record",
+]

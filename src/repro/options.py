@@ -47,6 +47,25 @@ def positive_int(value: str) -> int:
     return parsed
 
 
+def nonnegative_float(value: str) -> float:
+    """argparse ``type=`` validator for durations/rates that must be >= 0."""
+    try:
+        parsed = float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"expected a number, got {value!r}") from exc
+    if parsed < 0:
+        raise argparse.ArgumentTypeError(f"expected a value >= 0, got {parsed}")
+    return parsed
+
+
+def positive_float(value: str) -> float:
+    """argparse ``type=`` validator for rates that must be > 0."""
+    parsed = nonnegative_float(value)
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError(f"expected a value > 0, got {parsed}")
+    return parsed
+
+
 def add_execution_flags(
     parser: argparse.ArgumentParser,
     *,
@@ -75,6 +94,73 @@ def add_execution_flags(
         )
 
 
+def add_serving_flags(parser: argparse.ArgumentParser) -> None:
+    """Register the flags shared by ``repro serve`` and ``repro gateway``.
+
+    Both front doors sit on the same :class:`~repro.megis.service.AnalysisService`
+    (index, worker pool, §4.7 batching, bounded admission, deadlines) and
+    speak the same schema-1 wire format, so their knobs are registered
+    once here and stay name- and default-identical.
+    """
+    parser.add_argument("--index", required=True, metavar="PATH",
+                        help="prebuilt index (`repro index build`)")
+    parser.add_argument("--workers", type=positive_int, default=1,
+                        help="worker threads sharing the session (also the "
+                             "default §4.7 batch width)")
+    parser.add_argument("--max-batch", type=positive_int, default=None,
+                        help="widest multi-sample batch one worker may "
+                             "coalesce (default: --workers)")
+    parser.add_argument("--max-queue", type=positive_int, default=None,
+                        help="bound the admission queue: submission "
+                             "blocks while N samples are queued "
+                             "(backpressure; default: unbounded)")
+    parser.add_argument("--batch-window-ms", type=float, default=0.0,
+                        help="hold a forming batch up to this long after "
+                             "its first sample arrived so trickling "
+                             "arrivals coalesce into one §4.7 batch "
+                             "(throughput up, tail latency up)")
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="fail requests still queued after this many "
+                             "ms instead of serving them late")
+    parser.add_argument("--max-line-bytes", type=positive_int,
+                        default=32 * 1024 * 1024,
+                        help="reject request lines longer than this "
+                             "(default: 32 MiB)")
+    parser.add_argument("--abundance", choices=("mapping", "statistical"),
+                        default="mapping")
+    add_execution_flags(parser)
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map the index's CSR sections (serve "
+                             "databases larger than RAM)")
+
+
+def add_gateway_flags(parser: argparse.ArgumentParser) -> None:
+    """Register the TCP/QoS flags specific to ``repro gateway``."""
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: 0 = pick a free port; the "
+                             "bound address is printed on stderr)")
+    parser.add_argument("--rate-limit", type=positive_float, default=None,
+                        metavar="REQ_PER_S",
+                        help="per-client token-bucket rate limit; requests "
+                             "over it get a structured rate_limited error "
+                             "frame (default: unlimited)")
+    parser.add_argument("--rate-burst", type=positive_float, default=8.0,
+                        help="token-bucket capacity: how many requests a "
+                             "client may burst before --rate-limit pacing "
+                             "applies (default: 8)")
+    parser.add_argument("--max-clients", type=positive_int, default=None,
+                        help="refuse connections beyond N concurrent "
+                             "clients with a structured error frame "
+                             "(default: unlimited)")
+    parser.add_argument("--admission-timeout-ms", type=nonnegative_float,
+                        default=None,
+                        help="how long a submission may wait for --max-queue "
+                             "space before an admission_full error frame; 0 "
+                             "rejects immediately (default: wait forever)")
+
+
 def execution_config_kwargs(args: argparse.Namespace) -> Dict[str, object]:
     """The ``MegisConfig`` kwargs carried by the shared execution flags."""
     return {
@@ -86,7 +172,11 @@ def execution_config_kwargs(args: argparse.Namespace) -> Dict[str, object]:
 
 __all__ = [
     "add_execution_flags",
+    "add_gateway_flags",
+    "add_serving_flags",
     "execution_config_kwargs",
     "executor_spec",
+    "nonnegative_float",
+    "positive_float",
     "positive_int",
 ]

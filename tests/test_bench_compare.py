@@ -75,6 +75,38 @@ class TestCompare:
         # Added/removed benchmarks are never regressions.
         assert all(r["ratio"] is not None for r in regressions(rows, 0.01))
 
+    def test_zero_baseline_is_unmeasurable_not_regression(self, tmp_path):
+        """A sub-resolution (zero-mean) baseline has no finite ratio: the
+        row reports ``unmeasurable`` and never trips the gate — it used
+        to divide to inf and read as the worst regression in the file."""
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(_artifact(
+            {"test_fast": 0.0, "test_slow": 0.100}
+        )))
+        new.write_text(json.dumps(_artifact(
+            {"test_fast": 0.010, "test_slow": 0.105}
+        )))
+        rows = compare(load_benchmarks(old), load_benchmarks(new))
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["test_fast"]["ratio"] is None
+        assert by_name["test_fast"]["status"] == "unmeasurable"
+        assert by_name["test_fast"]["new_mean_s"] == pytest.approx(0.010)
+        # Excluded from the verdict even at an absurdly tight threshold.
+        assert regressions(rows, 0.01) == [by_name["test_slow"]]
+        # And the gate passes: the only measurable pair moved 5%.
+        assert main([str(old), str(new)]) == 0
+
+    def test_zero_baseline_formats_without_inf(self, capsys):
+        rows = compare(
+            {"test_fast": {"mean_s": 0.0, "stddev_s": 0.0, "extra_info": {}}},
+            {"test_fast": {"mean_s": 0.010, "stddev_s": 0.0,
+                           "extra_info": {}}},
+        )
+        table = format_rows(rows)
+        assert "inf" not in table
+        assert "unmeasurable" in table
+
     def test_format_includes_every_row(self, artifacts):
         old, new = artifacts
         table = format_rows(compare(load_benchmarks(old),

@@ -247,6 +247,94 @@ class TestServe:
         assert len(records) == 6
         assert "peak queued 2" in err
 
+    def test_submit_failure_is_error_record_not_fatal(self, monkeypatch,
+                                                      capsys, index_path,
+                                                      sample_chunks):
+        """A submit-side exception for one line becomes one structured
+        error record; later lines still serve and the summary prints."""
+        from repro.megis.service import AnalysisService
+
+        real_submit = AnalysisService.submit
+
+        def failing_submit(self, sample, **kwargs):
+            if kwargs.get("tag", (None,))[0] == "boom":
+                raise RuntimeError("disk on fire")
+            return real_submit(self, sample, **kwargs)
+
+        monkeypatch.setattr(AnalysisService, "submit", failing_submit)
+        reads = [r.sequence for r in sample_chunks[0]]
+        lines = "".join(
+            json.dumps({"id": rid, "reads": reads}) + "\n"
+            for rid in ("ok1", "boom", "ok2")
+        )
+        code, records, err = self._serve(monkeypatch, capsys, index_path,
+                                         lines)
+        assert code == 0
+        by_id = {r["id"]: r for r in records}
+        assert "submit failed: disk on fire" in by_id["boom"]["error"]
+        assert by_id["boom"]["line"] == 2
+        assert "candidates" in by_id["ok1"]
+        assert "candidates" in by_id["ok2"]
+        assert "served 2 samples" in err
+
+    def test_dead_consumer_unblocks_backpressured_reader(self, monkeypatch,
+                                                         capsys, index_path,
+                                                         sample_chunks):
+        """stdout closing mid-stream while the reader is parked on
+        --max-queue backpressure must not deadlock the drain: accepted
+        samples finish, the stderr summary prints, exit status is 1."""
+        import io
+        import time
+
+        from repro.megis.session import AnalysisSession
+
+        real_analyze = AnalysisSession.analyze
+
+        def slow_analyze(self, reads, *args, **kwargs):
+            time.sleep(0.15)  # hold the queue full while stdout dies
+            return real_analyze(self, reads, *args, **kwargs)
+
+        monkeypatch.setattr(AnalysisSession, "analyze", slow_analyze)
+
+        class DyingStdout(io.TextIOBase):
+            """Accepts one full line, then raises like a closed pipe."""
+
+            def __init__(self):
+                self.lines = []
+                self._buffer = ""
+
+            def write(self, text):
+                if self.lines:
+                    raise BrokenPipeError(32, "Broken pipe")
+                self._buffer += text
+                if "\n" in self._buffer:
+                    line, self._buffer = self._buffer.split("\n", 1)
+                    self.lines.append(line)
+                return len(text)
+
+            def flush(self):
+                if self.lines and not self._buffer:
+                    return
+                if self.lines:
+                    raise BrokenPipeError(32, "Broken pipe")
+
+        reads = [r.sequence for r in sample_chunks[0]]
+        lines = "".join(
+            json.dumps({"id": i, "reads": reads}) + "\n" for i in range(6)
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        fake_stdout = DyingStdout()
+        monkeypatch.setattr("sys.stdout", fake_stdout)
+        code = main(["serve", "--index", str(index_path),
+                     "--max-queue", "1", "--max-batch", "1",
+                     "--workers", "1"])
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "output consumer went away, stopped early" in err
+        assert "served" in err  # the summary still prints
+        assert len(fake_stdout.lines) == 1
+        assert json.loads(fake_stdout.lines[0])["id"] == 0
+
     def test_help_documents_malformed_input(self, capsys):
         with pytest.raises(SystemExit):
             main(["serve", "--help"])

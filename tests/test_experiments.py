@@ -13,7 +13,8 @@ class TestRunnerInfrastructure:
             "accuracy", "kss_size", "ftl_metadata", "index_lifecycle",
             "serving_throughput", "ablation_buckets", "ablation_sketch",
             "backend_scaling", "isp_management", "overprovisioning",
-            "qos_latency", "random_read_latency",
+            "qos_latency", "gateway_qos", "overlap_report",
+            "random_read_latency",
         }
         assert set(REGISTRY) == expected
 
@@ -206,6 +207,43 @@ class TestPaperShapes:
         for row in rows:
             assert row["p99_ms"] >= row["p50_ms"]
             assert 0.0 <= row["slo_attainment"] <= 1.0
+
+    def test_gateway_qos_rate_limit_sheds_flood(self, results):
+        """Latency floors live in benchmarks/test_serving.py; tier-1 checks
+        the accounting: only the rate-limited period rejects, and every
+        request is either served bit-identical (asserted inside the
+        experiment) or rejected with a structured frame."""
+        rows = {r["scenario"]: r for r in results["gateway_qos"].rows}
+        assert set(rows) == {"fair", "flood", "flood+limit"}
+        assert [rows[s]["period"] for s in ("fair", "flood", "flood+limit")] \
+            == [0, 1, 2]
+        assert rows["fair"]["rate_limited"] == 0
+        assert rows["flood"]["rate_limited"] == 0
+        assert rows["flood+limit"]["rate_limited"] > 0
+        # The flood scenarios carry the same offered load; the limiter
+        # converts part of it into rejections, never into lost requests.
+        offered = rows["flood"]["completed"]
+        assert rows["flood+limit"]["completed"] \
+            + rows["flood+limit"]["rate_limited"] == offered
+        for row in rows.values():
+            assert row["clients"] == 4
+            assert row["completed"] > 0
+            assert row["samples_per_s"] > 0
+
+    def test_overlap_report_tracks_byte_volume_model(self, results):
+        rows = {r["n_ssds"]: r for r in results["overlap_report"].rows}
+        assert set(rows) == {1, 2, 4}
+        assert rows[1]["model_ratio"] == 0.0
+        # More shards -> more of the busy time is hideable, in the model
+        # and in the paced measurement.
+        assert rows[2]["model_ratio"] < rows[4]["model_ratio"]
+        for n_ssds in (2, 4):
+            row = rows[n_ssds]
+            assert row["measured_ratio"] > 0.2
+            assert row["measured_ratio"] == pytest.approx(
+                row["model_ratio"], abs=0.3
+            )
+            assert row["max_shard_mb"] < row["total_mb"]
 
     def test_overprovisioning_degrades_gracefully(self, results):
         rows = results["overprovisioning"].rows
