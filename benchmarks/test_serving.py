@@ -368,7 +368,7 @@ def test_serve_streams_first_result_before_eof(tmp_path, monkeypatch,
 
     chunk = len(bench_sample.reads) // 4
     lines = [
-        json.dumps({"id": f"s{i}", "reads": [
+        json.dumps({"schema": 1, "id": f"s{i}", "reads": [
             r.sequence for r in bench_sample.reads[i * chunk:(i + 1) * chunk]
         ]}) + "\n"
         for i in range(4)
@@ -460,7 +460,8 @@ def _gateway_expectations(session, samples):
             {str(t): f for t, f in sorted(result.profile.fractions.items())},
         )
     requests = [
-        {"id": f"s{i}", "reads": [read.sequence for read in sample]}
+        {"schema": 1, "id": f"s{i}",
+         "reads": [read.sequence for read in sample]}
         for i, sample in enumerate(samples)
     ]
     return expected, requests
@@ -560,6 +561,40 @@ def test_gateway_rate_limit_fairness(benchmark, bench_sorted_db,
     benchmark.extra_info["samples_per_s"] = round(
         (len(served) + per * len(victims)) / captured["elapsed"], 2
     )
+
+
+def test_cluster_scaling_floor(benchmark):
+    """The cluster tier's acceptance floor: a 2-node scatter-gather
+    cluster must serve the paced stream >=1.5x faster than 1-node, and
+    the kill+replica failure-injection row must complete every request
+    through the retry path — all bit-identical (asserted inside the
+    experiment, per cell).  The 1/2/4-node sweep plus the failure row
+    land in ``BENCH_serving.json``, so cluster scaling is tracked run
+    over run like every other serving row."""
+    from repro.experiments.cluster_scaling import run as run_cluster
+
+    result = benchmark.pedantic(run_cluster, rounds=1, iterations=1)
+    emit(result)
+    by_scenario = {r["scenario"]: r for r in result.rows}
+    one, two = by_scenario["1-node"], by_scenario["2-node"]
+    speedup = two["samples_per_s"] / one["samples_per_s"]
+    assert speedup >= 1.5, (
+        f"2-node cluster only {speedup:.2f}x over 1-node on the paced "
+        f"workload ({one['samples_per_s']:.1f} -> "
+        f"{two['samples_per_s']:.1f} samples/s)"
+    )
+    killed = by_scenario["2-node kill+replica"]
+    assert killed["completed"] == one["completed"], (
+        "the replica must absorb every request after the kill"
+    )
+    assert killed["node_retries"] >= 1 and killed["node_failures"] == 0
+    for row in result.rows:
+        benchmark.extra_info[row["scenario"]] = {
+            "samples_per_s": round(row["samples_per_s"], 2),
+            "p99_ms": round(row["p99_ms"], 2),
+            "node_retries": row["node_retries"],
+        }
+    benchmark.extra_info["speedup_2_over_1"] = round(speedup, 3)
 
 
 def test_threaded_sharded_step2_overlaps_streams(bench_sorted_db, bench_kss):

@@ -13,7 +13,8 @@ The commands cover the library's main entry points:
 - ``serve`` — daemon mode: open an index once (optionally memory-mapped),
   then serve a *stream* of samples concurrently through an
   :class:`~repro.megis.service.AnalysisService`.  Input is JSONL on
-  stdin, one sample per line: ``{"id": ..., "reads": ["ACGT...", ...]}``;
+  stdin, one sample per line: ``{"schema": 1, "id": ...,
+  "reads": ["ACGT...", ...]}``;
   each result is emitted on stdout the moment it completes (add
   ``--strict-order`` for input order).  Every output line carries
   ``"schema": 1`` — either a result
@@ -30,6 +31,12 @@ The commands cover the library's main entry points:
   (``--max-clients``), per-request admission rejection
   (``--admission-timeout-ms``), and graceful drain on SIGTERM (finish
   every accepted request, emit a drain summary frame per connection);
+- ``node`` / ``cluster`` — the distributed flavour of ``gateway``: each
+  ``node`` serves partial Step 2 over its contiguous shard group of a
+  shared index, and ``cluster`` is the client-facing router that runs
+  Steps 1/3 locally, scatters Step 2 to every node, and gathers the
+  partial columns — bit-identical to single-node serving, with heartbeat
+  health tracking and retry-once node failover;
 - ``model`` — query the paper-scale performance model (per-configuration
   seconds and speedups for a chosen SSD and sample).
 """
@@ -49,8 +56,10 @@ from repro.megis import wire
 from repro.megis.index import IndexBuilder, MegisIndex
 from repro.megis.session import AnalysisSession, MegisConfig
 from repro.options import (
+    add_cluster_flags,
     add_execution_flags,
     add_gateway_flags,
+    add_node_flags,
     add_serving_flags,
     execution_config_kwargs,
 )
@@ -396,6 +405,198 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cluster_map(args: argparse.Namespace, index: MegisIndex):
+    """The placement every cluster participant must agree on.
+
+    Resolution order: an explicit ``--cluster-map`` file, then
+    ``--nodes``/``--shards`` (deterministic computation), then the
+    index's sibling ``<index>.cluster.json``.  The map's fingerprint is
+    verified against the opened index either way, so a node serving a
+    stale or different build fails at bring-up.
+    """
+    from repro.megis.cluster import ClusterMap
+
+    if args.cluster_map is not None:
+        cluster_map = ClusterMap.load(args.cluster_map)
+    elif args.nodes is not None:
+        cluster_map = ClusterMap.for_index(index, args.nodes, args.shards)
+    else:
+        sibling = ClusterMap.sibling_path(args.index)
+        if not sibling.exists():
+            raise ValueError(
+                f"no placement given: pass --nodes N, --cluster-map PATH, "
+                f"or persist one at {sibling} (repro cluster --write-map)"
+            )
+        cluster_map = ClusterMap.load(sibling)
+    cluster_map.verify(index)
+    return cluster_map
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    """One cluster node: partial Step 2 over its shard group, via TCP.
+
+    Opens the shared index on this node's shard subset only (the
+    placement map fixes the contiguous group), binds the scatter-frame
+    server, and serves until SIGTERM/SIGINT.
+    """
+    import asyncio
+    import signal
+
+    from repro.megis.cluster import ClusterNode
+
+    index = MegisIndex.open(args.index, mmap=args.mmap)
+    try:
+        cluster_map = _resolve_cluster_map(args, index)
+        if not (0 <= args.node_id < cluster_map.n_nodes):
+            raise ValueError(
+                f"--node-id must be in [0, {cluster_map.n_nodes}), "
+                f"got {args.node_id}"
+            )
+        session = AnalysisSession(
+            index,
+            MegisConfig(backend=args.backend, n_ssds=cluster_map.n_shards),
+            shard_range=cluster_map.group(args.node_id),
+        )
+        node = ClusterNode(
+            session, args.node_id, cluster_map,
+            host=args.host, port=args.port,
+            max_line_bytes=args.max_line_bytes,
+            step_workers=args.step_workers,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        host, port = await node.start()
+        start, stop_shard = cluster_map.group(args.node_id)
+        print(f"node {args.node_id} serving shards [{start}, {stop_shard}) "
+              f"of {cluster_map.n_shards} on {host}:{port}",
+              file=sys.stderr, flush=True)
+        await stop.wait()
+        await node.stop()
+
+    asyncio.run(run())
+    print(f"node {args.node_id} served {node.served} scatter frames",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    """The cluster router: the gateway, with Step 2 scattered to nodes.
+
+    Client-facing behaviour is the gateway's exactly (same wire format,
+    rate limiting, admission, drain); Step 2 fans out to every ``--node``
+    and the gathered results are bit-identical to single-node serving.
+    """
+    import asyncio
+    import signal
+
+    from repro.megis.cluster import (
+        ClusterAnalysisSession,
+        ClusterMap,
+        ClusterRouter,
+        ClusterStepTwo,
+        NodeEndpoint,
+    )
+
+    index = MegisIndex.open(args.index, mmap=args.mmap)
+    try:
+        cluster_map = _resolve_cluster_map(args, index)
+        endpoints_given = args.node or []
+        if len(endpoints_given) != cluster_map.n_nodes:
+            raise ValueError(
+                f"placement expects {cluster_map.n_nodes} nodes; pass "
+                f"--node HOST:PORT once per node in node-id order "
+                f"(got {len(endpoints_given)})"
+            )
+        replicas = dict(args.replica or [])
+        unknown = sorted(r for r in replicas if r >= cluster_map.n_nodes)
+        if unknown:
+            raise ValueError(
+                f"--replica names nodes {unknown} outside "
+                f"[0, {cluster_map.n_nodes})"
+            )
+        local = AnalysisSession(
+            index,
+            MegisConfig(abundance_method=args.abundance,
+                        backend=args.backend),
+        )
+        if args.abundance == "mapping" and local.references is None:
+            print("index was built with --no-references; mapping-based "
+                  "abundance is unavailable (use --abundance statistical)",
+                  file=sys.stderr)
+            return 2
+        if args.write_map:
+            saved = cluster_map.save(ClusterMap.sibling_path(args.index))
+            print(f"wrote placement map to {saved}", file=sys.stderr)
+        step_two = ClusterStepTwo(
+            cluster_map,
+            [NodeEndpoint(node_id, endpoint, replica=replicas.get(node_id))
+             for node_id, endpoint in enumerate(endpoints_given)],
+            timeout_s=args.node_timeout_ms / 1e3,
+        )
+        router = ClusterRouter(
+            ClusterAnalysisSession(local, step_two),
+            heartbeat_ms=args.heartbeat_ms,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+            batch_window_ms=args.batch_window_ms,
+            deadline_ms=args.deadline_ms,
+            rate_limit=args.rate_limit,
+            rate_burst=args.rate_burst,
+            max_clients=args.max_clients,
+            admission_timeout_ms=args.admission_timeout_ms,
+            max_line_bytes=args.max_line_bytes,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    async def run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        host, port = await router.start()
+        print(f"cluster router listening on {host}:{port} "
+              f"({cluster_map.n_nodes} nodes, {cluster_map.n_shards} "
+              f"shards)", file=sys.stderr, flush=True)
+        await stop.wait()
+        print("cluster router draining...", file=sys.stderr, flush=True)
+        await router.drain()
+
+    with local:
+        asyncio.run(run())
+    gw = router.stats
+    cluster = step_two.stats
+    summary = (f"served {gw.requests_completed} requests from "
+               f"{gw.clients_connected} clients across "
+               f"{cluster_map.n_nodes} nodes "
+               f"({cluster.scatters} scatters)")
+    if cluster.node_retries:
+        summary += f"; {cluster.node_retries} node retries"
+    if cluster.node_failures:
+        summary += f"; {cluster.node_failures} node failures"
+    if gw.requests_failed:
+        summary += f"; {gw.requests_failed} requests failed"
+    print(summary, file=sys.stderr)
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.perf.validation import format_validation_report, validate
 
@@ -430,17 +631,19 @@ def _cmd_model(args: argparse.Namespace) -> int:
 _WIRE_EPILOG = (
     "wire format (schema 1):\n"
     "  Each input line is one request: "
-    '{"id": ..., "reads": ["ACGT...", ...]}.\n'
+    '{"schema": 1, "id": ..., "reads": ["ACGT...", ...]}.\n'
     "  Every output line carries \"schema\": 1 — either a result\n"
     '  ({"schema", "id", "n_reads", "candidates", "profile", '
     '"samples_batched",\n'
     '  "queue_wait_ms", "latency_ms"}) or a structured error object\n'
     '  {"schema": 1, "id": ..., "error": ..., "line": N}.\n'
     "  Malformed input never stops the stream: bad JSON, a missing or "
-    "invalid\n"
-    "  'reads' list, a non-scalar or duplicate id, undecodable UTF-8, "
-    "and lines\n"
-    "  over --max-line-bytes each produce one error object.\n"
+    "unknown\n"
+    "  'schema', a missing or invalid 'reads' list, a non-scalar or "
+    "duplicate\n"
+    "  id, undecodable UTF-8, and lines over --max-line-bytes each "
+    "produce one\n"
+    "  error object.\n"
 )
 
 #: Shared --help epilog paragraph: the fork-after-warm process pool.
@@ -598,6 +801,97 @@ def build_parser() -> argparse.ArgumentParser:
     add_serving_flags(gateway)
     add_gateway_flags(gateway)
     gateway.set_defaults(func=_cmd_gateway)
+
+    node = sub.add_parser(
+        "node", help="serve one cluster node's shard group of a shared "
+                     "index (partial Step 2 over TCP)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "placement:\n"
+            "  Every participant opens the SAME index file and resolves "
+            "the SAME\n"
+            "  placement: --cluster-map PATH, or --nodes N [--shards M] "
+            "(computed\n"
+            "  deterministically), or the index's sibling "
+            "<index>.cluster.json.\n"
+            "  Node w owns the contiguous shard group "
+            "[M*w//N, M*(w+1)//N) — the\n"
+            "  session opens those shards only, so a node holds ~1/N of "
+            "the index's\n"
+            "  working set.  The map's fingerprint is checked against the "
+            "opened\n"
+            "  index, so a node serving a different build fails at "
+            "bring-up.\n"
+            "\n"
+            "wire format (schema 1):\n"
+            "  The router speaks op-keyed frames on the shared schema-1 "
+            "JSONL wire:\n"
+            '  {"schema": 1, "op": "step2", "id": ..., "queries": [[...], '
+            "...]} gets\n"
+            "  the node's partial Step-2 owner columns back; "
+            '{"schema": 1, "op":\n'
+            '  "ping", "id": ...} gets a pong with the node id, shard '
+            "group, and a\n"
+            "  served counter.  Malformed frames (bad JSON, missing or "
+            "unknown\n"
+            "  'schema', unknown op) produce one structured error object "
+            "and the\n"
+            "  connection stays up.\n"
+        ),
+    )
+    add_node_flags(node)
+    node.set_defaults(func=_cmd_node)
+
+    cluster = sub.add_parser(
+        "cluster", help="route clients across N `repro node` servers "
+                        "(scatter-gather Step 2, node failover)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            _WIRE_EPILOG
+            + "  Clients cannot tell the router from a single-node "
+            "`gateway`: same\n"
+            "  frames, same per-client rate limiting and admission "
+            "(--rate-limit,\n"
+            "  --max-queue, --admission-timeout-ms, --max-clients), same "
+            "drain\n"
+            "  summary on SIGTERM — and results are bit-identical to "
+            "single-node\n"
+            "  serving.\n"
+            "\n"
+            "scatter-gather:\n"
+            "  Step 1 runs on the router; each sample's sorted query "
+            "column is then\n"
+            "  scattered to every --node (in node-id order, matching the "
+            "placement\n"
+            "  map), which intersects it against its contiguous shard "
+            "group only.\n"
+            "  The partial owner columns gather in node order — ascending "
+            "disjoint\n"
+            "  shard ranges concatenate exactly — and Step 3 finishes "
+            "locally.\n"
+            "\n"
+            "failure semantics:\n"
+            "  A dead or timed-out node fails one scatter attempt; the "
+            "router\n"
+            "  retries exactly once — same address (a respawned node "
+            "answers\n"
+            "  there) or the node's --replica — and only if the retry "
+            "also fails\n"
+            "  does the request fail, with a structured error frame\n"
+            "  ('node_failed: node=N after 2 attempts: ...').  Accepted "
+            "requests\n"
+            "  are never silently dropped.  A --heartbeat-ms ping marks "
+            "dead nodes\n"
+            "  so their replica is tried first, and marks respawned "
+            "nodes live\n"
+            "  again.\n"
+        ),
+    )
+    add_serving_flags(cluster, execution=False)
+    add_execution_flags(cluster, executor=False, ssds=False)
+    add_gateway_flags(cluster)
+    add_cluster_flags(cluster)
+    cluster.set_defaults(func=_cmd_cluster)
 
     model = sub.add_parser("model", help="paper-scale performance model")
     model.add_argument("--ssd", choices=("SSD-C", "SSD-P"), default="SSD-C")

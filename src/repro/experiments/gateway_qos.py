@@ -144,7 +144,8 @@ def run() -> ExperimentResult:
             {str(t): f for t, f in sorted(reference.profile.fractions.items())},
         )
     requests = [
-        {"id": f"s{i}", "reads": [read.sequence for read in sample]}
+        {"schema": 1, "id": f"s{i}",
+         "reads": [read.sequence for read in sample]}
         for i, sample in enumerate(samples)
     ]
     by_client = [

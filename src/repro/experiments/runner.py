@@ -89,6 +89,7 @@ REGISTRY: Dict[str, str] = {
     "overprovisioning": "repro.experiments.overprovisioning",
     "qos_latency": "repro.experiments.qos_latency",
     "gateway_qos": "repro.experiments.gateway_qos",
+    "cluster_scaling": "repro.experiments.cluster_scaling",
     "overlap_report": "repro.experiments.overlap_report",
     "random_read_latency": "repro.experiments.random_read_latency",
 }

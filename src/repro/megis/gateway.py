@@ -525,11 +525,23 @@ class AnalysisGateway:
                 continue
             # Submission may block on admission backpressure — run it in
             # the pool so the loop (and other clients) keep moving; await
-            # it so this client's requests stay sequential.
-            await self._loop.run_in_executor(
-                self._submit_pool,
-                self._submit_sync, client, request_id, reads, line_no,
-            )
+            # it so this client's requests stay sequential.  A request
+            # read in the instant drain shuts the submit pool down races
+            # the shutdown: dispatching onto the dead pool raises
+            # RuntimeError (and a submission caught mid-close raises
+            # ServiceClosed) — answer with the same structured draining
+            # frame a pool-side rejection gets, never a bare reset.
+            try:
+                await self._loop.run_in_executor(
+                    self._submit_pool,
+                    self._submit_sync, client, request_id, reads, line_no,
+                )
+            except (RuntimeError, ServiceClosed):
+                client.stats.rejected += 1
+                self.stats.admission_rejected += 1
+                client.outbox.put_nowait(wire.error_record(
+                    request_id, "gateway is draining", line_no
+                ))
 
     def _client_error(self, client: _Client, line_no: int, message: str,
                       request_id=None) -> None:

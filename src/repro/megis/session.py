@@ -287,6 +287,7 @@ class AnalysisSession:
         n_ssds: Optional[int] = None,
         executor: ExecutorSpec = None,
         ssd: Optional[SSD] = None,
+        shard_range: Optional[Tuple[int, int]] = None,
     ):
         config = config or MegisConfig()
         overrides = {}
@@ -345,6 +346,25 @@ class AnalysisSession:
                 "processing) and cannot be process-backed; drop "
                 "executor='processes' or the ssd"
             )
+        #: Cluster-node mode: serve partial Step 2 over a contiguous
+        #: subset ``[start, stop)`` of the index's ``n_ssds`` shards only
+        #: (:meth:`step_two_partial`).  Such a session cannot run a full
+        #: analysis — it holds no complete owner view — and cannot be
+        #: process-backed or drive a functional SSD.
+        self.shard_range: Optional[Tuple[int, int]] = None
+        if shard_range is not None:
+            start, stop = int(shard_range[0]), int(shard_range[1])
+            if not (0 <= start < stop <= config.n_ssds):
+                raise ValueError(
+                    f"shard_range {shard_range!r} must satisfy "
+                    f"0 <= start < stop <= n_ssds ({config.n_ssds})"
+                )
+            if self._process_workers is not None or ssd is not None:
+                raise ValueError(
+                    "a shard-range session serves partial Step 2 only; it "
+                    "cannot be process-backed or drive a functional SSD"
+                )
+            self.shard_range = (start, stop)
         self.database = index.database
         self.sketch = index.sketch
         self.references = index.references
@@ -443,8 +463,26 @@ class AnalysisSession:
         """
         import numpy as np
 
-        engine = self.multissd if self.multissd is not None else self.isp
         from repro.backends import get_backend
+
+        if self.shard_range is not None:
+            # Cluster-node warm: materialize this node's shard subset only
+            # — each shard's database/KSS owner columns — plus the parent
+            # key column the zero-copy shard views slice.  No candidate
+            # scoring or Step-3 state is built: a shard-range session
+            # serves :meth:`step_two_partial` and nothing else.
+            columnar = get_backend(self._backend_spec).columnar
+            if columnar:
+                self.database.column()
+            for shard in self.cluster_shards():
+                if columnar:
+                    shard.database.column()
+                    shard.kss.columns()
+                else:
+                    shard.kss.retrieve([])
+            return self
+
+        engine = self.multissd if self.multissd is not None else self.isp
 
         # Candidate scoring consults the sorted sketch-size columns on
         # every sample; build them once, before any thread shares them.
@@ -508,6 +546,7 @@ class AnalysisSession:
 
     def analyze(self, reads: Sequence[Read], with_abundance: bool = True) -> MegisResult:
         """Run the three steps for one sample against the open index."""
+        self._require_full("analyze")
         runner = self._process_runner()
         if runner is not None:
             return runner.analyze(reads, with_abundance)
@@ -565,6 +604,7 @@ class AnalysisSession:
         candidate sets overlap share the per-species index construction
         and identical candidate sets share the merge outright.
         """
+        self._require_full("analyze_batch")
         if not samples:
             return []
         runner = self._process_runner()
@@ -619,6 +659,77 @@ class AnalysisSession:
 
         if self._processor is not None:
             self._processor.finish()
+        return results
+
+    # -- partial Step 2 over a shard range (cluster-node mode) --------------------
+
+    def _require_full(self, method: str) -> None:
+        if self.shard_range is not None:
+            raise ValueError(
+                f"{method}() needs the full index; this session serves "
+                f"shards [{self.shard_range[0]}, {self.shard_range[1]}) of "
+                f"{self.config.n_ssds} only (use step_two_partial)"
+            )
+
+    def cluster_shards(self) -> List:
+        """The shard handles this session serves (all, or its range).
+
+        Shard boundaries come from :meth:`MegisIndex.shards` over
+        ``config.n_ssds``, so every participant opening the same index
+        with the same shard count computes identical ranges — the
+        agreement the cluster placement relies on.
+        """
+        shards = self.index.shards(self.config.n_ssds)
+        if self.shard_range is None:
+            return list(shards)
+        start, stop = self.shard_range
+        return list(shards[start:stop])
+
+    def step_two_partial(
+        self,
+        queries: Sequence[Sequence[int]],
+        timings: Optional[PhaseTimings] = None,
+    ):
+        """Step 2 over this session's shard subset, one result per sample.
+
+        ``queries`` are sorted query columns (one per sample — what
+        :meth:`~repro.megis.host.BucketSet.merged_column` produces, or
+        plain int lists off the wire).  Each sample is intersected and
+        retrieved per shard with exactly the kernels
+        :class:`~repro.megis.multissd.MultiSsdStepTwo` runs — the
+        backend's range split clips the column to each shard's
+        ``[lo, hi)`` — and the per-shard partials are concatenated in
+        ascending shard order.  Because a cluster node owns a
+        *contiguous* shard group, concatenating the per-node results (in
+        node order) reproduces the single-host sharded result
+        bit-identically, which is the router's gather step.
+
+        Returns ``[(intersecting_kmers, RetrievalResult), ...]`` — the
+        intersecting k-mers are the retrieval result's ``queries``
+        column restricted to this shard subset.
+        """
+        from repro.backends import RetrievalResult, get_backend
+
+        backend = get_backend(self._backend_spec)
+        shards = self.cluster_shards()
+        results = []
+        for query in queries:
+            partials = []
+            retrievals = []
+            for shard in shards:
+                st = PhaseTimings(backend=backend.name)
+                [partial] = backend.intersect_sharded(
+                    [(shard.lo, shard.hi, shard.database)], query,
+                    self._n_channels, st,
+                )
+                retrievals.append(backend.retrieve(shard.kss, partial, st))
+                partials.append(partial)
+                if timings is not None:
+                    timings.merge(st)
+            intersecting = [int(k) for p in partials for k in p]
+            results.append(
+                (intersecting, RetrievalResult.concatenate(retrievals))
+            )
         return results
 
     # -- Metalign baseline over the same index ----------------------------------

@@ -1,22 +1,33 @@
-"""The versioned JSONL wire format shared by ``repro serve`` and ``repro gateway``.
+"""The versioned JSONL wire format shared by every serving front door.
 
-Both serving front doors — the stdin/stdout daemon (``repro serve``) and
-the asyncio TCP gateway (``repro gateway``) — speak the same schema-1
-newline-delimited JSON protocol, and this module is its single source of
-truth so the two can never drift:
+``repro serve`` (stdin/stdout), ``repro gateway`` (asyncio TCP), and the
+cluster tier's ``repro node`` / ``repro cluster`` all speak the same
+schema-1 newline-delimited JSON protocol, and this module is its single
+source of truth so the surfaces can never drift:
 
-- a **request** is one line: ``{"id": ..., "reads": ["ACGT...", ...]}``
-  (:func:`parse_request_line` validates it and returns the rejection
-  message for malformed input instead of raising);
+- a **request** is one line: ``{"schema": 1, "id": ...,
+  "reads": ["ACGT...", ...]}`` (:func:`parse_request_line` validates it
+  and returns the rejection message for malformed input instead of
+  raising).  The ``schema`` key is *enforced on ingest*: a missing or
+  unknown value is rejected with a structured error record, so a client
+  built against a future schema fails loudly instead of being
+  misparsed;
 - a **result** line carries ``{"schema", "id", "n_reads", "candidates",
   "profile", "samples_batched", "queue_wait_ms", "latency_ms"}``
   (:func:`result_record`);
 - an **error** line carries ``{"schema", "id", "error", "line"}``
   (:func:`error_record`) — malformed frames, per-sample failures,
-  deadline expiries, rate-limit and admission rejections all use it;
+  deadline expiries, rate-limit / admission rejections, and the cluster
+  router's ``node_failed`` frames all use it;
 - the gateway additionally emits **event** frames (``{"schema",
   "event": "drain", ...}``) at drain time — same schema version, an
-  ``event`` key instead of ``id`` (:func:`drain_record`).
+  ``event`` key instead of ``id`` (:func:`drain_record`);
+- the cluster tier's router↔node leg rides the same framing with an
+  ``op`` key: :func:`step2_request_record` scatters each sample's sorted
+  query column, :func:`step2_result_record` returns the node's partial
+  Step-2 owner columns (CSR ``RetrievalResult`` serialized per level via
+  :func:`retrieval_columns` / :func:`parse_retrieval`), and
+  :func:`ping_record` / :func:`pong_record` are the heartbeat pair.
 
 Every emitted line carries ``"schema": `` :data:`SCHEMA` so clients can
 version-gate their parsers.
@@ -25,7 +36,7 @@ version-gate their parsers.
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 #: Wire-format version stamped on every output line.
 SCHEMA = 1
@@ -38,7 +49,10 @@ def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
     ``str``.  Every rejection returns an error *message*; the caller wraps
     it into the structured ``{"schema", "id", "error", "line"}`` object.
     ``seen_ids`` (a mutable set) makes duplicate ids a rejection;
-    ``max_bytes`` bounds the accepted line length.
+    ``max_bytes`` bounds the accepted line length.  Requests must carry
+    ``"schema": `` :data:`SCHEMA`; a missing or unknown value is a
+    rejection (emitted since PR 6, enforced on ingest since the cluster
+    tier landed).
     """
     raw_len = len(line) if isinstance(line, bytes) else len(line.encode("utf-8"))
     if max_bytes is not None and raw_len > max_bytes:
@@ -54,14 +68,19 @@ def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
         request = json.loads(line)
     except ValueError as exc:
         return line_no, None, f"bad JSON ({exc})"
-    if not isinstance(request, dict) or "reads" not in request:
-        return line_no, None, "expected an object with 'reads'"
+    if not isinstance(request, dict):
+        return line_no, None, "expected an object with 'schema' and 'reads'"
     request_id = request.get("id", line_no)
     if request_id is not None and not isinstance(request_id,
                                                  (str, int, float, bool)):
         return line_no, None, (
             f"'id' must be a JSON scalar, got {type(request_id).__name__}"
         )
+    schema_error = check_schema(request)
+    if schema_error is not None:
+        return request_id, None, schema_error
+    if "reads" not in request:
+        return request_id, None, "expected an object with 'reads'"
     if seen_ids is not None:
         if request_id in seen_ids:
             return request_id, None, f"duplicate id {request_id!r}"
@@ -72,6 +91,23 @@ def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
     ):
         return request_id, None, "'reads' must be a list of sequence strings"
     return request_id, reads, None
+
+
+def check_schema(record: dict) -> Optional[str]:
+    """The rejection message for a frame's ``schema`` key, or ``None``.
+
+    Shared by every ingest path — serve, gateway, and both sides of the
+    cluster router↔node leg — so version gating cannot drift between
+    surfaces.
+    """
+    if "schema" not in record:
+        return f"missing 'schema' (this server speaks schema {SCHEMA})"
+    if record["schema"] != SCHEMA:
+        return (
+            f"unsupported schema {record['schema']!r} "
+            f"(this server speaks schema {SCHEMA})"
+        )
+    return None
 
 
 def result_record(request_id, n_reads: int, result, metrics) -> dict:
@@ -92,7 +128,7 @@ def result_record(request_id, n_reads: int, result, metrics) -> dict:
 
 def error_record(request_id, message: str, line_no: Optional[int]) -> dict:
     """The schema-1 structured error line (malformed input, per-sample
-    failure, rate-limit / admission rejection, ...)."""
+    failure, rate-limit / admission rejection, node failure, ...)."""
     return {"schema": SCHEMA, "id": request_id, "error": message,
             "line": line_no}
 
@@ -112,6 +148,118 @@ def drain_record(client: int, stats) -> dict:
     }
 
 
+# -- cluster router <-> node frames -------------------------------------------
+
+
+def retrieval_columns(retrieved) -> dict:
+    """Serialize a ``RetrievalResult``'s CSR columns as plain JSON lists.
+
+    The layout mirrors the in-memory columns exactly — ``queries`` plus,
+    per sketch level, the flat ``taxids`` owner column and its
+    ``offsets`` — so a round trip through :func:`parse_retrieval`
+    reconstructs a bit-identical result (ndarray columns come back as
+    int64 ndarrays, the numpy backend's native container).
+    """
+    return {
+        "queries": [int(q) for q in retrieved.queries],
+        "levels": {
+            str(k): {
+                "taxids": [int(t) for t in hits.taxids],
+                "offsets": [int(o) for o in hits.offsets],
+            }
+            for k, hits in retrieved.levels.items()
+        },
+    }
+
+
+def parse_retrieval(payload: dict):
+    """Rebuild a ``RetrievalResult`` from :func:`retrieval_columns` output.
+
+    Columns come back as int64 ndarrays so every downstream kernel (hit
+    accumulation, containment, the statistical estimator) takes its
+    vectorized path — results are bit-identical either way (the
+    cross-backend suite pins list and ndarray columns equal).
+    """
+    import numpy as np
+
+    from repro.backends.retrieval import LevelHits, RetrievalResult
+
+    if not isinstance(payload, dict) or "queries" not in payload:
+        raise ValueError("retrieval payload must be an object with 'queries'")
+    levels = {}
+    for key, block in payload.get("levels", {}).items():
+        levels[int(key)] = LevelHits(
+            taxids=np.asarray(block["taxids"], dtype=np.int64),
+            offsets=np.asarray(block["offsets"], dtype=np.int64),
+        )
+    return RetrievalResult(
+        queries=[int(q) for q in payload["queries"]], levels=levels
+    )
+
+
+def step2_request_record(request_id, queries: Sequence[Sequence[int]]) -> dict:
+    """The router's scatter frame: one sorted query column per sample.
+
+    The node intersects each column against *its* shard subset only (the
+    backend's range split discards everything outside a shard's
+    ``[lo, hi)``), so the router sends the full column and placement
+    stays entirely node-side.
+    """
+    return {
+        "schema": SCHEMA,
+        "op": "step2",
+        "id": request_id,
+        "queries": [[int(k) for k in query] for query in queries],
+    }
+
+
+def step2_result_record(request_id, node: int, partials) -> dict:
+    """A node's gather frame: per-sample partial owner columns.
+
+    ``partials`` is what :meth:`AnalysisSession.step_two_partial`
+    returns — one ``(intersecting, RetrievalResult)`` per sample, over
+    the node's contiguous shard group.  The intersecting k-mers *are*
+    the retrieval result's ``queries`` column, so only the columns ship.
+    """
+    return {
+        "schema": SCHEMA,
+        "op": "step2_result",
+        "id": request_id,
+        "node": node,
+        "samples": [retrieval_columns(retrieved) for _, retrieved in partials],
+    }
+
+
+def parse_step2_result(record: dict) -> List[Tuple[List[int], object]]:
+    """Decode a gather frame back into per-sample partial results."""
+    samples = record.get("samples")
+    if not isinstance(samples, list):
+        raise ValueError("step2_result frame must carry a 'samples' list")
+    partials = []
+    for payload in samples:
+        retrieved = parse_retrieval(payload)
+        partials.append((list(retrieved.queries), retrieved))
+    return partials
+
+
+def ping_record(seq: int) -> dict:
+    """The router's heartbeat frame."""
+    return {"schema": SCHEMA, "op": "ping", "id": seq}
+
+
+def pong_record(seq, node: int, shard_range: Tuple[int, int],
+                served: int) -> dict:
+    """A node's heartbeat reply: identity, shard group, served count."""
+    return {
+        "schema": SCHEMA,
+        "op": "pong",
+        "id": seq,
+        "node": node,
+        "shards": [int(shard_range[0]), int(shard_range[1])],
+        "served": served,
+    }
+
+
 def encode(record: dict) -> bytes:
     """One wire frame: the record as compact JSON plus the newline."""
     return json.dumps(record).encode("utf-8") + b"\n"
@@ -119,9 +267,17 @@ def encode(record: dict) -> bytes:
 
 __all__ = [
     "SCHEMA",
+    "check_schema",
     "drain_record",
     "encode",
     "error_record",
     "parse_request_line",
+    "parse_retrieval",
+    "parse_step2_result",
+    "ping_record",
+    "pong_record",
     "result_record",
+    "retrieval_columns",
+    "step2_request_record",
+    "step2_result_record",
 ]

@@ -17,7 +17,7 @@ accepted forms instead of surfacing later as a ``ValueError`` mid-run.
 from __future__ import annotations
 
 import argparse
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.backends import available_backends
 from repro.megis.executors import available_executors, parse_spec
@@ -94,7 +94,48 @@ def add_execution_flags(
         )
 
 
-def add_serving_flags(parser: argparse.ArgumentParser) -> None:
+def address(value: str) -> Tuple[str, int]:
+    """argparse ``type=`` validator for ``HOST:PORT`` endpoints."""
+    host, sep, port = value.rpartition(":")
+    if not sep or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        port_num = int(port)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a numeric port in {value!r}"
+        ) from exc
+    if not (0 < port_num < 65536):
+        raise argparse.ArgumentTypeError(
+            f"port must be in [1, 65535], got {port_num}"
+        )
+    return host, port_num
+
+
+def replica_spec(value: str) -> Tuple[int, Tuple[str, int]]:
+    """argparse ``type=`` validator for ``NODE=HOST:PORT`` replica specs."""
+    node, sep, endpoint = value.partition("=")
+    if not sep:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE=HOST:PORT, got {value!r}"
+        )
+    try:
+        node_id = int(node)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer node id in {value!r}"
+        ) from exc
+    if node_id < 0:
+        raise argparse.ArgumentTypeError(
+            f"node id must be >= 0, got {node_id}"
+        )
+    return node_id, address(endpoint)
+
+
+def add_serving_flags(parser: argparse.ArgumentParser, *,
+                      execution: bool = True) -> None:
     """Register the flags shared by ``repro serve`` and ``repro gateway``.
 
     Both front doors sit on the same :class:`~repro.megis.service.AnalysisService`
@@ -128,7 +169,8 @@ def add_serving_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: 32 MiB)")
     parser.add_argument("--abundance", choices=("mapping", "statistical"),
                         default="mapping")
-    add_execution_flags(parser)
+    if execution:
+        add_execution_flags(parser)
     parser.add_argument("--mmap", action="store_true",
                         help="memory-map the index's CSR sections (serve "
                              "databases larger than RAM)")
@@ -161,6 +203,80 @@ def add_gateway_flags(parser: argparse.ArgumentParser) -> None:
                              "rejects immediately (default: wait forever)")
 
 
+def add_cluster_map_flags(parser: argparse.ArgumentParser) -> None:
+    """Register the shard-placement flags shared by ``repro node`` and
+    ``repro cluster``.
+
+    Placement resolves the same way on every participant: an explicit
+    ``--cluster-map`` file wins, then ``--nodes``/``--shards`` compute
+    the deterministic map, then the index's sibling
+    ``<index>.cluster.json`` is loaded.
+    """
+    parser.add_argument("--cluster-map", default=None, metavar="PATH",
+                        help="load a persisted placement map (default: "
+                             "<index>.cluster.json when neither this nor "
+                             "--nodes is given)")
+    parser.add_argument("--nodes", type=positive_int, default=None,
+                        help="compute the deterministic placement for N "
+                             "nodes instead of loading a map file")
+    parser.add_argument("--shards", type=positive_int, default=None,
+                        help="total shard count behind --nodes (default: "
+                             "one shard per node)")
+
+
+def add_node_flags(parser: argparse.ArgumentParser) -> None:
+    """Register the flags for ``repro node`` (one cluster shard server)."""
+    parser.add_argument("--index", required=True, metavar="PATH",
+                        help="prebuilt index (`repro index build`) — the "
+                             "same file every participant opens")
+    parser.add_argument("--node-id", type=int, required=True, metavar="N",
+                        help="this node's id in [0, nodes); fixes its "
+                             "contiguous shard group")
+    add_cluster_map_flags(parser)
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (default: 0 = pick a free port; the "
+                             "bound address is printed on stderr)")
+    parser.add_argument("--step-workers", type=positive_int, default=4,
+                        help="concurrent partial-Step-2 executions "
+                             "(default: 4)")
+    parser.add_argument("--max-line-bytes", type=positive_int,
+                        default=32 * 1024 * 1024,
+                        help="reject scatter frames longer than this "
+                             "(default: 32 MiB)")
+    add_execution_flags(parser, executor=False, ssds=False)
+    parser.add_argument("--mmap", action="store_true",
+                        help="memory-map the index's CSR sections (serve "
+                             "databases larger than RAM)")
+
+
+def add_cluster_flags(parser: argparse.ArgumentParser) -> None:
+    """Register the scatter-gather flags specific to ``repro cluster``."""
+    parser.add_argument("--node", type=address, action="append",
+                        default=None, metavar="HOST:PORT",
+                        help="one node endpoint per `repro node`, repeated "
+                             "in node-id order (required)")
+    parser.add_argument("--replica", type=replica_spec, action="append",
+                        default=None, metavar="NODE=HOST:PORT",
+                        help="standby serving the same shard group as node "
+                             "NODE; tried when the primary fails "
+                             "(repeatable)")
+    add_cluster_map_flags(parser)
+    parser.add_argument("--node-timeout-ms", type=positive_float,
+                        default=10000.0,
+                        help="per-attempt scatter timeout before the one "
+                             "retry (default: 10000)")
+    parser.add_argument("--heartbeat-ms", type=positive_float,
+                        default=1000.0,
+                        help="node health ping interval; 'off' is not an "
+                             "option — lower it to detect dead nodes "
+                             "sooner (default: 1000)")
+    parser.add_argument("--write-map", action="store_true",
+                        help="persist the resolved placement to "
+                             "<index>.cluster.json so nodes can load it")
+
+
 def execution_config_kwargs(args: argparse.Namespace) -> Dict[str, object]:
     """The ``MegisConfig`` kwargs carried by the shared execution flags."""
     return {
@@ -171,12 +287,17 @@ def execution_config_kwargs(args: argparse.Namespace) -> Dict[str, object]:
 
 
 __all__ = [
+    "add_cluster_flags",
+    "add_cluster_map_flags",
     "add_execution_flags",
     "add_gateway_flags",
+    "add_node_flags",
     "add_serving_flags",
+    "address",
     "execution_config_kwargs",
     "executor_spec",
     "nonnegative_float",
     "positive_float",
     "positive_int",
+    "replica_spec",
 ]

@@ -144,7 +144,7 @@ class TestServe:
         """Served results == serial session.analyze; --strict-order
         restores input order however batches coalesce."""
         lines = "".join(
-            json.dumps({"id": f"s{i}",
+            json.dumps({"schema": 1, "id": f"s{i}",
                         "reads": [r.sequence for r in chunk]}) + "\n"
             for i, chunk in enumerate(sample_chunks)
         )
@@ -181,20 +181,25 @@ class TestServe:
         stream out as parsed, so match on content, not position."""
         lines = "\n".join([
             "this is not json",
-            json.dumps({"no_reads_key": True}),
-            json.dumps({"id": "ok",
+            json.dumps({"schema": 1, "no_reads_key": True}),
+            json.dumps({"schema": 1, "id": "ok",
                         "reads": [r.sequence for r in sample_chunks[0]]}),
-            json.dumps({"id": "bad", "reads": [1, 2, 3]}),
+            json.dumps({"schema": 1, "id": "bad", "reads": [1, 2, 3]}),
+            json.dumps({"id": "unversioned", "reads": []}),
+            json.dumps({"schema": 99, "id": "future", "reads": []}),
         ]) + "\n"
         code, records, _ = self._serve(monkeypatch, capsys, index_path, lines)
         assert code == 0
         assert all(r["schema"] == 1 for r in records)
         by_line = {r["line"]: r for r in records if "error" in r}
-        assert set(by_line) == {1, 2, 4}
+        assert set(by_line) == {1, 2, 4, 5, 6}
         assert "bad JSON" in by_line[1]["error"]
         assert "expected an object" in by_line[2]["error"]
         assert "sequence strings" in by_line[4]["error"]
         assert by_line[4]["id"] == "bad"
+        assert "missing 'schema'" in by_line[5]["error"]
+        assert by_line[5]["id"] == "unversioned"
+        assert "unsupported schema 99" in by_line[6]["error"]
         ok = next(r for r in records if "error" not in r)
         assert ok["id"] == "ok" and "candidates" in ok
 
@@ -202,9 +207,9 @@ class TestServe:
                                                 index_path, sample_chunks):
         reads = [r.sequence for r in sample_chunks[0]]
         lines = "".join([
-            json.dumps({"id": "twin", "reads": reads}) + "\n",
+            json.dumps({"schema": 1, "id": "twin", "reads": reads}) + "\n",
             "\n",  # blank lines are skipped, not errors
-            json.dumps({"id": "twin", "reads": reads}) + "\n",
+            json.dumps({"schema": 1, "id": "twin", "reads": reads}) + "\n",
         ])
         code, records, err = self._serve(monkeypatch, capsys, index_path,
                                          lines)
@@ -221,7 +226,8 @@ class TestServe:
         """--deadline-ms 0: claim time is strictly after enqueue, so every
         request fails with a structured deadline error."""
         lines = json.dumps(
-            {"id": "late", "reads": [r.sequence for r in sample_chunks[0]]}
+            {"schema": 1, "id": "late",
+             "reads": [r.sequence for r in sample_chunks[0]]}
         ) + "\n"
         code, records, err = self._serve(monkeypatch, capsys, index_path,
                                          lines, "--deadline-ms", "0")
@@ -235,7 +241,7 @@ class TestServe:
         """--max-queue N: stdin reading blocks when full, so the queue
         high-water mark never exceeds the configured bound."""
         lines = "".join(
-            json.dumps({"id": i,
+            json.dumps({"schema": 1, "id": i,
                         "reads": [r.sequence for r in sample_chunks[0]]})
             + "\n"
             for i in range(6)
@@ -264,7 +270,7 @@ class TestServe:
         monkeypatch.setattr(AnalysisService, "submit", failing_submit)
         reads = [r.sequence for r in sample_chunks[0]]
         lines = "".join(
-            json.dumps({"id": rid, "reads": reads}) + "\n"
+            json.dumps({"schema": 1, "id": rid, "reads": reads}) + "\n"
             for rid in ("ok1", "boom", "ok2")
         )
         code, records, err = self._serve(monkeypatch, capsys, index_path,
@@ -320,7 +326,8 @@ class TestServe:
 
         reads = [r.sequence for r in sample_chunks[0]]
         lines = "".join(
-            json.dumps({"id": i, "reads": reads}) + "\n" for i in range(6)
+            json.dumps({"schema": 1, "id": i, "reads": reads}) + "\n"
+            for i in range(6)
         )
         monkeypatch.setattr("sys.stdin", io.StringIO(lines))
         fake_stdout = DyingStdout()
@@ -353,7 +360,8 @@ class TestServe:
         assert code == 2
         assert "statistical" in capsys.readouterr().err
         lines = json.dumps(
-            {"id": 1, "reads": [r.sequence for r in sample_chunks[0]]}
+            {"schema": 1, "id": 1,
+             "reads": [r.sequence for r in sample_chunks[0]]}
         ) + "\n"
         code, records, _ = self._serve(monkeypatch, capsys, slim, lines,
                                        "--abundance", "statistical")
@@ -370,7 +378,7 @@ class TestParseServeLine:
         return _parse_serve_line(line, line_no, **kwargs)
 
     def test_accepts_bytes_and_str(self):
-        payload = {"id": "x", "reads": ["ACGT"]}
+        payload = {"schema": 1, "id": "x", "reads": ["ACGT"]}
         for line in (json.dumps(payload), json.dumps(payload).encode()):
             request_id, reads, error = self._parse(line)
             assert error is None
@@ -384,7 +392,7 @@ class TestParseServeLine:
         assert "not valid UTF-8" in error
 
     def test_oversized_payload_rejected_without_parsing(self):
-        line = json.dumps({"id": "big", "reads": ["A" * 1000]})
+        line = json.dumps({"schema": 1, "id": "big", "reads": ["A" * 1000]})
         request_id, reads, error = self._parse(line, line_no=3, max_bytes=64)
         assert reads is None
         assert request_id == 3
@@ -395,7 +403,7 @@ class TestParseServeLine:
 
     def test_duplicate_id_rejected_second_time(self):
         seen = set()
-        line = json.dumps({"id": 9, "reads": ["ACGT"]})
+        line = json.dumps({"schema": 1, "id": 9, "reads": ["ACGT"]})
         _, reads, error = self._parse(line, seen_ids=seen)
         assert error is None and reads == ["ACGT"]
         request_id, reads, error = self._parse(line, line_no=2, seen_ids=seen)
@@ -405,7 +413,8 @@ class TestParseServeLine:
     def test_missing_id_defaults_to_line_number(self):
         seen = set()
         request_id, reads, error = self._parse(
-            json.dumps({"reads": ["ACGT"]}), line_no=5, seen_ids=seen)
+            json.dumps({"schema": 1, "reads": ["ACGT"]}), line_no=5,
+            seen_ids=seen)
         assert error is None and request_id == 5
         assert seen == {5}
 
@@ -430,7 +439,7 @@ class TestParseServeLine:
         index_path = tmp_path / "w.megis"
         assert main(["index", "build", str(fasta), str(index_path)]) == 0
         capsys.readouterr()
-        good = json.dumps({"id": "ok", "reads":
+        good = json.dumps({"schema": 1, "id": "ok", "reads":
                            [r.sequence for r in sample.reads[:10]]})
         raw = b'{"id": "\xff", "reads": []}\n' + good.encode() + b"\n"
         monkeypatch.setattr("sys.stdin",

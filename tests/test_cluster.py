@@ -1,0 +1,541 @@
+"""Cluster tier: placement, scatter-gather bit-identity, node failover.
+
+Every serving test drives real TCP — in-process :class:`ClusterNode`
+servers behind a :class:`ClusterRouter` — over the golden-fixture world,
+and pins the routed results bit-identical to a serial single-host
+``session.analyze``.  Failure injection uses :meth:`ClusterNode.kill`
+(transport aborts: connection resets, exactly what a killed process
+produces) to exercise the retry-once contract on both its arms: the
+replica / respawned-node path must stay bit-identical, the unretryable
+path must yield a structured ``node_failed`` frame — never a silent
+drop.
+"""
+
+import asyncio
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.databases.sketch import SketchDatabase
+from repro.databases.sorted_db import SortedKmerDatabase
+from repro.megis.cluster import (
+    ClusterAnalysisSession,
+    ClusterMap,
+    ClusterNode,
+    ClusterRouter,
+    ClusterStepTwo,
+    NodeEndpoint,
+    NodeFailed,
+)
+from repro.megis.index import MegisIndex
+from repro.megis.session import AnalysisSession, MegisConfig
+from repro.sequences.reads import Read
+from repro.workloads.cami import CamiDiversity, make_cami_sample
+
+GOLDEN = Path(__file__).parent / "data" / "golden_pipeline.json"
+
+N_CHUNKS = 3
+N_SHARDS = 4
+SCENARIO_TIMEOUT_S = 120
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.fixture(scope="module")
+def golden_world(golden):
+    p = golden["params"]
+    sample = make_cami_sample(
+        CamiDiversity.MEDIUM,
+        n_reads=p["n_reads"],
+        n_genera=p["n_genera"],
+        species_per_genus=p["species_per_genus"],
+        genome_length=p["genome_length"],
+        seed=p["seed"],
+    )
+    sorted_db = SortedKmerDatabase.build(sample.references, k=p["k"])
+    sketch = SketchDatabase.build(
+        sample.references,
+        k_max=p["k"],
+        smaller_ks=tuple(p["smaller_ks"]),
+        sketch_fraction=p["sketch_fraction"],
+    )
+    return sample, MegisIndex(sorted_db, sketch, sample.references)
+
+
+def _config(golden, **overrides):
+    p = golden["params"]
+    return MegisConfig(
+        n_buckets=p["n_buckets"],
+        min_containment=p["min_containment"],
+        abundance_method="statistical",
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def chunks(golden_world):
+    sample, _ = golden_world
+    size = len(sample.reads) // N_CHUNKS
+    return [
+        [
+            Read(read_id=j, sequence=r.sequence, true_taxid=0)
+            for j, r in enumerate(sample.reads[i * size:(i + 1) * size])
+        ]
+        for i in range(N_CHUNKS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def requests_wire(chunks):
+    return [
+        {"schema": 1, "id": f"c{i}", "reads": [r.sequence for r in chunk]}
+        for i, chunk in enumerate(chunks)
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_records(golden_world, golden, chunks):
+    """The single-host serial truth every routed result must equal."""
+    _, index = golden_world
+    session = AnalysisSession(index, _config(golden)).warm()
+    expected = {}
+    for i, chunk in enumerate(chunks):
+        result = session.analyze(chunk)
+        expected[f"c{i}"] = (
+            sorted(int(t) for t in result.candidates),
+            {str(t): f
+             for t, f in sorted(result.profile.fractions.items())},
+        )
+    return expected
+
+
+def run_scenario(coro):
+    async def bounded():
+        return await asyncio.wait_for(coro, timeout=SCENARIO_TIMEOUT_S)
+    return asyncio.run(bounded())
+
+
+def make_node_session(index, golden, cluster_map, node_id):
+    return AnalysisSession(
+        index,
+        _config(golden, n_ssds=cluster_map.n_shards),
+        shard_range=cluster_map.group(node_id),
+    )
+
+
+class Cluster:
+    """In-process bring-up helper: N nodes (+ optional replicas), one
+    router, all torn down in reverse order."""
+
+    def __init__(self, index, golden, n_nodes, *, n_shards=N_SHARDS,
+                 replicas=(), heartbeat_ms=None, timeout_s=10.0,
+                 workers=2):
+        self.index = index
+        self.golden = golden
+        self.map = ClusterMap.for_index(index, n_nodes, n_shards)
+        self.replica_ids = tuple(replicas)
+        self.heartbeat_ms = heartbeat_ms
+        self.timeout_s = timeout_s
+        self.workers = workers
+        self.nodes = []
+        self.replicas = {}
+        self.router = None
+        self.step_two = None
+
+    async def __aenter__(self):
+        endpoints = []
+        for node_id in range(self.map.n_nodes):
+            node = ClusterNode(
+                make_node_session(self.index, self.golden, self.map,
+                                  node_id),
+                node_id, self.map,
+            )
+            address = await node.start()
+            self.nodes.append(node)
+            replica_address = None
+            if node_id in self.replica_ids:
+                replica = ClusterNode(
+                    make_node_session(self.index, self.golden, self.map,
+                                      node_id),
+                    node_id, self.map,
+                )
+                replica_address = await replica.start()
+                self.replicas[node_id] = replica
+            endpoints.append(NodeEndpoint(node_id, address,
+                                          replica=replica_address))
+        self.step_two = ClusterStepTwo(self.map, endpoints,
+                                       timeout_s=self.timeout_s)
+        local = AnalysisSession(self.index, _config(self.golden))
+        self.router = ClusterRouter(
+            ClusterAnalysisSession(local, self.step_two),
+            heartbeat_ms=self.heartbeat_ms,
+            workers=self.workers,
+        )
+        await self.router.start()
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        await self.router.drain()
+        for node in list(self.replicas.values()) + self.nodes:
+            await node.stop()
+
+    async def respawn(self, node_id):
+        """A fresh node process on the SAME port (the respawn story)."""
+        host, port = self.step_two.endpoints[node_id].address
+        node = ClusterNode(
+            make_node_session(self.index, self.golden, self.map, node_id),
+            node_id, self.map, host=host, port=port,
+        )
+        await node.start()
+        self.nodes[node_id] = node
+        return node
+
+
+async def client_roundtrip(router, frames):
+    host, port = router.bound_address
+    reader, writer = await asyncio.open_connection(host, port)
+    for frame in frames:
+        writer.write((json.dumps(frame) + "\n").encode("utf-8"))
+        await writer.drain()
+    writer.write_eof()
+    records = []
+    while True:
+        line = await reader.readline()
+        if not line:
+            break
+        records.append(json.loads(line))
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return records
+
+
+def assert_bit_identical(records, serial_records, expected_ids):
+    served = {r["id"]: r for r in records if "candidates" in r}
+    assert set(served) == set(expected_ids)
+    for request_id, record in served.items():
+        assert record["schema"] == 1
+        assert (record["candidates"], record["profile"]) \
+            == serial_records[request_id], (
+            "cluster result must be bit-identical to serial analyze"
+        )
+
+
+class TestClusterMap:
+    def test_contiguous_ascending_groups(self):
+        cluster_map = ClusterMap(n_nodes=3, n_shards=8)
+        groups = cluster_map.groups
+        assert groups == [(0, 2), (2, 5), (5, 8)]
+        # Contiguity: every shard owned exactly once, in order.
+        covered = [s for start, stop in groups for s in range(start, stop)]
+        assert covered == list(range(8))
+        for shard in range(8):
+            start, stop = cluster_map.group(cluster_map.node_of(shard))
+            assert start <= shard < stop
+
+    def test_one_shard_per_node_default(self, golden_world):
+        _, index = golden_world
+        cluster_map = ClusterMap.for_index(index, 4)
+        assert (cluster_map.n_nodes, cluster_map.n_shards) == (4, 4)
+        assert cluster_map.fingerprint["db_kmers"] == len(index.database)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClusterMap(n_nodes=0, n_shards=4)
+        with pytest.raises(ValueError):
+            ClusterMap(n_nodes=4, n_shards=2)
+        with pytest.raises(ValueError):
+            ClusterMap(n_nodes=2, n_shards=4).group(2)
+        with pytest.raises(ValueError):
+            ClusterMap(n_nodes=2, n_shards=4).node_of(4)
+
+    def test_save_load_roundtrip(self, golden_world, tmp_path):
+        _, index = golden_world
+        cluster_map = ClusterMap.for_index(index, 2, N_SHARDS)
+        path = cluster_map.save(ClusterMap.sibling_path(
+            tmp_path / "world.megis"))
+        assert path.name == "world.megis.cluster.json"
+        loaded = ClusterMap.load(path)
+        assert loaded == cluster_map
+        assert loaded.fingerprint == cluster_map.fingerprint
+        loaded.verify(index)  # same build: accepted
+
+    def test_load_rejects_tampered_groups(self, tmp_path):
+        path = tmp_path / "map.json"
+        ClusterMap(n_nodes=2, n_shards=4).save(path)
+        payload = json.loads(path.read_text())
+        payload["groups"] = [[0, 1], [1, 4]]  # not the deterministic split
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="deterministic placement"):
+            ClusterMap.load(path)
+
+    def test_load_rejects_wrong_kind_and_schema(self, tmp_path):
+        path = tmp_path / "map.json"
+        path.write_text(json.dumps({"kind": "something_else"}))
+        with pytest.raises(ValueError, match="not a cluster map"):
+            ClusterMap.load(path)
+        path.write_text(json.dumps(
+            {"kind": "cluster_map", "schema": 99, "n_nodes": 1,
+             "n_shards": 1}))
+        with pytest.raises(ValueError, match="schema"):
+            ClusterMap.load(path)
+
+    def test_verify_rejects_different_index_build(self, golden_world):
+        _, index = golden_world
+        cluster_map = ClusterMap(
+            n_nodes=2, n_shards=4,
+            fingerprint={"k": 11, "db_kmers": 1, "kss_rows": 1},
+        )
+        with pytest.raises(ValueError, match="different index build"):
+            cluster_map.verify(index)
+
+
+class TestShardRangeSession:
+    def test_full_pipeline_refused_on_partial_session(self, golden_world,
+                                                      golden, chunks):
+        _, index = golden_world
+        cluster_map = ClusterMap.for_index(index, 2, N_SHARDS)
+        session = make_node_session(index, golden, cluster_map, 0)
+        with pytest.raises(ValueError, match="step_two_partial"):
+            session.analyze(chunks[0])
+        with pytest.raises(ValueError, match="step_two_partial"):
+            session.analyze_batch([chunks[0]])
+
+    def test_shard_range_validation(self, golden_world, golden):
+        _, index = golden_world
+        with pytest.raises(ValueError, match="shard_range"):
+            AnalysisSession(index, _config(golden, n_ssds=4),
+                            shard_range=(2, 2))
+        with pytest.raises(ValueError, match="shard_range"):
+            AnalysisSession(index, _config(golden, n_ssds=4),
+                            shard_range=(0, 5))
+
+    def test_node_rejects_mismatched_session(self, golden_world, golden):
+        _, index = golden_world
+        cluster_map = ClusterMap.for_index(index, 2, N_SHARDS)
+        wrong = make_node_session(index, golden, cluster_map, 1)
+        with pytest.raises(ValueError, match="must serve shards"):
+            ClusterNode(wrong, 0, cluster_map)
+
+    def test_partials_concatenate_to_single_host_step_two(
+        self, golden_world, golden, chunks
+    ):
+        """The data-path core, no sockets: per-node partials gathered in
+        node order equal the full single-session Step 2."""
+        from repro.backends import PhaseTimings, RetrievalResult
+        from repro.megis.session import MegisResult
+
+        _, index = golden_world
+        cluster_map = ClusterMap.for_index(index, 2, N_SHARDS)
+        full = AnalysisSession(index, _config(golden)).warm()
+        reference = full.analyze(chunks[0])
+
+        sessions = [
+            make_node_session(index, golden, cluster_map, w).warm()
+            for w in range(2)
+        ]
+        scratch = MegisResult(timings=PhaseTimings(backend="python"))
+        buckets = full._partition(chunks[0], scratch)
+        query = buckets.merged_column()
+        partials = [s.step_two_partial([query])[0] for s in sessions]
+        gathered = RetrievalResult.concatenate([p[1] for p in partials])
+        intersecting = [k for p in partials for k in p[0]]
+
+        clustered = MegisResult(timings=PhaseTimings(backend="python"))
+        full._finish_step_two(clustered, intersecting, gathered)
+        assert sorted(clustered.candidates) == sorted(reference.candidates)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n_nodes", [2, 4])
+    def test_routed_results_equal_serial(self, golden_world, golden,
+                                         requests_wire, serial_records,
+                                         n_nodes):
+        _, index = golden_world
+
+        async def scenario():
+            async with Cluster(index, golden, n_nodes) as cluster:
+                records = await client_roundtrip(cluster.router,
+                                                 requests_wire)
+                return records, cluster.step_two.stats.scatters
+
+        records, scatters = run_scenario(scenario())
+        assert_bit_identical(records, serial_records,
+                             [f"c{i}" for i in range(N_CHUNKS)])
+        assert scatters >= 1
+
+    def test_heartbeat_tracks_live_nodes(self, golden_world, golden,
+                                         requests_wire):
+        _, index = golden_world
+
+        async def scenario():
+            async with Cluster(index, golden, 2,
+                               heartbeat_ms=50.0) as cluster:
+                await client_roundtrip(cluster.router, requests_wire[:1])
+                await asyncio.sleep(0.3)
+                return dict(cluster.step_two.health), \
+                    cluster.step_two.stats.pongs
+
+        health, pongs = run_scenario(scenario())
+        assert pongs >= 2
+        assert all(h.alive for h in health.values())
+        assert sum(h.served for h in health.values()) >= 1
+
+
+class TestFailover:
+    def test_killed_primary_fails_over_to_replica_bit_identical(
+        self, golden_world, golden, requests_wire, serial_records
+    ):
+        """One injected node kill with a standby configured: the request
+        retries onto the replica and the result stays bit-identical."""
+        _, index = golden_world
+
+        async def scenario():
+            async with Cluster(index, golden, 2,
+                               replicas=(1,)) as cluster:
+                cluster.nodes[1].kill()
+                records = await client_roundtrip(cluster.router,
+                                                 requests_wire)
+                return records, cluster.step_two.stats
+
+        records, stats = run_scenario(scenario())
+        assert_bit_identical(records, serial_records,
+                             [f"c{i}" for i in range(N_CHUNKS)])
+        assert stats.node_retries >= 1
+        assert stats.node_failures == 0
+
+    def test_dead_primary_marked_by_heartbeat_routes_to_replica_first(
+        self, golden_world, golden, requests_wire, serial_records
+    ):
+        _, index = golden_world
+
+        async def scenario():
+            async with Cluster(index, golden, 2, replicas=(0,),
+                               heartbeat_ms=40.0) as cluster:
+                cluster.nodes[0].kill()
+                # Let heartbeats observe the death.
+                for _ in range(50):
+                    await asyncio.sleep(0.05)
+                    if cluster.step_two.health[0].alive is False:
+                        break
+                assert cluster.step_two.health[0].alive is False
+                retries_before = cluster.step_two.stats.node_retries
+                records = await client_roundtrip(cluster.router,
+                                                 requests_wire[:1])
+                return records, retries_before, cluster.step_two.stats
+
+        records, retries_before, stats = run_scenario(scenario())
+        assert_bit_identical(records, serial_records, ["c0"])
+        # The replica was the FIRST attempt — no retry was needed.
+        assert stats.node_retries == retries_before
+
+    def test_killed_node_respawned_on_same_port_serves_retry(
+        self, golden_world, golden, requests_wire, serial_records
+    ):
+        """No replica: the single retry reconnects to the same address,
+        where a respawned node answers — bit-identical."""
+        _, index = golden_world
+
+        async def scenario():
+            async with Cluster(index, golden, 2) as cluster:
+                cluster.nodes[0].kill()
+                await cluster.respawn(0)
+                records = await client_roundtrip(cluster.router,
+                                                 requests_wire)
+                return records, cluster.step_two.stats
+
+        records, stats = run_scenario(scenario())
+        assert_bit_identical(records, serial_records,
+                             [f"c{i}" for i in range(N_CHUNKS)])
+        assert stats.node_failures == 0
+
+    def test_unretryable_death_yields_structured_node_failed_frame(
+        self, golden_world, golden, requests_wire
+    ):
+        """Kill with no replica and no respawn: the accepted request must
+        come back as a structured node_failed error frame — the
+        connection stays up and nothing is silently dropped."""
+        _, index = golden_world
+
+        async def scenario():
+            async with Cluster(index, golden, 2) as cluster:
+                cluster.nodes[1].kill()
+                records = await client_roundtrip(cluster.router,
+                                                 requests_wire[:1])
+                return records, cluster.step_two.stats, \
+                    cluster.router.stats
+
+        records, stats, gateway_stats = run_scenario(scenario())
+        assert len(records) == 1
+        frame = records[0]
+        assert frame["schema"] == 1
+        assert frame["id"] == "c0"
+        assert "node_failed: node=1 after 2 attempts" in frame["error"]
+        assert stats.node_failures >= 1
+        # Accounted, not dropped: the request failed loudly.
+        assert gateway_stats.requests_failed == 1
+
+    def test_node_failed_str_is_the_wire_message(self):
+        error = NodeFailed(3, attempts=2, reason="connection refused")
+        assert str(error) == (
+            "node_failed: node=3 after 2 attempts: connection refused"
+        )
+
+
+class TestNodeProtocol:
+    async def _ask(self, node, frames):
+        host, port = node.bound_address
+        reader, writer = await asyncio.open_connection(host, port)
+        for frame in frames:
+            raw = frame if isinstance(frame, bytes) else (
+                json.dumps(frame) + "\n").encode("utf-8")
+            writer.write(raw)
+        await writer.drain()
+        writer.write_eof()
+        records = []
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            records.append(json.loads(line))
+        writer.close()
+        return records
+
+    def test_schema_enforced_and_errors_keep_connection(self, golden_world,
+                                                        golden):
+        _, index = golden_world
+        cluster_map = ClusterMap.for_index(index, 2, N_SHARDS)
+
+        async def scenario():
+            node = ClusterNode(
+                make_node_session(index, golden, cluster_map, 0),
+                0, cluster_map,
+            )
+            async with node:
+                return await self._ask(node, [
+                    b"not json\n",
+                    {"op": "step2", "id": 1, "queries": [[]]},
+                    {"schema": 9, "op": "step2", "id": 2, "queries": [[]]},
+                    {"schema": 1, "op": "warp", "id": 3},
+                    {"schema": 1, "op": "step2", "id": 4,
+                     "queries": "nope"},
+                    {"schema": 1, "op": "ping", "id": 5},
+                ])
+
+        records = run_scenario(scenario())
+        assert len(records) == 6
+        assert "bad JSON" in records[0]["error"]
+        assert "missing 'schema'" in records[1]["error"]
+        assert "unsupported schema 9" in records[2]["error"]
+        assert "unknown op" in records[3]["error"]
+        assert "k-mer int lists" in records[4]["error"]
+        pong = records[5]
+        assert pong["op"] == "pong"
+        assert pong["node"] == 0
+        assert pong["shards"] == [0, 2]

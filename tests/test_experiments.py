@@ -13,7 +13,7 @@ class TestRunnerInfrastructure:
             "accuracy", "kss_size", "ftl_metadata", "index_lifecycle",
             "serving_throughput", "ablation_buckets", "ablation_sketch",
             "backend_scaling", "isp_management", "overprovisioning",
-            "qos_latency", "gateway_qos", "overlap_report",
+            "qos_latency", "gateway_qos", "cluster_scaling", "overlap_report",
             "random_read_latency",
         }
         assert set(REGISTRY) == expected

@@ -86,7 +86,7 @@ def chunks(golden_world):
 def requests_wire(chunks):
     """The chunks as schema-1 request objects, ids c0..c4."""
     return [
-        {"id": f"c{i}", "reads": [r.sequence for r in chunk]}
+        {"schema": 1, "id": f"c{i}", "reads": [r.sequence for r in chunk]}
         for i, chunk in enumerate(chunks)
     ]
 
@@ -228,10 +228,12 @@ class TestMalformedFrames:
         huge = b'{"id": "big", "reads": ["' + b"A" * 32768 + b'"]}\n'
         frames = [
             b"this is not json\n",
-            {"note": "no reads key"},
+            {"schema": 1, "note": "no reads key"},
             requests_wire[0],
             dict(requests_wire[1], id="c0"),  # duplicate id
             huge,
+            {"id": "unversioned", "reads": []},  # schema is mandatory
+            dict(requests_wire[1], schema=2),  # wrong version
             requests_wire[1],
         ]
 
@@ -243,16 +245,18 @@ class TestMalformedFrames:
         records = run_scenario(scenario())
         errors = [r for r in records if "error" in r]
         results = [r for r in records if "candidates" in r]
-        assert len(errors) == 4
+        assert len(errors) == 6
         assert all(r["schema"] == 1 and "line" in r for r in errors)
         assert any("bad JSON" in r["error"] for r in errors)
         assert any("'reads'" in r["error"] for r in errors)
         assert any("duplicate id" in r["error"] for r in errors)
         assert any("line too long" in r["error"] for r in errors)
+        assert any("missing 'schema'" in r["error"] for r in errors)
+        assert any("unsupported schema 2" in r["error"] for r in errors)
         assert {r["id"] for r in results} == {"c0", "c1"}
         for record in results:
             assert_result_matches(record, serial_records)
-        assert gateway.stats.malformed == 4
+        assert gateway.stats.malformed == 6
 
     def test_one_bad_client_does_not_affect_another(self, session,
                                                     requests_wire,
@@ -548,6 +552,37 @@ class TestDrainResume:
             assert len(served) == N_CHUNKS
             for record in served:
                 assert_result_matches(record, serial_records)
+
+    def test_request_racing_drain_gets_structured_frame(self, session,
+                                                        requests_wire):
+        """A request read in the instant drain tears down the submit pool
+        must come back as a structured draining frame, not a bare reset
+        (dispatching onto the shut-down pool raises RuntimeError, which
+        used to kill the reader task silently)."""
+        gateway = AnalysisGateway(session, workers=1)
+
+        async def scenario():
+            async with gateway:
+                host, port = gateway.bound_address
+                reader, writer = await asyncio.open_connection(host, port)
+                # Freeze the exact race: the pool is already shut down
+                # (as drain does first) while the reader is still alive.
+                pool = gateway._submit_pool
+                await asyncio.get_running_loop().run_in_executor(
+                    None, lambda: pool.shutdown(wait=True)
+                )
+                await send_frames(writer, requests_wire[:1])
+                writer.write_eof()
+                records = await read_all(reader)
+                writer.close()
+                return records
+
+        records = run_scenario(scenario())
+        assert len(records) == 1
+        assert records[0]["schema"] == 1
+        assert records[0]["id"] == "c0"
+        assert "gateway is draining" in records[0]["error"]
+        assert gateway.stats.admission_rejected == 1
 
     def test_drain_is_idempotent_and_start_after_drain(self, session):
         gateway = AnalysisGateway(session, workers=1)
