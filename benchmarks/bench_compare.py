@@ -108,12 +108,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="regression gate: fail when a new mean exceeds this multiple "
              "of the old mean (default 1.25)",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="comparison table as text or as one JSON document (the "
+             "repro.reporting.render_json dialect `repro check` also "
+             "emits; default: text)",
+    )
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error(f"--threshold must be positive, got {args.threshold}")
     rows = compare(load_benchmarks(args.old), load_benchmarks(args.new))
-    print(format_rows(rows))
     failed = regressions(rows, args.threshold)
+    if args.format == "json":
+        from repro.reporting import render_json
+
+        print(render_json({
+            "threshold": args.threshold,
+            "rows": rows,
+            "regressions": [row["name"] for row in failed],
+        }))
+        return 1 if failed else 0
+    print(format_rows(rows))
     if failed:
         print(f"\n{len(failed)} benchmark(s) regressed past "
               f"{args.threshold:.2f}x:")

@@ -38,6 +38,7 @@ import pytest
 
 from benchmarks.conftest import emit
 from repro.backends.paced import PacedStepTwoBackend
+from repro.megis import wire
 from repro.megis.index import MegisIndex
 from repro.megis.multissd import MultiSsdStepTwo
 from repro.megis.service import AnalysisService
@@ -368,9 +369,9 @@ def test_serve_streams_first_result_before_eof(tmp_path, monkeypatch,
 
     chunk = len(bench_sample.reads) // 4
     lines = [
-        json.dumps({"schema": 1, "id": f"s{i}", "reads": [
+        json.dumps(wire.request_record(f"s{i}", [
             r.sequence for r in bench_sample.reads[i * chunk:(i + 1) * chunk]
-        ]}) + "\n"
+        ])) + "\n"
         for i in range(4)
     ]
     first_result_seen = threading.Event()
@@ -460,8 +461,7 @@ def _gateway_expectations(session, samples):
             {str(t): f for t, f in sorted(result.profile.fractions.items())},
         )
     requests = [
-        {"schema": 1, "id": f"s{i}",
-         "reads": [read.sequence for read in sample]}
+        wire.request_record(f"s{i}", [read.sequence for read in sample])
         for i, sample in enumerate(samples)
     ]
     return expected, requests

@@ -30,6 +30,8 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.megis import wire
+
 REPO = Path(__file__).resolve().parent.parent
 TIMEOUT_S = 420
 
@@ -136,8 +138,8 @@ def main():
         with socket.create_connection(router, timeout=60) as sock:
             sock.settimeout(60)
 
-            frame = roundtrip(sock, {"schema": 1, "id": "healthy", "reads": [
-                r.sequence for r in chunks[0]]})
+            frame = roundtrip(sock, wire.request_record(
+                "healthy", [r.sequence for r in chunks[0]]))
             assert "error" not in frame, frame
             assert (frame["candidates"], frame["profile"]) == expected[0], (
                 "healthy 2-node result must be bit-identical to serial"
@@ -146,9 +148,8 @@ def main():
 
             procs["node1"].kill()
             procs["node1"].wait()
-            frame = roundtrip(sock, {"schema": 1, "id": "failover",
-                                     "reads": [r.sequence
-                                               for r in chunks[1]]})
+            frame = roundtrip(sock, wire.request_record(
+                "failover", [r.sequence for r in chunks[1]]))
             assert "error" not in frame, frame
             assert (frame["candidates"], frame["profile"]) == expected[1], (
                 "retry-path result (replica) must be bit-identical to serial"
@@ -158,9 +159,8 @@ def main():
 
             procs["replica1"].kill()
             procs["replica1"].wait()
-            frame = roundtrip(sock, {"schema": 1, "id": "unretryable",
-                                     "reads": [r.sequence
-                                               for r in chunks[2]]})
+            frame = roundtrip(sock, wire.request_record(
+                "unretryable", [r.sequence for r in chunks[2]]))
             assert frame.get("id") == "unretryable", frame
             assert "node_failed: node=1 after 2 attempts" in \
                 frame.get("error", ""), frame

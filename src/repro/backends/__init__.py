@@ -14,7 +14,7 @@ Both produce bit-identical results; select one per call site
 from __future__ import annotations
 
 import os
-from typing import Dict, Tuple, Union
+from typing import Callable, Dict, Tuple, Union
 
 from repro.backends.base import (
     BucketSlice,
@@ -25,10 +25,15 @@ from repro.backends.base import (
 )
 from repro.backends.numpy_backend import NumpyStepTwoBackend
 from repro.backends.python_backend import PythonStepTwoBackend
-from repro.backends.retrieval import LevelHits, RetrievalResult, csr_gather
+from repro.backends.retrieval import (
+    IntColumn,
+    LevelHits,
+    RetrievalResult,
+    csr_gather,
+)
 
 
-def _paced_factory():
+def _paced_factory() -> StepTwoBackend:
     # Imported lazily so repro.backends.paced (which resolves its inner
     # backend through get_backend) never participates in an import cycle.
     from repro.backends.paced import PacedStepTwoBackend
@@ -36,7 +41,7 @@ def _paced_factory():
     return PacedStepTwoBackend()
 
 
-_BACKEND_CLASSES = {
+_BACKEND_CLASSES: Dict[str, Callable[[], StepTwoBackend]] = {
     PythonStepTwoBackend.name: PythonStepTwoBackend,
     NumpyStepTwoBackend.name: NumpyStepTwoBackend,
     "paced": _paced_factory,
@@ -90,6 +95,7 @@ def get_backend(backend: Union[str, StepTwoBackend, None] = None) -> StepTwoBack
 
 __all__ = [
     "BucketSlice",
+    "IntColumn",
     "LevelHits",
     "NumpyStepTwoBackend",
     "PhaseTimings",

@@ -26,23 +26,29 @@ from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import (
+    Any,
     Dict,
     Iterator,
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
-from repro.backends.retrieval import LevelHits, RetrievalResult  # noqa: F401
+from repro.backends.retrieval import (  # noqa: F401
+    IntColumn,
+    LevelHits,
+    RetrievalResult,
+)
 
 #: One query bucket: (lo, hi, sorted k-mers).  ``lo``/``hi`` may be ``None``
 #: to denote the full key space (used by the un-bucketed ``intersect``).
-BucketSlice = Tuple[Optional[int], Optional[int], Sequence[int]]
+BucketSlice = Tuple[Optional[int], Optional[int], IntColumn]
 
 #: One database shard: (lo, hi, database) covering the lexicographic range
 #: ``[lo, hi)`` — what :func:`repro.megis.multissd.split_database` produces.
-ShardSlice = Tuple[int, int, "object"]
+ShardSlice = Tuple[int, int, Any]
 
 
 @dataclass
@@ -196,7 +202,7 @@ def interval_edges(samples: Sequence[Sequence[BucketSlice]]) -> List[int]:
     range (what :class:`~repro.megis.host.KmerBucketPartitioner`
     produces); violations are rejected rather than silently mis-sliced.
     """
-    edges = set()
+    edges: Set[int] = set()
     for buckets in samples:
         prev_hi = None
         for lo, hi, kmers in buckets:
@@ -218,18 +224,19 @@ def interval_edges(samples: Sequence[Sequence[BucketSlice]]) -> List[int]:
     return sorted(edges)
 
 
-def column_to_list(column: Sequence[int]) -> List[int]:
+def column_to_list(column: IntColumn) -> List[int]:
     """Plain-int copy of a k-mer column (Python list or ndarray).
 
     ``tolist`` unboxes ndarray columns to Python ints in one pass; the
     extra ``int()`` keeps object-dtype columns and exotic containers exact.
     """
-    if hasattr(column, "tolist"):
-        return [int(x) for x in column.tolist()]
+    tolist = getattr(column, "tolist", None)
+    if tolist is not None:
+        return [int(x) for x in tolist()]
     return [int(x) for x in column]
 
 
-def bisect_column(column: Sequence[int], value: int, lo: int = 0) -> int:
+def bisect_column(column: IntColumn, value: int, lo: int = 0) -> int:
     """``bisect_left`` that is safe for values beyond an ndarray's dtype.
 
     Range edges reach the key-space bound ``1 << 2k``, which overflows a
@@ -303,7 +310,7 @@ class StepTwoBackend(abc.ABC):
 
     # -- query columns (Step-1 output containers) -----------------------------
 
-    def query_column(self, values: Sequence[int], k: int) -> Sequence[int]:
+    def query_column(self, values: IntColumn, k: int) -> IntColumn:
         """Materialize sorted k-mers in this backend's native bucket container.
 
         The reference backend keeps plain Python int lists; columnar
@@ -313,14 +320,14 @@ class StepTwoBackend(abc.ABC):
         return [int(v) for v in values]
 
     def split_column(
-        self, column: Sequence[int], boundaries: Sequence[int], k: int
-    ) -> List[Sequence[int]]:
+        self, column: IntColumn, boundaries: Sequence[int], k: int
+    ) -> List[IntColumn]:
         """Split a sorted column at ``boundaries`` into ``len + 1`` columns.
 
         Used by Step 1 to carve the selected k-mer stream into lexicographic
         buckets; every piece stays in the backend's native container.
         """
-        pieces: List[Sequence[int]] = []
+        pieces: List[IntColumn] = []
         start = 0
         for boundary in boundaries:
             stop = bisect_column(column, int(boundary), lo=start)
@@ -333,8 +340,8 @@ class StepTwoBackend(abc.ABC):
 
     def intersect(
         self,
-        database,
-        sorted_query: Sequence[int],
+        database: Any,
+        sorted_query: IntColumn,
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
     ) -> List[int]:
@@ -346,7 +353,7 @@ class StepTwoBackend(abc.ABC):
     @abc.abstractmethod
     def intersect_bucketed(
         self,
-        database,
+        database: Any,
         buckets: Sequence[BucketSlice],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -356,7 +363,7 @@ class StepTwoBackend(abc.ABC):
     @abc.abstractmethod
     def intersect_bucketed_multi(
         self,
-        database,
+        database: Any,
         samples: Sequence[Sequence[BucketSlice]],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -374,7 +381,7 @@ class StepTwoBackend(abc.ABC):
     def intersect_sharded(
         self,
         shards: Sequence[ShardSlice],
-        sorted_query: Sequence[int],
+        sorted_query: IntColumn,
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
     ) -> List[List[int]]:
@@ -433,7 +440,7 @@ class StepTwoBackend(abc.ABC):
     @abc.abstractmethod
     def retrieve(
         self,
-        kss,
+        kss: Any,
         sorted_intersecting: Sequence[int],
         timings: Optional[PhaseTimings] = None,
     ) -> RetrievalResult:

@@ -24,12 +24,14 @@ they are bit-identical to the reference backend's output.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.backends.base import (
     BucketSlice,
+    IntColumn,
     PhaseTimings,
     ShardSlice,
     StepTwoBackend,
@@ -40,12 +42,12 @@ from repro.backends.base import (
 from repro.backends.retrieval import LevelHits, RetrievalResult, csr_gather
 
 
-def column_dtype(k: int) -> np.dtype:
+def column_dtype(k: int) -> "np.dtype[Any]":
     """Column dtype for packed k-mers: uint64 when they fit, object otherwise."""
     return np.dtype(np.uint64) if 2 * k <= 64 else np.dtype(object)
 
 
-def as_column(values: Sequence[int], dtype: np.dtype) -> np.ndarray:
+def as_column(values: IntColumn, dtype: "np.dtype[Any]") -> npt.NDArray[Any]:
     """Build a sorted query column matching the database column's dtype."""
     if dtype == np.dtype(object):
         arr = np.empty(len(values), dtype=object)
@@ -55,7 +57,7 @@ def as_column(values: Sequence[int], dtype: np.dtype) -> np.ndarray:
     return np.asarray(values, dtype=dtype)
 
 
-def stripe_columns(column: np.ndarray, n_channels: int) -> List[np.ndarray]:
+def stripe_columns(column: npt.NDArray[Any], n_channels: int) -> List[npt.NDArray[Any]]:
     """Vectorized round-robin striping: channel c gets ``column[c::n]``.
 
     Mirrors :func:`repro.backends.python_backend.stripe_database`; each
@@ -66,17 +68,17 @@ def stripe_columns(column: np.ndarray, n_channels: int) -> List[np.ndarray]:
     return [column[c::n_channels] for c in range(n_channels)]
 
 
-def _rshift(arr: np.ndarray, shift: int) -> np.ndarray:
+def _rshift(arr: npt.NDArray[Any], shift: int) -> npt.NDArray[Any]:
     if arr.dtype == np.dtype(object):
         return arr >> shift
     return arr >> np.uint64(shift)
 
 
-def _searchsorted(column: np.ndarray, values) -> np.ndarray:
+def _searchsorted(column: npt.NDArray[Any], values: Any) -> Any:
     return np.searchsorted(column, values, side="left")
 
 
-def _edge_cuts(column: np.ndarray, edges: Sequence[int]) -> List[int]:
+def _edge_cuts(column: npt.NDArray[Any], edges: Sequence[int]) -> List[int]:
     """Vectorized ``searchsorted`` of range edges into a sorted column.
 
     Edges beyond the column dtype's range (e.g. the key-space bound
@@ -104,7 +106,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
 
     # -- query columns --------------------------------------------------------
 
-    def query_column(self, values: Sequence[int], k: int) -> np.ndarray:
+    def query_column(self, values: IntColumn, k: int) -> npt.NDArray[Any]:
         """Native bucket container: a sorted ndarray column.
 
         Zero-copy when ``values`` is already an ndarray of the column dtype
@@ -113,8 +115,8 @@ class NumpyStepTwoBackend(StepTwoBackend):
         return as_column(values, column_dtype(k))
 
     def split_column(
-        self, column: Sequence[int], boundaries: Sequence[int], k: int
-    ) -> List[np.ndarray]:
+        self, column: IntColumn, boundaries: Sequence[int], k: int
+    ) -> List[IntColumn]:
         """Vectorized bucket split: one ``searchsorted`` over all edges."""
         col = as_column(column, column_dtype(k))
         if not len(boundaries):
@@ -128,14 +130,14 @@ class NumpyStepTwoBackend(StepTwoBackend):
 
     def intersect_bucketed(
         self,
-        database,
+        database: Any,
         buckets: Sequence[BucketSlice],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
     ) -> List[int]:
         timings = timings if timings is not None else PhaseTimings(backend=self.name)
         column = database.column()
-        parts: List[np.ndarray] = []
+        parts: List[npt.NDArray[Any]] = []
         with timings.phase("intersect"):
             for lo, hi, kmers in buckets:
                 bucket_start = time.perf_counter()
@@ -162,7 +164,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
 
     def intersect_bucketed_multi(
         self,
-        database,
+        database: Any,
         samples: Sequence[Sequence[BucketSlice]],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -175,7 +177,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
         merged = [
             self._merged_query(buckets, column.dtype) for buckets in samples
         ]
-        parts: List[List[np.ndarray]] = [[] for _ in samples]
+        parts: List[List[npt.NDArray[Any]]] = [[] for _ in samples]
         edges = interval_edges(samples)
         with timings.phase("intersect"):
             for lo, hi in zip(edges, edges[1:]):
@@ -200,7 +202,9 @@ class NumpyStepTwoBackend(StepTwoBackend):
         ]
 
     @staticmethod
-    def _merged_query(buckets: Sequence[BucketSlice], dtype: np.dtype) -> np.ndarray:
+    def _merged_query(
+        buckets: Sequence[BucketSlice], dtype: "np.dtype[Any]"
+    ) -> npt.NDArray[Any]:
         columns = [as_column(kmers, dtype) for _, _, kmers in buckets]
         if not columns:
             return np.empty(0, dtype=dtype)
@@ -211,7 +215,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
     def intersect_sharded(
         self,
         shards: Sequence[ShardSlice],
-        sorted_query: Sequence[int],
+        sorted_query: IntColumn,
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
     ) -> List[List[int]]:
@@ -265,11 +269,11 @@ class NumpyStepTwoBackend(StepTwoBackend):
 
     def _intersect_slice(
         self,
-        db_slice: np.ndarray,
-        query: np.ndarray,
+        db_slice: npt.NDArray[Any],
+        query: npt.NDArray[Any],
         n_channels: int,
         timings: PhaseTimings,
-    ) -> np.ndarray:
+    ) -> npt.NDArray[Any]:
         # Both sides are sorted and the database is duplicate-free, so a
         # searchsorted membership test beats np.intersect1d (which would
         # re-sort both arrays).
@@ -302,7 +306,9 @@ class NumpyStepTwoBackend(StepTwoBackend):
         return matches
 
     @staticmethod
-    def _slice(column: np.ndarray, lo: Optional[int], hi: Optional[int]) -> np.ndarray:
+    def _slice(
+        column: npt.NDArray[Any], lo: Optional[int], hi: Optional[int]
+    ) -> npt.NDArray[Any]:
         start = 0 if lo is None else int(_searchsorted(column, lo))
         stop = len(column) if hi is None else int(_searchsorted(column, hi))
         return column[start:stop]
@@ -311,7 +317,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
 
     def retrieve(
         self,
-        kss,
+        kss: Any,
         sorted_intersecting: Sequence[int],
         timings: Optional[PhaseTimings] = None,
     ) -> RetrievalResult:
@@ -340,7 +346,7 @@ class NumpyStepTwoBackend(StepTwoBackend):
             if isinstance(sorted_intersecting, list)
             else [int(x) for x in sorted_intersecting]
         )
-        levels: dict = {}
+        levels: Dict[int, LevelHits] = {}
         with timings.phase("retrieve"):
             cols = kss.columns()
             q = as_column(queries, cols.kmers.dtype)
@@ -364,10 +370,10 @@ class NumpyStepTwoBackend(StepTwoBackend):
 
     @staticmethod
     def _gather_level(
-        keys: np.ndarray,
-        taxids: np.ndarray,
-        offsets: np.ndarray,
-        q: np.ndarray,
+        keys: npt.NDArray[Any],
+        taxids: npt.NDArray[Any],
+        offsets: npt.NDArray[Any],
+        q: npt.NDArray[Any],
     ) -> LevelHits:
         """One level's CSR block: membership test + vectorized row gather."""
         pos = _searchsorted(keys, q)

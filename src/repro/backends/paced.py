@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import os
 import time
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.backends.base import (
     BucketSlice,
+    IntColumn,
     PhaseTimings,
     ShardSlice,
     StepTwoBackend,
@@ -61,7 +62,7 @@ class PacedStepTwoBackend(StepTwoBackend):
         self,
         inner: "StepTwoBackend | str | None" = None,
         mb_per_s: Optional[float] = None,
-    ):
+    ) -> None:
         from repro.backends import get_backend
 
         self._inner = get_backend(inner if inner is not None else "numpy")
@@ -113,26 +114,26 @@ class PacedStepTwoBackend(StepTwoBackend):
             timings.merge(scratch)
 
     @staticmethod
-    def _record_bytes(database) -> int:
+    def _record_bytes(database: Any) -> int:
         from repro.databases.serialization import kmer_record_bytes
 
         return kmer_record_bytes(database.k)
 
     # -- query columns --------------------------------------------------------
 
-    def query_column(self, values: Sequence[int], k: int) -> Sequence[int]:
+    def query_column(self, values: IntColumn, k: int) -> IntColumn:
         return self._inner.query_column(values, k)
 
     def split_column(
-        self, column: Sequence[int], boundaries: Sequence[int], k: int
-    ) -> List[Sequence[int]]:
+        self, column: IntColumn, boundaries: Sequence[int], k: int
+    ) -> List[IntColumn]:
         return self._inner.split_column(column, boundaries, k)
 
     # -- intersection ---------------------------------------------------------
 
     def intersect_bucketed(
         self,
-        database,
+        database: Any,
         buckets: Sequence[BucketSlice],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -147,7 +148,7 @@ class PacedStepTwoBackend(StepTwoBackend):
 
     def intersect_bucketed_multi(
         self,
-        database,
+        database: Any,
         samples: Sequence[Sequence[BucketSlice]],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -168,7 +169,7 @@ class PacedStepTwoBackend(StepTwoBackend):
     def intersect_sharded(
         self,
         shards: Sequence[ShardSlice],
-        sorted_query: Sequence[int],
+        sorted_query: IntColumn,
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
     ) -> List[List[int]]:
@@ -201,7 +202,7 @@ class PacedStepTwoBackend(StepTwoBackend):
 
     def retrieve(
         self,
-        kss,
+        kss: Any,
         sorted_intersecting: Sequence[int],
         timings: Optional[PhaseTimings] = None,
     ) -> RetrievalResult:

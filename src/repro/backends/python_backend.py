@@ -18,6 +18,7 @@ import time
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import (
+    Any,
     Dict,
     FrozenSet,
     Iterable,
@@ -25,6 +26,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
 )
 
@@ -115,7 +117,7 @@ class TaxIdRetriever:
     register-level stream semantics stay exactly as before.
     """
 
-    kss: "KssTables"  # noqa: F821 - annotation only; resolved by the caller
+    kss: Any  # a KssTables; duck-typed so the backend never imports the engine
     index_generator_advances: int = 0
     comparisons: int = 0
 
@@ -161,7 +163,7 @@ class TaxIdRetriever:
         for row_index, row in enumerate(self.kss.sub_tables[k]):
             if row_index:
                 self.index_generator_advances += 1
-            covered: set = set()
+            covered: Set[int] = set()
             while e < len(entries) and kmer_prefix(
                 entries[e][0], self.kss.k_max, k
             ) == row.prefix:
@@ -202,7 +204,7 @@ class PythonStepTwoBackend(StepTwoBackend):
 
     def intersect_bucketed(
         self,
-        database,
+        database: Any,
         buckets: Sequence[BucketSlice],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -231,7 +233,7 @@ class PythonStepTwoBackend(StepTwoBackend):
 
     def intersect_bucketed_multi(
         self,
-        database,
+        database: Any,
         samples: Sequence[Sequence[BucketSlice]],
         n_channels: int = 8,
         timings: Optional[PhaseTimings] = None,
@@ -273,7 +275,7 @@ class PythonStepTwoBackend(StepTwoBackend):
 
     def retrieve(
         self,
-        kss,
+        kss: Any,
         sorted_intersecting: Sequence[int],
         timings: Optional[PhaseTimings] = None,
     ) -> RetrievalResult:
@@ -282,7 +284,7 @@ class PythonStepTwoBackend(StepTwoBackend):
             return TaxIdRetriever(kss).retrieve(sorted_intersecting)
 
     @staticmethod
-    def _db_slice(database, lo: Optional[int], hi: Optional[int]) -> List[int]:
+    def _db_slice(database: Any, lo: Optional[int], hi: Optional[int]) -> List[int]:
         if lo is None or hi is None:
             return database.kmers
         return list(database.stream_range(lo, hi))

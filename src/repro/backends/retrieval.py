@@ -29,21 +29,44 @@ tests keep working unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    ItemsView,
+    Iterator,
+    KeysView,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    ValuesView,
+)
 
 import numpy as np
+import numpy.typing as npt
 
 #: The historical per-query view: query k-mer -> level k -> taxIDs.
 QueryDicts = Dict[int, Dict[int, FrozenSet[int]]]
 
+#: One CSR column: a plain int list (``python`` backend) or an ndarray
+#: (``numpy`` backend; dtype is ``int64``/``uint64``, or ``object`` for
+#: k-mers wider than 64 bits).
+IntColumn = Union[Sequence[int], npt.NDArray[Any]]
 
-def as_int_list(column: Sequence[int]) -> List[int]:
-    if hasattr(column, "tolist"):
-        return [int(x) for x in column.tolist()]
+
+def as_int_list(column: IntColumn) -> List[int]:
+    tolist = getattr(column, "tolist", None)
+    if tolist is not None:
+        return [int(x) for x in tolist()]
     return [int(x) for x in column]
 
 
-def pack_sets_csr(sets: Sequence[FrozenSet[int]]) -> Tuple[np.ndarray, np.ndarray]:
+def pack_sets_csr(
+    sets: Sequence[FrozenSet[int]],
+) -> Tuple[npt.NDArray[np.int64], npt.NDArray[np.int64]]:
     """Pack per-row taxID sets into CSR ``(taxids, offsets)`` int64 columns.
 
     Each row's taxIDs are sorted ascending.  This is the one definition of
@@ -71,10 +94,10 @@ class LevelHits:
     vectorized or reference kernel accordingly.
     """
 
-    taxids: Sequence[int]
-    offsets: Sequence[int]
+    taxids: IntColumn
+    offsets: IntColumn
 
-    def counts(self) -> Sequence[int]:
+    def counts(self) -> IntColumn:
         """Per-query owner counts (``offsets`` first difference)."""
         if isinstance(self.offsets, np.ndarray):
             return np.diff(self.offsets)
@@ -83,7 +106,7 @@ class LevelHits:
             for i in range(len(self.offsets) - 1)
         ]
 
-    def slice_of(self, i: int) -> Sequence[int]:
+    def slice_of(self, i: int) -> IntColumn:
         """Query ``i``'s taxIDs at this level (empty when no hit)."""
         return self.taxids[int(self.offsets[i]) : int(self.offsets[i + 1])]
 
@@ -224,16 +247,18 @@ class RetrievalResult:
     def __bool__(self) -> bool:
         return bool(self.queries)
 
-    def get(self, query: int, default=None):
+    def get(
+        self, query: int, default: Optional[Dict[int, FrozenSet[int]]] = None
+    ) -> Optional[Dict[int, FrozenSet[int]]]:
         return self.to_query_dicts().get(query, default)
 
-    def keys(self):
+    def keys(self) -> KeysView[int]:
         return self.to_query_dicts().keys()
 
-    def values(self):
+    def values(self) -> ValuesView[Dict[int, FrozenSet[int]]]:
         return self.to_query_dicts().values()
 
-    def items(self):
+    def items(self) -> ItemsView[int, Dict[int, FrozenSet[int]]]:
         return self.to_query_dicts().items()
 
     def __eq__(self, other: object) -> bool:
@@ -243,14 +268,15 @@ class RetrievalResult:
             return self.to_query_dicts() == dict(other)
         return NotImplemented
 
-    __hash__ = None  # mutable mapping-like; never used as a dict key
+    # Mutable mapping-like; never used as a dict key.
+    __hash__ = None  # type: ignore[assignment]
 
 
 def csr_gather(
-    taxids: np.ndarray,
-    offsets: np.ndarray,
-    rows: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray]:
+    taxids: npt.NDArray[Any],
+    offsets: npt.NDArray[Any],
+    rows: npt.NDArray[np.int64],
+) -> Tuple[npt.NDArray[Any], npt.NDArray[np.int64]]:
     """Vectorized CSR row gather: concatenate ``taxids`` slices for ``rows``.
 
     Returns ``(flat, lengths)`` where ``flat`` is the concatenation of

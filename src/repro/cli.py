@@ -626,6 +626,59 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.devtools import rule_table, run_check
+    from repro.reporting import render_json
+
+    if args.list_rules:
+        print(rule_table())
+        return 0
+    findings = run_check(
+        root=Path(args.root) if args.root else None,
+        paths=[Path(p) for p in args.paths] or None,
+        rules=args.rule or None,
+    )
+    if args.format == "json":
+        print(render_json({
+            "findings": [finding.as_dict() for finding in findings],
+            "count": len(findings),
+        }))
+    else:
+        for finding in findings:
+            print(finding.render())
+        plural = "" if len(findings) == 1 else "s"
+        print(f"{len(findings)} finding{plural}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+#: `repro check --help` epilog — kept in lockstep with the README's
+#: "Correctness tooling" section.
+_CHECK_EPILOG = (
+    "rules:\n"
+    "  RPR001 async-blocking   no time.sleep / blocking socket or file I/O /\n"
+    "                          Lock.acquire / future.result() / subprocess\n"
+    "                          inside 'async def' bodies — route blocking\n"
+    "                          work through run_in_executor / to_thread\n"
+    "  RPR002 lock-discipline  an attribute assigned under 'with self._lock'\n"
+    "                          is never mutated without it ('caller holds\n"
+    "                          the lock' docstrings mark delegated holders)\n"
+    "  RPR003 determinism      engine code (backends/, megis/) draws no\n"
+    "                          ambient randomness or wall-clock time and\n"
+    "                          never iterates raw sets — the bit-identity\n"
+    "                          rule, enforced statically\n"
+    "  RPR004 wire-schema      every frame dict comes from a wire.py\n"
+    "                          constructor; every parsed op exists in the\n"
+    "                          constructor registry — no ad-hoc frames\n"
+    "  RPR005 banned-API       no bare 'except:', no print() in library\n"
+    "                          code, no mutable default arguments\n"
+    "\n"
+    "suppressions:\n"
+    "  # repro: noqa[RPR003] <reason>  on the flagged line; the reason\n"
+    "  string is mandatory — a reason-less noqa is itself reported\n"
+    "  (RPR000).  Scope and per-rule options: [tool.repro.check] in\n"
+    "  pyproject.toml.  Exit status: 0 clean, 1 findings.\n"
+)
+
 #: Shared --help epilog paragraph: the schema-1 wire format both serving
 #: front doors speak (kept identical so the surfaces cannot drift).
 _WIRE_EPILOG = (
@@ -903,6 +956,29 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="check every paper headline target against the model"
     )
     validate.set_defaults(func=_cmd_validate)
+
+    check = sub.add_parser(
+        "check",
+        help="static-analysis pass over the repo's concurrency, determinism, "
+             "and wire-protocol invariants",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=_CHECK_EPILOG,
+    )
+    check.add_argument("paths", nargs="*", default=[], metavar="PATH",
+                       help="files/directories to check (default: the "
+                            "[tool.repro.check] paths in pyproject.toml)")
+    check.add_argument("--rule", action="append", default=None,
+                       metavar="RPRnnn",
+                       help="run only this rule (repeatable; default: all)")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="findings as 'path:line: RULE message' lines or "
+                            "one JSON document (default: text)")
+    check.add_argument("--root", default=None, metavar="DIR",
+                       help="project root holding pyproject.toml (default: "
+                            "discovered from the current directory)")
+    check.add_argument("--list-rules", action="store_true",
+                       help="print the rule table and exit")
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -1,0 +1,52 @@
+"""`repro check`: static enforcement of the serving stack's invariants.
+
+Five repo-specific rules, each encoding an invariant the runtime tests
+can only sample:
+
+- **RPR001** async-blocking — no blocking calls on the asyncio event loop
+- **RPR002** lock-discipline — lock-guarded attributes stay lock-guarded
+- **RPR003** determinism — engine results never depend on ambient
+  randomness, wall clocks, or set iteration order (the bit-identity rule)
+- **RPR004** wire-schema — every frame comes from a ``wire.py``
+  constructor and every parsed op exists in the constructor registry
+- **RPR005** banned-API — no bare ``except:``, no ``print()`` in library
+  code, no mutable default args
+
+Suppress a false positive with ``# repro: noqa[RULE] reason`` — the
+reason string is mandatory.  Scope and per-rule options live in
+``pyproject.toml`` under ``[tool.repro.check]``.
+"""
+
+from repro.devtools.checkers import all_checkers, checker_for, rule_table
+from repro.devtools.framework import (
+    META_RULE,
+    CheckConfig,
+    Checker,
+    FileContext,
+    Finding,
+    Suppressions,
+    check_file,
+    find_root,
+    iter_source_files,
+    load_config,
+    path_matches,
+    run_check,
+)
+
+__all__ = [
+    "CheckConfig",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "META_RULE",
+    "Suppressions",
+    "all_checkers",
+    "check_file",
+    "checker_for",
+    "find_root",
+    "iter_source_files",
+    "load_config",
+    "path_matches",
+    "rule_table",
+    "run_check",
+]

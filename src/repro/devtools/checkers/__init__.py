@@ -1,0 +1,54 @@
+"""The built-in `repro check` rules.
+
+One module per rule; each exports a single :class:`~repro.devtools.framework.Checker`
+subclass.  Adding a rule is: write the module, list its checker here,
+document it in the README's "Correctness tooling" table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.devtools.checkers.async_blocking import AsyncBlockingChecker
+from repro.devtools.checkers.banned_api import BannedApiChecker
+from repro.devtools.checkers.determinism import DeterminismChecker
+from repro.devtools.checkers.lock_discipline import LockDisciplineChecker
+from repro.devtools.checkers.wire_schema import WireSchemaChecker
+from repro.devtools.framework import Checker
+
+_CHECKERS = (
+    AsyncBlockingChecker(),
+    LockDisciplineChecker(),
+    DeterminismChecker(),
+    WireSchemaChecker(),
+    BannedApiChecker(),
+)
+
+
+def all_checkers() -> List[Checker]:
+    """Every registered checker, in rule-id order."""
+    return sorted(_CHECKERS, key=lambda c: c.rule)
+
+
+def checker_for(rule: str) -> Optional[Checker]:
+    for checker in _CHECKERS:
+        if checker.rule == rule:
+            return checker
+    return None
+
+
+def rule_table() -> str:
+    """``--list-rules`` output: one ``RULE  title`` line per checker."""
+    return "\n".join(f"{c.rule}  {c.title}" for c in all_checkers())
+
+
+__all__ = [
+    "AsyncBlockingChecker",
+    "BannedApiChecker",
+    "DeterminismChecker",
+    "LockDisciplineChecker",
+    "WireSchemaChecker",
+    "all_checkers",
+    "checker_for",
+    "rule_table",
+]

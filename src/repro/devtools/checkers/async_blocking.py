@@ -1,0 +1,104 @@
+"""RPR001: no blocking calls inside ``async def`` bodies.
+
+One blocking call on the event loop stalls every connected client at
+once — the gateway and cluster tiers exist precisely because one slow
+thing must never head-of-line-block the rest.  The sanctioned escape
+hatches are ``loop.run_in_executor(...)`` and ``asyncio.to_thread(...)``:
+both take the blocking callable as a *reference*, so routed code never
+trips this rule (only ``Call`` nodes executed on the loop are flagged).
+
+Nested ``def``/``lambda`` bodies inside a coroutine are NOT flagged:
+they are the payloads handed to executors, and they run on worker
+threads where blocking is the whole point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.framework import CheckConfig, Checker, FileContext, Finding, dotted_name
+
+#: Exact dotted calls that block the calling thread.
+_BLOCKING_DOTTED = {
+    "time.sleep",
+    "socket.create_connection",
+    "socket.getaddrinfo",
+    "os.system",
+    "os.wait",
+    "os.waitpid",
+    "open",
+}
+
+#: Any call into these modules blocks (fork/exec + pipe pumping).
+_BLOCKING_MODULE_PREFIXES = ("subprocess.",)
+
+#: Method names that block regardless of receiver (sockets, locks, futures).
+_BLOCKING_METHODS = {
+    "acquire": "Lock.acquire() parks the event loop; use an asyncio primitive "
+               "or route through run_in_executor",
+    "result": "future.result() blocks until completion; await it or route "
+              "through run_in_executor",
+    "recv": "blocking socket read on the event loop; use asyncio streams",
+    "recvfrom": "blocking socket read on the event loop; use asyncio streams",
+    "sendall": "blocking socket write on the event loop; use asyncio streams",
+    "accept": "blocking accept on the event loop; use asyncio.start_server",
+}
+
+#: ``.join()`` receivers that look like threads/processes (str.join is fine).
+_THREADY = re.compile(r"thread|worker|proc|pump", re.IGNORECASE)
+
+
+class AsyncBlockingChecker(Checker):
+    rule = "RPR001"
+    title = "no blocking calls (sleep/socket/file/lock/future/subprocess) in async def"
+    default_paths = ("src/repro",)
+
+    def check(self, ctx: FileContext, config: CheckConfig) -> Iterator[Finding]:
+        hits: List[Tuple[int, str]] = []
+        self._scan(ctx.tree, in_async=False, coroutine="", hits=hits)
+        for line, message in hits:
+            yield ctx.finding(self.rule, line, message)
+
+    def _scan(self, node: ast.AST, in_async: bool, coroutine: str,
+              hits: List[Tuple[int, str]]) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_async, child_coro = in_async, coroutine
+            if isinstance(child, ast.AsyncFunctionDef):
+                child_async, child_coro = True, child.name
+            elif isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                # Sync callables defined inside a coroutine are executor
+                # payloads, not event-loop code.
+                child_async = False
+            if in_async and isinstance(child, ast.Call):
+                reason = self._blocking_reason(child)
+                if reason is not None:
+                    hits.append((
+                        child.lineno,
+                        f"{reason} (inside 'async def {coroutine}')",
+                    ))
+            self._scan(child, child_async, child_coro, hits)
+
+    def _blocking_reason(self, call: ast.Call) -> Optional[str]:
+        name = dotted_name(call.func)
+        if name is not None:
+            if name in _BLOCKING_DOTTED:
+                if name == "open":
+                    return ("blocking file I/O via open(); route it through "
+                            "run_in_executor/to_thread")
+                return (f"blocking call {name}(); route it through "
+                        "run_in_executor/to_thread")
+            if any(name.startswith(p) for p in _BLOCKING_MODULE_PREFIXES):
+                return (f"{name}() forks and pumps pipes synchronously; use "
+                        "asyncio.create_subprocess_* or run_in_executor")
+        if isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            if method in _BLOCKING_METHODS:
+                return _BLOCKING_METHODS[method]
+            if method == "join":
+                receiver = dotted_name(call.func.value)
+                if receiver is not None and _THREADY.search(receiver):
+                    return (f"{receiver}.join() blocks until the thread exits; "
+                            "route it through run_in_executor/to_thread")
+        return None

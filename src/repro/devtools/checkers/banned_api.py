@@ -1,0 +1,89 @@
+"""RPR005: banned APIs in library code.
+
+Three classics, each of which has a concrete failure story in a serving
+stack:
+
+- **bare ``except:``** also swallows ``KeyboardInterrupt``/``SystemExit``
+  and turns an operator's Ctrl-C into a hung drain;
+- **``print()`` in library code** corrupts the JSONL result stream the
+  serve/gateway tiers own stdout for (CLI front ends and experiment
+  drivers are exempt — stdout is their UI);
+- **mutable default arguments** alias one list/dict/set across every
+  call, which in a threaded service is shared mutable state nobody
+  locked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.devtools.framework import (
+    CheckConfig,
+    Checker,
+    FileContext,
+    Finding,
+    dotted_name,
+    path_matches,
+)
+
+_DEFAULT_PRINT_OK = ("src/repro/cli.py", "src/repro/experiments")
+_MUTABLE_FACTORIES = {"list", "dict", "set", "bytearray"}
+
+
+class BannedApiChecker(Checker):
+    rule = "RPR005"
+    title = "no bare except, no print() in library code, no mutable default args"
+    default_paths = ("src/repro",)
+
+    def check(self, ctx: FileContext, config: CheckConfig) -> Iterator[Finding]:
+        raw = self.option(config, "allow_print", _DEFAULT_PRINT_OK)
+        print_ok = (tuple(str(p) for p in raw)
+                    if isinstance(raw, (list, tuple)) else _DEFAULT_PRINT_OK)
+        allow_print = path_matches(ctx.rel, print_ok)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield ctx.finding(
+                    self.rule, node.lineno,
+                    "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                    "name the exceptions (or 'except Exception:' at worst)",
+                )
+            elif isinstance(node, ast.Call) and not allow_print:
+                if dotted_name(node.func) == "print":
+                    yield ctx.finding(
+                        self.rule, node.lineno,
+                        "print() in library code corrupts the JSONL stdout "
+                        "protocol; return strings or log to stderr at the CLI "
+                        "boundary",
+                    )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                for name, default in _defaults_with_names(node):
+                    if _is_mutable_default(default):
+                        yield ctx.finding(
+                            self.rule, default.lineno,
+                            f"mutable default for {name!r} is shared across "
+                            "every call; default to None and construct inside",
+                        )
+
+
+def _defaults_with_names(
+    node: "ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda",
+) -> List[Tuple[str, ast.expr]]:
+    args = node.args
+    out: List[Tuple[str, ast.expr]] = []
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                            args.defaults):
+        out.append((arg.arg, default))
+    for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+        if kw_default is not None:
+            out.append((arg.arg, kw_default))
+    return out
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in _MUTABLE_FACTORIES
+    return False

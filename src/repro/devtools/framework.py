@@ -1,0 +1,331 @@
+"""The `repro check` engine: findings, suppressions, config, and the walk.
+
+The serving stack's correctness rests on invariants that unit tests can
+only sample — no blocking calls on the asyncio event loop, lock
+discipline around shared service state, bit-identical (deterministic)
+engine results, a single versioned wire schema, and a small set of
+banned APIs.  This module is the framework half of the enforcement
+story: it turns every Python file in scope into a :class:`FileContext`,
+hands it to each registered :class:`Checker`, collects structured
+:class:`Finding` rows, and applies ``# repro: noqa[RULE] reason``
+suppressions.  The rules themselves live in
+:mod:`repro.devtools.checkers`.
+
+Design notes:
+
+- Checkers are pure AST passes — no imports of the checked code, so a
+  broken module is a finding (``RPR000`` parse error), never a crash.
+- Suppressions REQUIRE a reason string.  A bare ``# repro: noqa[RPR003]``
+  is itself reported (``RPR000``): the suppression comment is the audit
+  trail for why the invariant does not apply, and an unexplained one is
+  indistinguishable from a silenced true positive.
+- Scope is configured in ``pyproject.toml`` under ``[tool.repro.check]``
+  (top-level ``paths``/``exclude`` plus per-rule tables), so the gate's
+  reach is reviewable in the same diff that changes it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+#: Rule id for framework-level findings: unparseable files and malformed
+#: (reason-less) suppression comments.  Not suppressible.
+META_RULE = "RPR000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z]{3}\d{3})\]\s*(.*?)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed source file, as seen by every checker."""
+
+    path: Path
+    rel: str
+    source: str
+    tree: ast.Module
+
+    @classmethod
+    def from_source(cls, path: Path, source: str, rel: Optional[str] = None) -> "FileContext":
+        """Parse ``source``; raises ``SyntaxError`` like :func:`ast.parse`."""
+        rel_path = rel if rel is not None else path.as_posix()
+        tree = ast.parse(source, filename=rel_path)
+        return cls(path=path, rel=rel_path, source=source, tree=tree)
+
+    def finding(self, rule: str, line: int, message: str) -> Finding:
+        return Finding(path=self.rel, line=line, rule=rule, message=message)
+
+
+class Checker:
+    """Base class for one rule.
+
+    Subclasses set ``rule`` (the ``RPRnnn`` id), ``title`` (one line,
+    shown by ``repro check --list-rules``), and ``default_paths`` (the
+    files the rule polices unless ``pyproject.toml`` overrides them),
+    then implement :meth:`check`.
+    """
+
+    rule: str = META_RULE
+    title: str = ""
+    default_paths: Tuple[str, ...] = ("src/repro",)
+
+    def check(self, ctx: FileContext, config: "CheckConfig") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def paths(self, config: "CheckConfig") -> Tuple[str, ...]:
+        override = config.rule_paths.get(self.rule)
+        return tuple(override) if override is not None else self.default_paths
+
+    def applies_to(self, rel: str, config: "CheckConfig") -> bool:
+        return path_matches(rel, self.paths(config))
+
+    def option(self, config: "CheckConfig", key: str, default: object = None) -> object:
+        return config.rule_options.get(self.rule, {}).get(key, default)
+
+
+def path_matches(rel: str, patterns: Sequence[str]) -> bool:
+    """True when the repo-relative POSIX path matches any pattern.
+
+    A pattern without wildcards matches itself and everything under it
+    (directory prefix); a pattern with ``*``/``?``/``[`` is an fnmatch
+    glob against the full relative path.
+    """
+    for pattern in patterns:
+        if pattern in (".", ""):
+            return True
+        if any(ch in pattern for ch in "*?["):
+            if fnmatch(rel, pattern):
+                return True
+        elif rel == pattern or rel.startswith(pattern.rstrip("/") + "/"):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Shared AST helpers (used by the checkers in repro.devtools.checkers)
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def self_path(node: ast.AST) -> Optional[str]:
+    """``self.a.b`` for an attribute chain rooted at ``self``, else None."""
+    name = dotted_name(node)
+    if name is not None and (name == "self" or name.startswith("self.")):
+        return name
+    return None
+
+
+def const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+# --------------------------------------------------------------------------
+# Suppressions
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Per-file ``# repro: noqa[RULE] reason`` directives, by line."""
+
+    by_line: Mapping[int, Tuple[str, ...]]
+    malformed: Tuple[int, ...]
+
+    @classmethod
+    def scan(cls, source: str) -> "Suppressions":
+        by_line: Dict[int, Tuple[str, ...]] = {}
+        malformed: List[int] = []
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(text)
+            if match is None:
+                continue
+            rule, reason = match.group(1), match.group(2)
+            if not reason:
+                malformed.append(lineno)
+                continue
+            by_line[lineno] = by_line.get(lineno, ()) + (rule,)
+        return cls(by_line=by_line, malformed=tuple(malformed))
+
+    def covers(self, finding: Finding) -> bool:
+        return finding.rule in self.by_line.get(finding.line, ())
+
+
+# --------------------------------------------------------------------------
+# Configuration
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Resolved ``[tool.repro.check]`` configuration for one repo root."""
+
+    root: Path
+    paths: Tuple[str, ...] = ("src/repro",)
+    exclude: Tuple[str, ...] = ()
+    rule_paths: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    rule_options: Mapping[str, Mapping[str, object]] = field(default_factory=dict)
+
+
+def _read_pyproject(path: Path) -> Dict[str, object]:
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # Python 3.10: tomli rides in with pytest
+        try:
+            import tomli as tomllib  # type: ignore[no-redef]
+        except ModuleNotFoundError:
+            return {}
+    try:
+        with path.open("rb") as handle:
+            return tomllib.load(handle)
+    except OSError:
+        return {}
+
+
+def find_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor (inclusive) of ``start``/cwd with a pyproject.toml."""
+    here = (start if start is not None else Path.cwd()).resolve()
+    if here.is_file():
+        here = here.parent
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").is_file():
+            return candidate
+    return here
+
+
+def load_config(root: Optional[Path] = None) -> CheckConfig:
+    """The ``[tool.repro.check]`` table of ``<root>/pyproject.toml``."""
+    base = find_root(root)
+    payload = _read_pyproject(base / "pyproject.toml")
+    tool = payload.get("tool")
+    repro_table = tool.get("repro") if isinstance(tool, dict) else None
+    section = repro_table.get("check") if isinstance(repro_table, dict) else None
+    if not isinstance(section, dict):
+        section = {}
+    paths = tuple(str(p) for p in section.get("paths", ("src/repro",)))
+    exclude = tuple(str(p) for p in section.get("exclude", ()))
+    rule_paths: Dict[str, Tuple[str, ...]] = {}
+    rule_options: Dict[str, Dict[str, object]] = {}
+    for key, value in section.items():
+        if not (isinstance(value, dict) and re.fullmatch(r"[A-Z]{3}\d{3}", key)):
+            continue
+        options = dict(value)
+        rule_scope = options.pop("paths", None)
+        if rule_scope is not None:
+            rule_paths[key] = tuple(str(p) for p in rule_scope)
+        rule_options[key] = options
+    return CheckConfig(
+        root=base,
+        paths=paths,
+        exclude=exclude,
+        rule_paths=rule_paths,
+        rule_options=rule_options,
+    )
+
+
+# --------------------------------------------------------------------------
+# Engine
+
+def iter_source_files(config: CheckConfig,
+                      paths: Optional[Sequence[Path]] = None) -> List[Path]:
+    """The ``.py`` files in scope, sorted for deterministic output."""
+    roots: Iterable[Path]
+    if paths:
+        roots = [Path(p) if Path(p).is_absolute() else config.root / p for p in paths]
+    else:
+        roots = [config.root / p for p in config.paths]
+    seen: Dict[Path, None] = {}
+    for entry in roots:
+        candidates = [entry] if entry.is_file() else sorted(entry.rglob("*.py"))
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                continue
+            rel = _relative(candidate, config.root)
+            if path_matches(rel, config.exclude):
+                continue
+            seen[candidate] = None
+    return list(seen)
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_file(path: Path, checkers: Sequence[Checker],
+               config: CheckConfig) -> List[Finding]:
+    """All findings for one file: parse errors, bad noqas, rule hits."""
+    rel = _relative(path, config.root)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(rel, 1, META_RULE, f"unreadable file: {exc}")]
+    try:
+        ctx = FileContext.from_source(path, source, rel=rel)
+    except SyntaxError as exc:
+        return [Finding(rel, exc.lineno or 1, META_RULE, f"syntax error: {exc.msg}")]
+    suppressions = Suppressions.scan(source)
+    findings = [
+        ctx.finding(META_RULE, line,
+                    "suppression needs a reason: '# repro: noqa[RULE] why it is safe'")
+        for line in suppressions.malformed
+    ]
+    for checker in checkers:
+        if not checker.applies_to(rel, config):
+            continue
+        for finding in checker.check(ctx, config):
+            if not suppressions.covers(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def run_check(root: Optional[Path] = None,
+              paths: Optional[Sequence[Path]] = None,
+              rules: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Run the pass: every checker (or just ``rules``) over every file in scope."""
+    from repro.devtools.checkers import all_checkers
+
+    config = load_config(root)
+    selected = [
+        checker for checker in all_checkers()
+        if rules is None or checker.rule in rules
+    ]
+    findings: List[Finding] = []
+    for path in iter_source_files(config, paths):
+        findings.extend(check_file(path, selected, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings

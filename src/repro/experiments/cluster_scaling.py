@@ -36,6 +36,7 @@ from repro.megis.cluster import (
     ClusterStepTwo,
     NodeEndpoint,
 )
+from repro.megis import wire
 from repro.megis.index import IndexBuilder
 from repro.megis.session import AnalysisSession, MegisConfig
 from repro.sequences.reads import Read
@@ -90,8 +91,7 @@ def _expectations(index, samples):
             {str(t): f for t, f in sorted(result.profile.fractions.items())},
         )
     requests = [
-        {"schema": 1, "id": f"s{i}",
-         "reads": [read.sequence for read in sample]}
+        wire.request_record(f"s{i}", [read.sequence for read in sample])
         for i, sample in enumerate(samples)
     ]
     session.close()

@@ -32,6 +32,7 @@ import time
 
 from repro.backends.paced import PacedStepTwoBackend
 from repro.experiments.runner import ExperimentResult
+from repro.megis import wire
 from repro.megis.gateway import AnalysisGateway
 from repro.megis.index import IndexBuilder
 from repro.megis.session import AnalysisSession, MegisConfig
@@ -144,8 +145,7 @@ def run() -> ExperimentResult:
             {str(t): f for t, f in sorted(reference.profile.fractions.items())},
         )
     requests = [
-        {"schema": 1, "id": f"s{i}",
-         "reads": [read.sequence for read in sample]}
+        wire.request_record(f"s{i}", [read.sequence for read in sample])
         for i, sample in enumerate(samples)
     ]
     by_client = [

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from typing import Optional, Set, Tuple
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
 
 from repro.megis import wire
 from repro.megis.cluster.placement import ClusterMap
@@ -52,7 +52,7 @@ class ClusterNode:
         port: int = 0,
         max_line_bytes: int = 32 * 1024 * 1024,
         step_workers: int = 4,
-    ):
+    ) -> None:
         expected = cluster_map.group(node_id)
         if session.shard_range != expected:
             raise ValueError(
@@ -78,7 +78,7 @@ class ClusterNode:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._writers: Set[asyncio.StreamWriter] = set()
-        self._handlers: Set[asyncio.Task] = set()
+        self._handlers: Set["asyncio.Task[None]"] = set()
         self._started = False
 
     @property
@@ -111,8 +111,10 @@ class ClusterNode:
         if not self._started:
             return
         self._started = False
-        self._server.close()
-        await self._server.wait_closed()
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
         for task in list(self._handlers):
             task.cancel()
         if self._handlers:
@@ -126,10 +128,9 @@ class ClusterNode:
         self._writers.clear()
         pool, self._pool = self._pool, None
         if pool is not None:
-            await self._loop.run_in_executor(
+            await asyncio.get_running_loop().run_in_executor(
                 None, lambda: pool.shutdown(wait=True)
             )
-        self._server = None
 
     def kill(self) -> None:
         """Simulate a node crash: abort every transport, stop listening.
@@ -155,7 +156,7 @@ class ClusterNode:
         await self.start()
         return self
 
-    async def __aexit__(self, exc_type, exc, tb) -> None:
+    async def __aexit__(self, exc_type: object, exc: object, tb: object) -> None:
         await self.stop()
 
     # -- per-connection handling -----------------------------------------------
@@ -204,7 +205,7 @@ class ClusterNode:
             if record is not None:
                 await self._reply(writer, record)
 
-    async def _dispatch(self, payload: bytes, line_no: int):
+    async def _dispatch(self, payload: bytes, line_no: int) -> Optional[wire.Record]:
         """One frame -> one reply record (or None for a blank line)."""
         import json
 
@@ -233,7 +234,9 @@ class ClusterNode:
             line_no,
         )
 
-    async def _step2(self, request_id, request: dict, line_no: int):
+    async def _step2(
+        self, request_id: object, request: Dict[str, Any], line_no: int
+    ) -> wire.Record:
         queries = request.get("queries")
         if not isinstance(queries, list) or not all(
             isinstance(q, list) and all(isinstance(k, int) for k in q)
@@ -244,7 +247,7 @@ class ClusterNode:
                 line_no,
             )
         try:
-            partials = await self._loop.run_in_executor(
+            partials = await asyncio.get_running_loop().run_in_executor(
                 self._pool, self.session.step_two_partial, queries
             )
         except Exception as exc:
@@ -255,7 +258,9 @@ class ClusterNode:
         return wire.step2_result_record(request_id, self.node_id, partials)
 
     @staticmethod
-    async def _reply(writer: asyncio.StreamWriter, record: dict) -> None:
+    async def _reply(
+        writer: asyncio.StreamWriter, record: Mapping[str, object]
+    ) -> None:
         writer.write(wire.encode(record))
         await writer.drain()
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.megis.wire import SCHEMA
 
@@ -45,9 +45,9 @@ class ClusterMap:
 
     n_nodes: int
     n_shards: int
-    fingerprint: Optional[dict] = field(default=None, compare=False)
+    fingerprint: Optional[Dict[str, object]] = field(default=None, compare=False)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n_nodes < 1:
             raise ValueError(f"n_nodes must be >= 1, got {self.n_nodes}")
         if self.n_shards < self.n_nodes:
@@ -87,7 +87,7 @@ class ClusterMap:
     # -- index binding ---------------------------------------------------------
 
     @classmethod
-    def for_index(cls, index, n_nodes: int,
+    def for_index(cls, index: Any, n_nodes: int,
                   n_shards: Optional[int] = None) -> "ClusterMap":
         """The map for ``index`` served by ``n_nodes`` nodes.
 
@@ -103,7 +103,7 @@ class ClusterMap:
         )
 
     @staticmethod
-    def index_fingerprint(index) -> dict:
+    def index_fingerprint(index: Any) -> Dict[str, object]:
         """Cheap content identity: k, database size, KSS row count."""
         return {
             "k": int(index.database.k),
@@ -111,7 +111,7 @@ class ClusterMap:
             "kss_rows": len(index.kss),
         }
 
-    def verify(self, index) -> None:
+    def verify(self, index: Any) -> None:
         """Raise ``ValueError`` when ``index`` is not the build this map
         was computed for (no-op on an unpinned map)."""
         if self.fingerprint is None:
@@ -126,14 +126,14 @@ class ClusterMap:
     # -- persistence (alongside the index) --------------------------------------
 
     @staticmethod
-    def sibling_path(index_path) -> Path:
+    def sibling_path(index_path: Union[str, Path]) -> Path:
         """The conventional on-disk location: ``<index>.cluster.json``."""
         return Path(str(index_path) + ".cluster.json")
 
-    def save(self, path) -> Path:
+    def save(self, path: Union[str, Path]) -> Path:
         """Persist as JSON; every participant loads the same placement."""
         path = Path(path)
-        payload = {
+        payload = {  # repro: noqa[RPR004] cluster-map file payload (placement.SCHEMA), not a socket frame
             "schema": SCHEMA,
             "kind": "cluster_map",
             "n_nodes": self.n_nodes,
@@ -145,7 +145,7 @@ class ClusterMap:
         return path
 
     @classmethod
-    def load(cls, path) -> "ClusterMap":
+    def load(cls, path: Union[str, Path]) -> "ClusterMap":
         """Load a persisted map, validating its internal consistency."""
         payload = json.loads(Path(path).read_text())
         if not isinstance(payload, dict) or payload.get("kind") != "cluster_map":

@@ -35,8 +35,8 @@ import json
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backends import PhaseTimings, RetrievalResult, get_backend
 from repro.megis import wire
@@ -57,7 +57,7 @@ class NodeFailed(RuntimeError):
     ``WorkerCrashed`` precedent.
     """
 
-    def __init__(self, node_id: int, attempts: int, reason: str):
+    def __init__(self, node_id: int, attempts: int, reason: str) -> None:
         self.node_id = node_id
         self.attempts = attempts
         self.reason = reason
@@ -117,7 +117,7 @@ class ClusterStepTwo:
         *,
         timeout_s: float = 10.0,
         heartbeat_timeout_s: float = 1.0,
-    ):
+    ) -> None:
         if len(endpoints) != cluster_map.n_nodes:
             raise ValueError(
                 f"cluster map expects {cluster_map.n_nodes} nodes, got "
@@ -142,7 +142,9 @@ class ClusterStepTwo:
 
     # -- scatter-gather --------------------------------------------------------
 
-    def scatter(self, queries: Sequence[Sequence[int]]):
+    def scatter(
+        self, queries: Sequence[Sequence[int]]
+    ) -> List[Tuple[List[int], RetrievalResult]]:
         """Step 2 for a batch: scatter to all nodes, gather in node order.
 
         Returns one ``(intersecting, RetrievalResult)`` per sample —
@@ -170,10 +172,10 @@ class ClusterStepTwo:
             except OSError as exc:
                 sends.append((address, None, exc))
 
-        per_node = []
+        per_node: List[List[Tuple[List[int], RetrievalResult]]] = []
         for endpoint, (address, sock, send_error) in zip(self.endpoints,
                                                          sends):
-            record = None
+            record: Optional[Dict[str, Any]] = None
             last_error: Optional[Exception] = send_error
             if sock is not None:
                 try:
@@ -189,7 +191,7 @@ class ClusterStepTwo:
             self._mark_alive(endpoint.node_id)
             per_node.append(wire.parse_step2_result(record))
 
-        gathered = []
+        gathered: List[Tuple[List[int], RetrievalResult]] = []
         for s in range(n_samples):
             intersecting = [
                 kmer for partials in per_node for kmer in partials[s][0]
@@ -202,7 +204,7 @@ class ClusterStepTwo:
 
     def _retry(self, endpoint: NodeEndpoint, failed_address: Address,
                frame: bytes, request_id: int, n_samples: int,
-               last_error: Optional[Exception]) -> dict:
+               last_error: Optional[Exception]) -> Dict[str, Any]:
         """The single retry after a failed attempt, then :class:`NodeFailed`."""
         self._mark_down(endpoint.node_id)
         with self._lock:
@@ -211,22 +213,24 @@ class ClusterStepTwo:
         try:
             sock = self._connect_send(retry_address, frame)
         except OSError as exc:
-            self._fail(endpoint, exc)
+            raise self._fail(endpoint, exc) from exc
         try:
             return self._read_reply(sock, request_id, endpoint, n_samples)
         except (OSError, ValueError) as exc:
-            self._fail(endpoint, exc, first=last_error)
+            raise self._fail(endpoint, exc, first=last_error) from exc
         finally:
             self._close(sock)
 
     def _fail(self, endpoint: NodeEndpoint, error: Exception,
-              first: Optional[Exception] = None):
+              first: Optional[Exception] = None) -> NodeFailed:
+        """Record the failure and build the ``NodeFailed`` for the caller
+        to raise (so control flow stays visible at the raise site)."""
         with self._lock:
             self.stats.node_failures += 1
         reason = str(error) or type(error).__name__
         if first is not None and str(first) != str(error):
             reason = f"{first}; retry: {reason}"
-        raise NodeFailed(endpoint.node_id, attempts=2, reason=reason)
+        return NodeFailed(endpoint.node_id, attempts=2, reason=reason)
 
     def _first_address(self, endpoint: NodeEndpoint) -> Address:
         """Primary, unless heartbeats marked it dead and a replica exists."""
@@ -301,7 +305,7 @@ class ClusterStepTwo:
         return sock
 
     def _read_reply(self, sock: socket.socket, request_id: int,
-                    endpoint: NodeEndpoint, n_samples: int) -> dict:
+                    endpoint: NodeEndpoint, n_samples: int) -> Dict[str, Any]:
         """One validated step2_result frame, or ``ValueError``/``OSError``."""
         record = self._read_line(sock)
         schema_error = wire.check_schema(record)
@@ -329,7 +333,7 @@ class ClusterStepTwo:
         return record
 
     def _read_line(self, sock: socket.socket,
-                   timeout: Optional[float] = None) -> dict:
+                   timeout: Optional[float] = None) -> Dict[str, Any]:
         if timeout is not None:
             sock.settimeout(timeout)
         buf = bytearray()
@@ -365,7 +369,7 @@ class ClusterAnalysisSession:
     locally); Step-2 engines on it are never exercised.
     """
 
-    def __init__(self, session: AnalysisSession, step_two: ClusterStepTwo):
+    def __init__(self, session: AnalysisSession, step_two: ClusterStepTwo) -> None:
         if session.shard_range is not None:
             raise ValueError(
                 "the router needs a full local session (Steps 1/3 run "
@@ -384,11 +388,11 @@ class ClusterAnalysisSession:
         self._process_workers = None
 
     @property
-    def config(self):
+    def config(self) -> Any:
         return self.session.config
 
     @property
-    def references(self):
+    def references(self) -> Any:
         return self.session.references
 
     @property
@@ -421,7 +425,7 @@ class ClusterAnalysisSession:
         ]
 
         # Step 1 (router-local), buffered for the whole batch.
-        bucket_sets = []
+        bucket_sets: List[Any] = []
         for reads, result in zip(samples, results):
             with result.timings.phase("extract"):
                 bucket_sets.append(local._partition(reads, result))
@@ -458,10 +462,11 @@ class ClusterRouter(AnalysisGateway):
     """
 
     def __init__(self, session: ClusterAnalysisSession, *,
-                 heartbeat_ms: Optional[float] = 1000.0, **gateway_kwargs):
+                 heartbeat_ms: Optional[float] = 1000.0,
+                 **gateway_kwargs: Any) -> None:
         super().__init__(session, **gateway_kwargs)
         self.heartbeat_ms = heartbeat_ms
-        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional["asyncio.Task[None]"] = None
 
     @property
     def cluster(self) -> ClusterStepTwo:
@@ -491,7 +496,7 @@ class ClusterRouter(AnalysisGateway):
 
     async def _heartbeat_loop(self) -> None:
         loop = asyncio.get_running_loop()
-        while True:
+        while self.heartbeat_ms is not None:
             await asyncio.sleep(self.heartbeat_ms / 1e3)
             await loop.run_in_executor(None, self.cluster.check_health)
 

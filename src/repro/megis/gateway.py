@@ -388,7 +388,10 @@ class AnalysisGateway:
         # every accepted request has been routed to an outbox.
         await self._pump_done.wait()
         await self._loop.run_in_executor(None, self._service.close)
-        self._pump_thread.join()
+        # The pump already signalled _pump_done, but its thread may still
+        # be between the signal and its last bytecode; reap it off-loop —
+        # a bare .join() here is a blocking call on the event loop (RPR001).
+        await self._loop.run_in_executor(None, self._pump_thread.join)
 
         # Per-connection drain summary, then flush and close.
         writer_tasks = []

@@ -258,7 +258,7 @@ class ProcessAnalysisRunner:
 
         total_query = sum(buckets.total_kmers() for buckets in bucket_sets)
         results: List[MegisResult] = []
-        for (reads, buckets, (_, extract_ms), (intersecting, retrieved),
+        for (_reads, buckets, (_, extract_ms), (intersecting, _retrieved),
              future) in zip(samples, bucket_sets, partitioned, merged, step3):
             hits, candidates, profile, merge_stats, abundance_ms = future.result()
             result = MegisResult(timings=PhaseTimings(backend=backend_name))

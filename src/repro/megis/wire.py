@@ -6,12 +6,12 @@ schema-1 newline-delimited JSON protocol, and this module is its single
 source of truth so the surfaces can never drift:
 
 - a **request** is one line: ``{"schema": 1, "id": ...,
-  "reads": ["ACGT...", ...]}`` (:func:`parse_request_line` validates it
-  and returns the rejection message for malformed input instead of
-  raising).  The ``schema`` key is *enforced on ingest*: a missing or
-  unknown value is rejected with a structured error record, so a client
-  built against a future schema fails loudly instead of being
-  misparsed;
+  "reads": ["ACGT...", ...]}`` (:func:`request_record` builds it;
+  :func:`parse_request_line` validates it and returns the rejection
+  message for malformed input instead of raising).  The ``schema`` key
+  is *enforced on ingest*: a missing or unknown value is rejected with a
+  structured error record, so a client built against a future schema
+  fails loudly instead of being misparsed;
 - a **result** line carries ``{"schema", "id", "n_reads", "candidates",
   "profile", "samples_batched", "queue_wait_ms", "latency_ms"}``
   (:func:`result_record`);
@@ -30,19 +30,46 @@ source of truth so the surfaces can never drift:
   :func:`ping_record` / :func:`pong_record` are the heartbeat pair.
 
 Every emitted line carries ``"schema": `` :data:`SCHEMA` so clients can
-version-gate their parsers.
+version-gate their parsers.  These constructors are also the registry
+the ``repro check`` RPR004 rule enforces: a frame dict built anywhere
+else, or an op no constructor emits, is a finding.
 """
 
 from __future__ import annotations
 
 import json
-from typing import List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    MutableSet,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from repro.backends.retrieval import RetrievalResult
 
 #: Wire-format version stamped on every output line.
 SCHEMA = 1
 
+#: One decoded JSONL frame.  Values are heterogeneous JSON scalars and
+#: containers, so ``object`` is the honest element type.
+Record = Dict[str, object]
 
-def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
+#: ``(request_id, reads, rejection message)`` — exactly one of ``reads``
+#: / rejection is ``None``.
+ParsedRequest = Tuple[object, Optional[List[str]], Optional[str]]
+
+
+def parse_request_line(line: Union[bytes, str], line_no: int,
+                       seen_ids: Optional[MutableSet[object]] = None,
+                       max_bytes: Optional[int] = None) -> ParsedRequest:
     """One JSONL request -> (id, read sequences, error).
 
     Accepts ``bytes`` (the production paths read raw byte streams) or
@@ -70,7 +97,7 @@ def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
         return line_no, None, f"bad JSON ({exc})"
     if not isinstance(request, dict):
         return line_no, None, "expected an object with 'schema' and 'reads'"
-    request_id = request.get("id", line_no)
+    request_id: object = request.get("id", line_no)
     if request_id is not None and not isinstance(request_id,
                                                  (str, int, float, bool)):
         return line_no, None, (
@@ -93,7 +120,7 @@ def parse_request_line(line, line_no: int, seen_ids=None, max_bytes=None):
     return request_id, reads, None
 
 
-def check_schema(record: dict) -> Optional[str]:
+def check_schema(record: Mapping[str, object]) -> Optional[str]:
     """The rejection message for a frame's ``schema`` key, or ``None``.
 
     Shared by every ingest path — serve, gateway, and both sides of the
@@ -110,8 +137,24 @@ def check_schema(record: dict) -> Optional[str]:
     return None
 
 
-def result_record(request_id, n_reads: int, result, metrics) -> dict:
-    """The schema-1 result line for one completed sample."""
+def request_record(request_id: object, reads: Sequence[str]) -> Record:
+    """The client->server request frame :func:`parse_request_line` accepts.
+
+    Clients (experiment drivers, smoke tests, benchmarks) build their
+    frames here instead of hand-rolling ``{"schema": 1, ...}`` dicts, so
+    a schema bump is one constructor edit — not a repo-wide grep.
+    """
+    return {"schema": SCHEMA, "id": request_id, "reads": list(reads)}
+
+
+def result_record(request_id: object, n_reads: int, result: Any,
+                  metrics: Any) -> Record:
+    """The schema-1 result line for one completed sample.
+
+    ``result`` is a :class:`~repro.megis.session.MegisResult` and
+    ``metrics`` a :class:`~repro.megis.service.RequestMetrics`; both are
+    duck-typed here to keep the wire layer import-light.
+    """
     return {
         "schema": SCHEMA,
         "id": request_id,
@@ -126,14 +169,15 @@ def result_record(request_id, n_reads: int, result, metrics) -> dict:
     }
 
 
-def error_record(request_id, message: str, line_no: Optional[int]) -> dict:
+def error_record(request_id: object, message: str,
+                 line_no: Optional[int]) -> Record:
     """The schema-1 structured error line (malformed input, per-sample
     failure, rate-limit / admission rejection, node failure, ...)."""
     return {"schema": SCHEMA, "id": request_id, "error": message,
             "line": line_no}
 
 
-def drain_record(client: int, stats) -> dict:
+def drain_record(client: int, stats: Any) -> Record:
     """The gateway's per-connection drain summary frame."""
     return {
         "schema": SCHEMA,
@@ -151,7 +195,7 @@ def drain_record(client: int, stats) -> dict:
 # -- cluster router <-> node frames -------------------------------------------
 
 
-def retrieval_columns(retrieved) -> dict:
+def retrieval_columns(retrieved: "RetrievalResult") -> Record:
     """Serialize a ``RetrievalResult``'s CSR columns as plain JSON lists.
 
     The layout mirrors the in-memory columns exactly — ``queries`` plus,
@@ -172,7 +216,7 @@ def retrieval_columns(retrieved) -> dict:
     }
 
 
-def parse_retrieval(payload: dict):
+def parse_retrieval(payload: Mapping[str, Any]) -> "RetrievalResult":
     """Rebuild a ``RetrievalResult`` from :func:`retrieval_columns` output.
 
     Columns come back as int64 ndarrays so every downstream kernel (hit
@@ -186,7 +230,7 @@ def parse_retrieval(payload: dict):
 
     if not isinstance(payload, dict) or "queries" not in payload:
         raise ValueError("retrieval payload must be an object with 'queries'")
-    levels = {}
+    levels: Dict[int, "LevelHits"] = {}
     for key, block in payload.get("levels", {}).items():
         levels[int(key)] = LevelHits(
             taxids=np.asarray(block["taxids"], dtype=np.int64),
@@ -197,7 +241,8 @@ def parse_retrieval(payload: dict):
     )
 
 
-def step2_request_record(request_id, queries: Sequence[Sequence[int]]) -> dict:
+def step2_request_record(request_id: object,
+                         queries: Sequence[Sequence[int]]) -> Record:
     """The router's scatter frame: one sorted query column per sample.
 
     The node intersects each column against *its* shard subset only (the
@@ -213,7 +258,10 @@ def step2_request_record(request_id, queries: Sequence[Sequence[int]]) -> dict:
     }
 
 
-def step2_result_record(request_id, node: int, partials) -> dict:
+def step2_result_record(
+    request_id: object, node: int,
+    partials: Iterable[Tuple[Sequence[int], "RetrievalResult"]],
+) -> Record:
     """A node's gather frame: per-sample partial owner columns.
 
     ``partials`` is what :meth:`AnalysisSession.step_two_partial`
@@ -230,25 +278,27 @@ def step2_result_record(request_id, node: int, partials) -> dict:
     }
 
 
-def parse_step2_result(record: dict) -> List[Tuple[List[int], object]]:
+def parse_step2_result(
+    record: Mapping[str, object],
+) -> List[Tuple[List[int], "RetrievalResult"]]:
     """Decode a gather frame back into per-sample partial results."""
     samples = record.get("samples")
     if not isinstance(samples, list):
         raise ValueError("step2_result frame must carry a 'samples' list")
-    partials = []
+    partials: List[Tuple[List[int], "RetrievalResult"]] = []
     for payload in samples:
         retrieved = parse_retrieval(payload)
         partials.append((list(retrieved.queries), retrieved))
     return partials
 
 
-def ping_record(seq: int) -> dict:
+def ping_record(seq: int) -> Record:
     """The router's heartbeat frame."""
     return {"schema": SCHEMA, "op": "ping", "id": seq}
 
 
-def pong_record(seq, node: int, shard_range: Tuple[int, int],
-                served: int) -> dict:
+def pong_record(seq: object, node: int, shard_range: Tuple[int, int],
+                served: int) -> Record:
     """A node's heartbeat reply: identity, shard group, served count."""
     return {
         "schema": SCHEMA,
@@ -260,13 +310,14 @@ def pong_record(seq, node: int, shard_range: Tuple[int, int],
     }
 
 
-def encode(record: dict) -> bytes:
+def encode(record: Mapping[str, object]) -> bytes:
     """One wire frame: the record as compact JSON plus the newline."""
     return json.dumps(record).encode("utf-8") + b"\n"
 
 
 __all__ = [
     "SCHEMA",
+    "Record",
     "check_schema",
     "drain_record",
     "encode",
@@ -276,6 +327,7 @@ __all__ = [
     "parse_step2_result",
     "ping_record",
     "pong_record",
+    "request_record",
     "result_record",
     "retrieval_columns",
     "step2_request_record",

@@ -14,6 +14,17 @@ from repro.taxonomy.profiles import AbundanceProfile
 from repro.taxonomy.tree import ROOT_TAXID, Rank, Taxonomy
 
 
+def render_json(payload: object, *, indent: int = 2) -> str:
+    """Canonical JSON for every ``--format json`` CLI surface.
+
+    One emitter — sorted keys, fixed indent, no trailing newline — shared
+    by :func:`json_report`, ``repro check``, and
+    ``benchmarks/bench_compare.py`` so machine consumers parse one
+    dialect no matter which tool produced the artifact.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
 def _subtree_fraction(profile: AbundanceProfile, taxonomy: Taxonomy, taxid: int) -> float:
     """Abundance mass under (and including) a taxon."""
     return sum(
@@ -63,10 +74,8 @@ def json_report(profile: AbundanceProfile, taxonomy: Taxonomy) -> str:
             key, {"name": taxonomy.node(genus).name, "fraction": 0.0}
         )
         entry["fraction"] = float(entry["fraction"]) + fraction
-    return json.dumps(
-        {"species": species, "genera": genera, "total": profile.total()},
-        indent=2,
-        sort_keys=True,
+    return render_json(
+        {"species": species, "genera": genera, "total": profile.total()}
     )
 
 

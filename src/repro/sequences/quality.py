@@ -85,7 +85,7 @@ class QualityFilter:
         :func:`repro.sequences.io.parse_fastq`.
         """
         kept: List[Read] = []
-        for name, sequence, quality in records:
+        for _name, sequence, quality in records:
             sequence, quality = trim_tail(sequence, quality, self.trim_threshold)
             if len(sequence) < self.min_length:
                 continue

@@ -1,0 +1,18 @@
+"""Known-bad RPR001 fixture: blocking calls inside async def bodies.
+
+Lines carrying a trailing ``# violation`` marker are the exact findings
+the checker must report.
+"""
+
+import subprocess
+import time
+
+
+async def handler(sock, fut, lock, pump_thread):
+    time.sleep(0.1)  # violation
+    dump = open("dump.bin")  # violation
+    lock.acquire()  # violation
+    fut.result()  # violation
+    subprocess.run(["true"])  # violation
+    pump_thread.join()  # violation
+    return sock, dump

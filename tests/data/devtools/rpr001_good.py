@@ -1,0 +1,26 @@
+"""Known-good RPR001 fixture: blocking work routed off the event loop."""
+
+import asyncio
+import time
+
+
+def warm_cache(lock):
+    # Sync code may block freely; the rule only guards the event loop.
+    time.sleep(0.0)
+    with lock:
+        pass
+
+
+async def handler(loop, pool, pump_thread):
+    await asyncio.sleep(0)
+    await loop.run_in_executor(None, pump_thread.join)
+    await asyncio.to_thread(time.sleep, 0)
+    banner = ", ".join(["a", "b"])
+
+    def payload():
+        # Executor payloads defined inside the coroutine run on worker
+        # threads, where blocking is the whole point.
+        time.sleep(0.0)
+
+    await loop.run_in_executor(pool, payload)
+    return banner

@@ -1,0 +1,16 @@
+"""Known-bad RPR002 fixture: a guarded attribute mutated without the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def reset(self):
+        self.value = 0  # violation

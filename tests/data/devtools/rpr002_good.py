@@ -1,0 +1,21 @@
+"""Known-good RPR002 fixture: mutations locked or contract-documented."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+
+    def _bump_locked(self):
+        """Caller holds the lock."""
+        self.value += 1
+
+    def reset(self):
+        with self._lock:
+            self.value = 0

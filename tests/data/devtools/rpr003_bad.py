@@ -1,0 +1,19 @@
+"""Known-bad RPR003 fixture: ambient nondeterminism in engine code."""
+
+import random
+import time
+
+
+def jitter():
+    return random.random()  # violation
+
+
+def stamp():
+    return time.time()  # violation
+
+
+def walk_levels():
+    total = 0
+    for taxid in {3, 1, 2}:  # violation
+        total += taxid
+    return total

@@ -1,0 +1,22 @@
+"""Known-good RPR003 fixture: injected seeds, monotonic clocks, sorted sets."""
+
+import random
+import time
+
+
+def make_rng(seed):
+    return random.Random(seed)
+
+
+def jitter(rng):
+    # Drawing from an injected, seeded generator is the sanctioned path.
+    return rng.random()
+
+
+def elapsed(clock=time.monotonic):
+    start = clock()
+    return clock() - start
+
+
+def walk_levels(level_set):
+    return [taxid for taxid in sorted(level_set)]

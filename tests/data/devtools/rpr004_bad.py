@@ -1,0 +1,19 @@
+"""Known-bad RPR004 fixture: ad-hoc frames and unknown ops."""
+
+import json
+
+
+def emit(sock):
+    frame = {"schema": 1, "id": "x", "reads": []}  # violation
+    sock.sendall(json.dumps(frame))
+
+
+def emit_raw(sock, encode):
+    sock.sendall(encode({"id": "y"}))  # violation
+
+
+def dispatch(record):
+    op = record.get("op")
+    if op == "step3":  # violation
+        return None
+    return op

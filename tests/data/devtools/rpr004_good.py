@@ -1,0 +1,13 @@
+"""Known-good RPR004 fixture: constructor-built frames, registry ops."""
+
+from repro.megis import wire
+
+
+def emit(queue, result, metrics):
+    queue.append(wire.encode(wire.result_record("x", 4, result, metrics)))
+
+
+def dispatch(record):
+    if record.get("op") == "ping":
+        return wire.pong_record(record.get("id"), 0, (0, 1), 0)
+    return None

@@ -1,0 +1,9 @@
+"""Known-bad RPR005 fixture: bare except, library print, mutable default."""
+
+
+def risky(values=[]):  # violation
+    try:
+        values.append(1)
+    except:  # violation
+        print("boom")  # violation
+    return values

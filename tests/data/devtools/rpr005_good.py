@@ -1,0 +1,13 @@
+"""Known-good RPR005 fixture: typed excepts, stderr logging, None defaults."""
+
+import sys
+
+
+def careful(values=None):
+    if values is None:
+        values = []
+    try:
+        values.append(1)
+    except ValueError:
+        sys.stderr.write("boom\n")
+    return values

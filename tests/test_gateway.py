@@ -593,7 +593,7 @@ class TestDrainResume:
             await gateway.drain()
             await gateway.drain()  # double drain: a no-op
             with pytest.raises(RuntimeError):
-                gateway.bound_address
+                _ = gateway.bound_address
 
         run_scenario(scenario())
         assert gateway.stats.drains == 1
